@@ -1,0 +1,49 @@
+//! CEG-construction microbenchmarks: building CEG_O and running the MOLP
+//! Dijkstra are the estimator's per-query costs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ceg_bench::common;
+use ceg_core::{molp_bound, CegO, MolpInstance};
+use ceg_query::templates;
+use ceg_workload::{Dataset, Workload};
+
+fn bench_construction(c: &mut Criterion) {
+    let (graph, queries) = common::setup(Dataset::Hetionet, Workload::Acyclic, 1);
+    let table = common::markov_for(&graph, &queries, 2);
+    let query = queries
+        .iter()
+        .map(|q| &q.query)
+        .max_by_key(|q| q.num_edges())
+        .expect("non-empty workload")
+        .clone();
+
+    let mut group = c.benchmark_group("construction");
+    group.sample_size(30);
+
+    group.bench_function("ceg_o_build", |b| {
+        b.iter(|| black_box(CegO::build(black_box(&query), &table)));
+    });
+
+    let ceg = CegO::build(&query, &table);
+    group.bench_function("ceg_o_all_estimates", |b| {
+        b.iter(|| {
+            for h in ceg_core::Heuristic::all() {
+                black_box(ceg.ceg().estimate(h));
+            }
+        });
+    });
+
+    group.bench_function("molp_dijkstra_12_attrs", |b| {
+        // a 12-edge path has 13 attributes → 8192-node implicit CEG_M
+        let labels: Vec<u16> = (0..12).map(|i| (i % graph.num_labels()) as u16).collect();
+        let q12 = templates::path(12, &labels);
+        let inst = MolpInstance::from_graph(&graph, &q12);
+        b.iter(|| black_box(molp_bound(black_box(&inst))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

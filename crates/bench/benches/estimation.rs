@@ -1,0 +1,46 @@
+//! Estimation-latency microbenchmarks (the timing dimension of Figure 14
+//! and the sub-millisecond claim of Section 6.5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ceg_bench::common;
+use ceg_catalog::DegreeStats;
+use ceg_core::{Aggr, Heuristic, PathLen};
+use ceg_estimators::{
+    CardinalityEstimator, MolpEstimator, OptimisticEstimator, WanderJoinEstimator,
+};
+use ceg_workload::{Dataset, Workload};
+
+fn bench_estimation(c: &mut Criterion) {
+    let (graph, queries) = common::setup(Dataset::Hetionet, Workload::Job, 2);
+    let table = common::markov_for(&graph, &queries, 2);
+    let qs: Vec<_> = queries.iter().map(|q| q.query.clone()).collect();
+    let degs = DegreeStats::build_base(&graph);
+    let query = &qs[0];
+
+    let mut group = c.benchmark_group("estimation");
+    group.sample_size(30);
+
+    group.bench_function("max-hop-max", |b| {
+        let mut est = OptimisticEstimator::new(&table, Heuristic::new(PathLen::MaxHop, Aggr::Max));
+        b.iter(|| black_box(est.estimate(black_box(query))));
+    });
+    group.bench_function("all-hops-avg", |b| {
+        let mut est =
+            OptimisticEstimator::new(&table, Heuristic::new(PathLen::AllHops, Aggr::Avg));
+        b.iter(|| black_box(est.estimate(black_box(query))));
+    });
+    group.bench_function("molp", |b| {
+        let mut est = MolpEstimator::new(&degs, false);
+        b.iter(|| black_box(est.estimate(black_box(query))));
+    });
+    group.bench_function("wanderjoin-0.5pct", |b| {
+        let mut est = WanderJoinEstimator::new(&graph, 0.005, 1);
+        b.iter(|| black_box(est.estimate(black_box(query))));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimation);
+criterion_main!(benches);

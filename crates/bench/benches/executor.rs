@@ -1,0 +1,32 @@
+//! Executor microbenchmarks: backtracking counting vs tree DP — the cost
+//! of ground truth and of Markov-table construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use ceg_exec::{count, count_tree_dp};
+use ceg_query::templates;
+use ceg_workload::Dataset;
+
+fn bench_executor(c: &mut Criterion) {
+    let graph = Dataset::Hetionet.generate(2022);
+    let path3 = templates::path(3, &[0, 1, 2]);
+    let star3 = templates::star(3, &[0, 1, 2]);
+
+    let mut group = c.benchmark_group("executor");
+    group.sample_size(20);
+
+    group.bench_function("backtracking_path3", |b| {
+        b.iter(|| black_box(count(black_box(&graph), &path3)));
+    });
+    group.bench_function("tree_dp_path3", |b| {
+        b.iter(|| black_box(count_tree_dp(black_box(&graph), &path3)));
+    });
+    group.bench_function("tree_dp_star3", |b| {
+        b.iter(|| black_box(count_tree_dp(black_box(&graph), &star3)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 10 — the nine optimistic estimators + P* on CEG_O over cyclic
+//! queries whose only cycles are triangles (Section 6.2.1), h = 3.
+//!
+//! Expected shape (paper): same as the acyclic case — the max aggregator
+//! wins and max-hop performs at least as well as min-hop.
+
+use ceg_bench::common;
+use ceg_query::cycles::only_triangles;
+use ceg_workload::runner::{render_table, run_estimators};
+use ceg_workload::{Dataset, Workload};
+
+fn main() {
+    let combos = [
+        (Dataset::Dblp, Workload::Cyclic, 6),
+        (Dataset::Watdiv, Workload::Cyclic, 6),
+        (Dataset::Hetionet, Workload::Cyclic, 6),
+        (Dataset::Epinions, Workload::Cyclic, 6),
+    ];
+    println!("Figure 10: optimistic estimators on cyclic queries with only triangles (h = 3)");
+    for (ds, wl, per_template) in combos {
+        let (graph, queries) = common::setup(ds, wl, per_template);
+        let tri = common::filter_queries(&queries, |wq| only_triangles(&wq.query));
+        if tri.is_empty() {
+            println!("-- {}: no triangle-only instances --", ds.name());
+            continue;
+        }
+        eprintln!("[fig10] {}: {} triangle-only queries", ds.name(), tri.len());
+        let table = common::markov_for(&graph, &tri, 3);
+        let mut ests = common::nine_estimators(&table);
+        let mut reports = run_estimators(&tri, &mut ests);
+        reports.push(common::pstar_report(&tri, &table, None));
+        println!(
+            "{}",
+            render_table(&format!("{} / Cyclic (triangles only)", ds.name()), &reports)
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 11 — the nine estimators on CEG_O *and* CEG_OCR over cyclic
+//! queries containing cycles longer than 3 edges (Section 6.2.2), h = 3.
+//!
+//! Expected shape (paper): on CEG_O every estimator overestimates
+//! (cycles are broken into paths) and min-aggregation is the least bad;
+//! on CEG_OCR the closing rates restore optimism and max-aggregation
+//! wins again, with better accuracy than the best CEG_O heuristic.
+
+use ceg_bench::common;
+use ceg_query::cycles::has_large_cycle;
+use ceg_workload::runner::{render_table, run_estimators};
+use ceg_workload::{Dataset, Workload};
+
+fn main() {
+    let combos = [
+        (Dataset::Dblp, Workload::Cyclic, 6),
+        (Dataset::Watdiv, Workload::Cyclic, 6),
+        (Dataset::Hetionet, Workload::Cyclic, 6),
+        (Dataset::Epinions, Workload::Cyclic, 6),
+        (Dataset::Yago, Workload::GCareCyclic, 4),
+    ];
+    println!("Figure 11: CEG_O vs CEG_OCR on queries with cycles of size > 3 (h = 3)");
+    for (ds, wl, per_template) in combos {
+        let (graph, queries) = common::setup(ds, wl, per_template);
+        let large = common::filter_queries(&queries, |wq| has_large_cycle(&wq.query, 3));
+        if large.is_empty() {
+            println!("-- {}: no large-cycle instances --", ds.name());
+            continue;
+        }
+        eprintln!("[fig11] {}: {} large-cycle queries", ds.name(), large.len());
+        let table = common::markov_for(&graph, &large, 3);
+        let ccr = common::ccr_for(&graph, &large, 3000);
+
+        let mut ests_o = common::nine_estimators(&table);
+        let mut reports_o = run_estimators(&large, &mut ests_o);
+        reports_o.push(common::pstar_report(&large, &table, None));
+        println!(
+            "{}",
+            render_table(&format!("{} / {} on CEG_O", ds.name(), wl.name()), &reports_o)
+        );
+
+        let mut ests_ocr = common::nine_estimators_ocr(&table, &ccr);
+        let mut reports_ocr = run_estimators(&large, &mut ests_ocr);
+        reports_ocr.push(common::pstar_report(&large, &table, Some(&ccr)));
+        println!(
+            "{}",
+            render_table(
+                &format!("{} / {} on CEG_OCR", ds.name(), wl.name()),
+                &reports_ocr
+            )
+        );
+    }
+}

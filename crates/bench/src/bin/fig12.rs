@@ -1,0 +1,53 @@
+//! Figure 12 — effect of the bound-sketch optimization on the
+//! max-hop-max optimistic estimator (left column) and MOLP (right
+//! column), partitioning budgets K ∈ {1, 4, 16, 64, 128} (Section 6.3),
+//! h = 2.
+//!
+//! Expected shape (paper): MOLP tightens steadily with K; the optimistic
+//! estimator improves on Hetionet/Epinions and is roughly flat on IMDb;
+//! MOLP stays orders of magnitude less accurate than max-hop-max.
+
+use ceg_bench::common;
+use ceg_estimators::{CardinalityEstimator, SketchedMolp, SketchedOptimistic};
+use ceg_workload::runner::{render_table, run_estimators};
+use ceg_workload::{Dataset, Workload};
+
+fn main() {
+    let combos = [
+        (Dataset::Imdb, Workload::Job, 8),
+        (Dataset::Hetionet, Workload::Acyclic, 3),
+        (Dataset::Epinions, Workload::Acyclic, 3),
+    ];
+    let budgets = [1u32, 4, 16, 64, 128];
+    println!("Figure 12: bound-sketch budgets on max-hop-max and MOLP (h = 2)");
+    for (ds, wl, per_template) in combos {
+        let (graph, queries) = common::setup(ds, wl, per_template);
+        if queries.is_empty() {
+            continue;
+        }
+        let table = common::markov_for(&graph, &queries, 2);
+
+        let mut opt_ests: Vec<Box<dyn CardinalityEstimator>> = budgets
+            .iter()
+            .map(|&k| {
+                Box::new(SketchedOptimistic::max_hop_max(&graph, &table, k))
+                    as Box<dyn CardinalityEstimator>
+            })
+            .collect();
+        let reports = run_estimators(&queries, &mut opt_ests);
+        println!(
+            "{}",
+            render_table(&format!("{} / {}: max-hop-max + sketch", ds.name(), wl.name()), &reports)
+        );
+
+        let mut molp_ests: Vec<Box<dyn CardinalityEstimator>> = budgets
+            .iter()
+            .map(|&k| Box::new(SketchedMolp::new(&graph, k)) as Box<dyn CardinalityEstimator>)
+            .collect();
+        let reports = run_estimators(&queries, &mut molp_ests);
+        println!(
+            "{}",
+            render_table(&format!("{} / {}: MOLP + sketch", ds.name(), wl.name()), &reports)
+        );
+    }
+}

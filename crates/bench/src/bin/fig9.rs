@@ -1,0 +1,36 @@
+//! Figure 9 — the nine optimistic estimators + the P* oracle on CEG_O
+//! over the acyclic workloads (JOB on IMDb; Acyclic on DBLP, WatDiv,
+//! Hetionet, Epinions), Markov table size h = 3 (Section 6.2.1).
+//!
+//! Expected shape (paper): max-aggregation beats avg beats min on every
+//! dataset; max-hop ≥ min-hop; max-hop-max is within sight of P*.
+
+use ceg_bench::common;
+use ceg_workload::runner::{render_table, run_estimators};
+use ceg_workload::{Dataset, Workload};
+
+fn main() {
+    let combos = [
+        (Dataset::Imdb, Workload::Job, 12),
+        (Dataset::Dblp, Workload::Acyclic, 4),
+        (Dataset::Watdiv, Workload::Acyclic, 4),
+        (Dataset::Hetionet, Workload::Acyclic, 4),
+        (Dataset::Epinions, Workload::Acyclic, 4),
+    ];
+    println!("Figure 9: optimistic estimator space on CEG_O, acyclic workloads (h = 3)");
+    for (ds, wl, per_template) in combos {
+        let (graph, queries) = common::setup(ds, wl, per_template);
+        if queries.is_empty() {
+            println!("-- {} / {}: no instantiable queries --", ds.name(), wl.name());
+            continue;
+        }
+        let table = common::markov_for(&graph, &queries, 3);
+        let mut ests = common::nine_estimators(&table);
+        let mut reports = run_estimators(&queries, &mut ests);
+        reports.push(common::pstar_report(&queries, &table, None));
+        println!(
+            "{}",
+            render_table(&format!("{} / {}", ds.name(), wl.name()), &reports)
+        );
+    }
+}

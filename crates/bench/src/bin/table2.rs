@@ -1,0 +1,34 @@
+//! Table 2 — dataset descriptions: domain, |V|, |E|, |edge labels|.
+//!
+//! Prints the paper's Table 2 columns for our scaled synthetic stand-ins
+//! next to the paper's original sizes (see DESIGN.md §3 for the
+//! substitution rationale).
+
+use ceg_workload::Dataset;
+
+fn main() {
+    println!("Table 2: dataset descriptions (scaled stand-ins; paper sizes in parentheses)");
+    println!(
+        "{:<10} {:<18} {:>10} {:>10} {:>10}   paper |V| / |E| / labels",
+        "Dataset", "Domain", "|V|", "|E|", "|Labels|"
+    );
+    let paper = [
+        ("27M", "65M", 127),
+        ("13M", "16M", 91),
+        ("23M", "56M", 27),
+        ("1M", "11M", 86),
+        ("45K", "2M", 24),
+        ("76K", "509K", 50),
+    ];
+    for (ds, (pv, pe, pl)) in Dataset::ALL.iter().zip(paper) {
+        let g = ds.generate(ceg_bench::common::SEED);
+        println!(
+            "{:<10} {:<18} {:>10} {:>10} {:>10}   ({pv} / {pe} / {pl})",
+            ds.name(),
+            ds.domain(),
+            g.num_vertices(),
+            g.num_edges(),
+            g.num_labels(),
+        );
+    }
+}

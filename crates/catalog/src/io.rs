@@ -1,0 +1,139 @@
+//! Plain-text persistence for Markov tables.
+//!
+//! Statistics are expensive to build (they count patterns in the data);
+//! systems persist them alongside the database. Format: a header line
+//! `markov h=<h>`, then one entry per line:
+//!
+//! ```text
+//! <cardinality> <num_edges> <src> <dst> <label> [<src> <dst> <label> …]
+//! ```
+
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+use ceg_query::{Pattern, QueryEdge};
+
+use crate::markov::MarkovTable;
+
+/// Serialize a Markov table.
+pub fn write_markov<W: Write>(table: &MarkovTable, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "markov h={}", table.h())?;
+    let mut entries: Vec<(&Pattern, u64)> = table.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    for (p, c) in entries {
+        write!(w, "{} {}", c, p.num_edges())?;
+        for e in p.edges() {
+            write!(w, " {} {} {}", e.src, e.dst, e.label)?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Parse a Markov table written by [`write_markov`].
+pub fn read_markov<R: BufRead>(reader: R) -> io::Result<MarkovTable> {
+    let mut lines = reader.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| bad("missing header"))??;
+    let h: usize = header
+        .strip_prefix("markov h=")
+        .ok_or_else(|| bad("bad header"))?
+        .trim()
+        .parse()
+        .map_err(|_| bad("bad h"))?;
+    let mut table = MarkovTable::empty(h);
+    for line in lines {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let card: u64 = next_num(&mut it)?;
+        let m: usize = next_num(&mut it)? as usize;
+        let mut edges = Vec::with_capacity(m);
+        for _ in 0..m {
+            let s: u64 = next_num(&mut it)?;
+            let d: u64 = next_num(&mut it)?;
+            let l: u64 = next_num(&mut it)?;
+            edges.push(QueryEdge::new(s as u8, d as u8, l as u16));
+        }
+        table.insert(Pattern::canonical(&edges), card);
+    }
+    Ok(table)
+}
+
+fn next_num(it: &mut std::str::SplitWhitespace<'_>) -> io::Result<u64> {
+    it.next()
+        .ok_or_else(|| bad("truncated entry"))?
+        .parse()
+        .map_err(|_| bad("not a number"))
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.to_string())
+}
+
+/// Save to a file path.
+pub fn save_markov(table: &MarkovTable, path: impl AsRef<Path>) -> io::Result<()> {
+    write_markov(table, std::fs::File::create(path)?)
+}
+
+/// Load from a file path.
+pub fn load_markov(path: impl AsRef<Path>) -> io::Result<MarkovTable> {
+    read_markov(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceg_graph::GraphBuilder;
+    use ceg_query::templates;
+
+    fn table() -> MarkovTable {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 0);
+        b.add_edge(1, 2, 1);
+        b.add_edge(1, 3, 1);
+        let g = b.build();
+        let q = templates::path(2, &[0, 1]);
+        MarkovTable::build_for_query(&g, &q, 2)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let t = table();
+        let mut buf = Vec::new();
+        write_markov(&t, &mut buf).unwrap();
+        let t2 = read_markov(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(t2.h(), t.h());
+        assert_eq!(t2.len(), t.len());
+        for (p, c) in t.iter() {
+            assert_eq!(t2.card(p), Some(c), "{p}");
+        }
+    }
+
+    #[test]
+    fn bad_header_is_error() {
+        let err = read_markov(io::BufReader::new("nope\n".as_bytes())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_entry_is_error() {
+        let text = "markov h=2\n5 2 0 1\n";
+        assert!(read_markov(io::BufReader::new(text.as_bytes())).is_err());
+    }
+
+    #[test]
+    fn empty_table_roundtrips() {
+        let t = MarkovTable::empty(3);
+        let mut buf = Vec::new();
+        write_markov(&t, &mut buf).unwrap();
+        let t2 = read_markov(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(t2.h(), 3);
+        assert!(t2.is_empty());
+    }
+}

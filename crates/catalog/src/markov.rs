@@ -1,0 +1,391 @@
+//! Markov tables: cardinalities of small joins.
+//!
+//! A Markov table of size `h` stores `|P|` for small patterns `P` with up
+//! to `h` edges (Section 4.1, Table 1). Following the paper's evaluation
+//! setup (Section 6), tables are *workload-specific*: we store exactly the
+//! connected sub-patterns of the workload's queries, which keeps tables at
+//! a fraction of a megabyte.
+
+use ceg_exec::{count_constrained, VarConstraints};
+use ceg_graph::{FxHashMap, LabeledGraph};
+use ceg_query::{EdgeMask, Pattern, QueryGraph};
+
+/// Cardinalities of connected patterns with at most `h` edges.
+#[derive(Debug, Clone)]
+pub struct MarkovTable {
+    h: usize,
+    entries: FxHashMap<Pattern, u64>,
+}
+
+impl MarkovTable {
+    /// An empty table of size `h` (entries added via [`MarkovTable::insert`],
+    /// e.g. when loading a persisted table).
+    pub fn empty(h: usize) -> Self {
+        assert!(h >= 2, "Markov tables need h >= 2");
+        MarkovTable {
+            h,
+            entries: FxHashMap::default(),
+        }
+    }
+
+    /// Build a table containing every connected sub-pattern (≤ `h` edges)
+    /// of the given workload queries, with exact counts from `graph`.
+    pub fn build(graph: &LabeledGraph, queries: &[QueryGraph], h: usize) -> Self {
+        assert!(h >= 2, "Markov tables need h >= 2");
+        let mut entries: FxHashMap<Pattern, u64> = FxHashMap::default();
+        for q in queries {
+            for mask in q.connected_subsets_up_to(h) {
+                let pat = Pattern::of_subquery(q, mask);
+                entries.entry(pat).or_insert_with_key(|p| {
+                    let pq = p.to_query();
+                    count_constrained(graph, &pq, &VarConstraints::none(pq.num_vars()))
+                });
+            }
+        }
+        MarkovTable { h, entries }
+    }
+
+    /// Build a table for a single query (convenience for examples/tests).
+    pub fn build_for_query(graph: &LabeledGraph, query: &QueryGraph, h: usize) -> Self {
+        Self::build(graph, std::slice::from_ref(query), h)
+    }
+
+    /// The table size parameter `h`.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Number of stored patterns.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Cardinality of a canonical pattern, if stored.
+    pub fn card(&self, pattern: &Pattern) -> Option<u64> {
+        self.entries.get(pattern).copied()
+    }
+
+    /// Cardinality of the sub-query of `query` induced by `mask`, if the
+    /// corresponding pattern is stored.
+    pub fn card_of_subquery(&self, query: &QueryGraph, mask: EdgeMask) -> Option<u64> {
+        if mask.is_empty() {
+            return Some(1); // the empty join has one (empty) tuple
+        }
+        self.card(&Pattern::of_subquery(query, mask))
+    }
+
+    /// True if the pattern for `mask` is stored (or computable: empty mask).
+    pub fn contains_subquery(&self, query: &QueryGraph, mask: EdgeMask) -> bool {
+        self.card_of_subquery(query, mask).is_some()
+    }
+
+    /// Insert or overwrite an entry (used by tests and by bound-sketch
+    /// partition-local tables).
+    pub fn insert(&mut self, pattern: Pattern, card: u64) {
+        self.entries.insert(pattern, card);
+    }
+
+    /// Iterate entries in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Pattern, u64)> {
+        self.entries.iter().map(|(p, &c)| (p, c))
+    }
+
+    /// Approximate memory footprint in bytes (for Table-2-style reporting).
+    pub fn approx_bytes(&self) -> usize {
+        self.entries
+            .keys()
+            .map(|p| 24 + p.num_edges() * std::mem::size_of::<ceg_query::QueryEdge>() + 8)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceg_exec::count;
+    use ceg_graph::GraphBuilder;
+    use ceg_query::templates;
+
+    /// Paper-style toy dataset: labels A=0, B=1, C=2 forming paths.
+    fn toy() -> LabeledGraph {
+        let mut b = GraphBuilder::new(10);
+        // A edges
+        b.add_edge(0, 2, 0);
+        b.add_edge(1, 2, 0);
+        b.add_edge(3, 4, 0);
+        b.add_edge(5, 4, 0);
+        // B edges (|B| = 2)
+        b.add_edge(2, 6, 1);
+        b.add_edge(4, 7, 1);
+        // C edges
+        b.add_edge(6, 8, 2);
+        b.add_edge(6, 9, 2);
+        b.add_edge(7, 8, 2);
+        b.build()
+    }
+
+    #[test]
+    fn entries_match_executor_counts() {
+        let g = toy();
+        let q = templates::path(3, &[0, 1, 2]); // A -> B -> C
+        let t = MarkovTable::build_for_query(&g, &q, 2);
+        for (p, c) in t.iter() {
+            assert_eq!(c, count(&g, &p.to_query()), "pattern {p}");
+        }
+    }
+
+    #[test]
+    fn h2_table_of_3path_has_expected_patterns() {
+        let g = toy();
+        let q = templates::path(3, &[0, 1, 2]);
+        let t = MarkovTable::build_for_query(&g, &q, 2);
+        // patterns: A, B, C, A->B, B->C  (5 entries)
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.h(), 2);
+    }
+
+    #[test]
+    fn paper_markov_example_values() {
+        // |B| = 2, |A->B| = 4, |B->C| = 3 on the toy graph (mirrors Table 1).
+        let g = toy();
+        let q = templates::path(3, &[0, 1, 2]);
+        let t = MarkovTable::build_for_query(&g, &q, 2);
+        let b_mask = EdgeMask::single(1);
+        let ab = EdgeMask::from_bits(0b011);
+        let bc = EdgeMask::from_bits(0b110);
+        assert_eq!(t.card_of_subquery(&q, b_mask), Some(2));
+        assert_eq!(t.card_of_subquery(&q, ab), Some(4));
+        assert_eq!(t.card_of_subquery(&q, bc), Some(3));
+    }
+
+    #[test]
+    fn empty_mask_has_unit_cardinality() {
+        let g = toy();
+        let q = templates::path(2, &[0, 1]);
+        let t = MarkovTable::build_for_query(&g, &q, 2);
+        assert_eq!(t.card_of_subquery(&q, EdgeMask::empty()), Some(1));
+    }
+
+    #[test]
+    fn unknown_pattern_is_none() {
+        let g = toy();
+        let q = templates::path(3, &[0, 1, 2]);
+        let t = MarkovTable::build_for_query(&g, &q, 2);
+        // the full 3-path is not stored with h = 2
+        assert_eq!(t.card_of_subquery(&q, q.full_mask()), None);
+    }
+
+    #[test]
+    fn h3_table_stores_full_3path() {
+        let g = toy();
+        let q = templates::path(3, &[0, 1, 2]);
+        let t = MarkovTable::build_for_query(&g, &q, 3);
+        let c = t.card_of_subquery(&q, q.full_mask());
+        assert_eq!(c, Some(count(&g, &q)));
+    }
+
+    #[test]
+    fn shared_patterns_are_deduplicated() {
+        let g = toy();
+        let q1 = templates::path(2, &[0, 1]);
+        let q2 = templates::path(2, &[0, 1]);
+        let t = MarkovTable::build(&g, &[q1, q2], 2);
+        assert_eq!(t.len(), 3); // A, B, A->B
+    }
+
+    #[test]
+    fn approx_bytes_is_positive() {
+        let g = toy();
+        let q = templates::path(2, &[0, 1]);
+        let t = MarkovTable::build_for_query(&g, &q, 2);
+        assert!(t.approx_bytes() > 0);
+    }
+}
+
+/// Sampled (approximate) construction — how the graph-catalogue systems
+/// the paper builds on construct their statistics at scale: instead of
+/// exact counts, each pattern's cardinality is estimated with
+/// Horvitz–Thompson-weighted random walks from its smallest relation.
+/// `walks` controls the accuracy/time trade-off.
+impl MarkovTable {
+    /// Like [`MarkovTable::build`] but with sampled counts.
+    pub fn build_sampled(
+        graph: &LabeledGraph,
+        queries: &[QueryGraph],
+        h: usize,
+        walks: u32,
+        seed: u64,
+    ) -> Self {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        assert!(h >= 2, "Markov tables need h >= 2");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut entries: FxHashMap<Pattern, u64> = FxHashMap::default();
+        for q in queries {
+            for mask in q.connected_subsets_up_to(h) {
+                let pat = Pattern::of_subquery(q, mask);
+                if entries.contains_key(&pat) {
+                    continue;
+                }
+                let pq = pat.to_query();
+                let est = if pq.num_edges() == 1 {
+                    graph.label_count(pq.edge(0).label) as f64 // exact for free
+                } else {
+                    sample_pattern_count(graph, &pq, walks, &mut rng)
+                };
+                entries.insert(pat, est.round() as u64);
+            }
+        }
+        MarkovTable { h, entries }
+    }
+}
+
+/// HT random-walk estimate of a small pattern's homomorphism count.
+fn sample_pattern_count(
+    graph: &LabeledGraph,
+    query: &QueryGraph,
+    walks: u32,
+    rng: &mut rand::rngs::StdRng,
+) -> f64 {
+    use rand::Rng;
+    // walk order: start at the smallest relation, extend adjacently
+    let m = query.num_edges();
+    let start = (0..m)
+        .min_by_key(|&i| graph.label_count(query.edge(i).label))
+        .expect("non-empty pattern");
+    let mut order = vec![start];
+    let e0 = query.edge(start);
+    let mut bound: u32 = (1 << e0.src) | (1 << e0.dst);
+    let mut used = 1u32 << start;
+    while order.len() < m {
+        let next = (0..m)
+            .find(|&i| {
+                used & (1 << i) == 0 && {
+                    let e = query.edge(i);
+                    bound & ((1 << e.src) | (1 << e.dst)) != 0
+                }
+            })
+            .expect("patterns are connected");
+        let e = query.edge(next);
+        bound |= (1 << e.src) | (1 << e.dst);
+        used |= 1 << next;
+        order.push(next);
+    }
+    let start_edges: Vec<(u32, u32)> = graph.edges(query.edge(start).label).collect();
+    if start_edges.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for _ in 0..walks {
+        let (s0, d0) = start_edges[rng.random_range(0..start_edges.len())];
+        let mut binding = vec![0u32; query.num_vars() as usize];
+        let mut bset = 0u32;
+        let e = query.edge(start);
+        if e.src == e.dst && s0 != d0 {
+            continue;
+        }
+        binding[e.src as usize] = s0;
+        binding[e.dst as usize] = d0;
+        bset |= (1 << e.src) | (1 << e.dst);
+        let mut w = start_edges.len() as f64;
+        let mut dead = false;
+        for &qi in &order[1..] {
+            let e = query.edge(qi);
+            let (sb, db) = (bset & (1 << e.src) != 0, bset & (1 << e.dst) != 0);
+            match (sb, db) {
+                (true, true) => {
+                    if !graph.has_edge(binding[e.src as usize], binding[e.dst as usize], e.label) {
+                        dead = true;
+                        break;
+                    }
+                }
+                (true, false) => {
+                    let c = graph.out_neighbors(binding[e.src as usize], e.label);
+                    if c.is_empty() {
+                        dead = true;
+                        break;
+                    }
+                    let pick = c[rng.random_range(0..c.len())];
+                    w *= c.len() as f64;
+                    binding[e.dst as usize] = pick;
+                    bset |= 1 << e.dst;
+                }
+                (false, true) => {
+                    let c = graph.in_neighbors(binding[e.dst as usize], e.label);
+                    if c.is_empty() {
+                        dead = true;
+                        break;
+                    }
+                    let pick = c[rng.random_range(0..c.len())];
+                    w *= c.len() as f64;
+                    binding[e.src as usize] = pick;
+                    bset |= 1 << e.src;
+                }
+                (false, false) => unreachable!("connected walk order"),
+            }
+        }
+        if !dead {
+            total += w;
+        }
+    }
+    total / walks as f64
+}
+
+#[cfg(test)]
+mod sampled_tests {
+    use super::*;
+    use ceg_exec::count;
+    use ceg_graph::GraphBuilder;
+    use ceg_query::templates;
+
+    fn toy() -> LabeledGraph {
+        let mut b = GraphBuilder::new(60);
+        for i in 0..20u32 {
+            b.add_edge(i, 20 + i, 0);
+            b.add_edge(20 + i, 40 + (i % 10), 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn sampled_counts_approach_exact() {
+        let g = toy();
+        let q = templates::path(2, &[0, 1]);
+        let exact = MarkovTable::build_for_query(&g, &q, 2);
+        let sampled = MarkovTable::build_sampled(&g, std::slice::from_ref(&q), 2, 4000, 1);
+        assert_eq!(sampled.len(), exact.len());
+        for (p, c) in exact.iter() {
+            let s = sampled.card(p).unwrap() as f64;
+            let c = c as f64;
+            assert!(
+                (s - c).abs() <= (0.2 * c).max(2.0),
+                "pattern {p}: sampled {s} vs exact {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn single_edge_entries_are_exact() {
+        let g = toy();
+        let q = templates::path(2, &[0, 1]);
+        let sampled = MarkovTable::build_sampled(&g, std::slice::from_ref(&q), 2, 10, 2);
+        let p0 = Pattern::of_subquery(&q, EdgeMask::single(0));
+        assert_eq!(sampled.card(&p0), Some(count(&g, &p0.to_query())));
+    }
+
+    #[test]
+    fn sampled_is_deterministic_per_seed() {
+        let g = toy();
+        let q = templates::path(2, &[0, 1]);
+        let a = MarkovTable::build_sampled(&g, std::slice::from_ref(&q), 2, 100, 3);
+        let b = MarkovTable::build_sampled(&g, std::slice::from_ref(&q), 2, 100, 3);
+        for (p, c) in a.iter() {
+            assert_eq!(b.card(p), Some(c));
+        }
+    }
+}

@@ -1,0 +1,585 @@
+//! The generic cardinality estimation graph (Section 3).
+//!
+//! A CEG is a DAG whose vertices are sub-queries, with a designated bottom
+//! (`∅`) and top (`Q`); each edge carries an *extension rate*. Every
+//! bottom-to-top path is one estimation formula: the estimate is the
+//! product of extension rates along the path. Concrete CEGs (CEG_O,
+//! CEG_OCR; CEG_M is handled implicitly for scalability) build this
+//! structure and the aggregation machinery below turns it into estimates.
+//!
+//! All aggregators are computed with dynamic programming over the DAG —
+//! never by materializing the (potentially exponential) path set:
+//!
+//! * `max`/`min`/`avg` over all paths,
+//! * the same restricted to maximum-hop or minimum-hop paths
+//!   ((node, depth)-indexed DP),
+//! * best-path extraction with parent pointers (for bound sketches),
+//! * a capped, per-node-deduplicated enumeration of distinct path
+//!   estimates for the P* oracle (Section 6.2.3).
+
+use ceg_graph::FxHashSet;
+
+/// One CEG edge: an extension from a smaller to a larger sub-query.
+#[derive(Debug, Clone, Copy)]
+pub struct CegEdge {
+    pub from: u32,
+    pub to: u32,
+    /// Extension rate (a multiplier, ≥ 0).
+    pub rate: f64,
+    /// Caller-defined payload index (e.g. which extension pattern built
+    /// this edge); opaque to the aggregation machinery.
+    pub tag: u32,
+}
+
+/// Which set of bottom-to-top paths an estimator considers (Section 4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PathLen {
+    /// Only paths with the maximum number of hops.
+    MaxHop,
+    /// Only paths with the minimum number of hops.
+    MinHop,
+    /// Every bottom-to-top path.
+    AllHops,
+}
+
+/// How the considered paths' estimates are combined (Section 4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aggr {
+    /// Largest estimate (the "pessimistic optimist").
+    Max,
+    /// Smallest estimate.
+    Min,
+    /// Average of all considered paths' estimates.
+    Avg,
+}
+
+/// A (path-length, aggregator) pair — one of the paper's nine optimistic
+/// estimators, e.g. `max-hop-max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Heuristic {
+    pub path_len: PathLen,
+    pub aggr: Aggr,
+}
+
+impl Heuristic {
+    pub const fn new(path_len: PathLen, aggr: Aggr) -> Self {
+        Heuristic { path_len, aggr }
+    }
+
+    /// All nine estimators, in the order the paper's figures plot them.
+    pub fn all() -> [Heuristic; 9] {
+        use Aggr::*;
+        use PathLen::*;
+        [
+            Heuristic::new(MaxHop, Min),
+            Heuristic::new(MinHop, Min),
+            Heuristic::new(AllHops, Min),
+            Heuristic::new(MaxHop, Avg),
+            Heuristic::new(MinHop, Avg),
+            Heuristic::new(AllHops, Avg),
+            Heuristic::new(MaxHop, Max),
+            Heuristic::new(MinHop, Max),
+            Heuristic::new(AllHops, Max),
+        ]
+    }
+
+    /// Display name, e.g. `max-hop-max` (matches the paper's labels).
+    pub fn name(&self) -> String {
+        let p = match self.path_len {
+            PathLen::MaxHop => "max-hop",
+            PathLen::MinHop => "min-hop",
+            PathLen::AllHops => "all-hops",
+        };
+        let a = match self.aggr {
+            Aggr::Max => "max",
+            Aggr::Min => "min",
+            Aggr::Avg => "avg",
+        };
+        format!("{p}-{a}")
+    }
+}
+
+/// A finalized CEG DAG.
+#[derive(Debug, Clone)]
+pub struct Ceg {
+    num_nodes: usize,
+    bottom: u32,
+    top: u32,
+    edges: Vec<CegEdge>,
+    /// Incoming edge indices per node.
+    incoming: Vec<Vec<u32>>,
+    /// Outgoing edge indices per node.
+    outgoing: Vec<Vec<u32>>,
+    /// Topological order (bottom first).
+    topo: Vec<u32>,
+}
+
+impl Ceg {
+    /// Build a CEG from raw edges. Panics if the edge set is cyclic.
+    pub fn new(num_nodes: usize, bottom: u32, top: u32, edges: Vec<CegEdge>) -> Self {
+        let mut incoming = vec![Vec::new(); num_nodes];
+        let mut outgoing = vec![Vec::new(); num_nodes];
+        for (i, e) in edges.iter().enumerate() {
+            assert!((e.from as usize) < num_nodes && (e.to as usize) < num_nodes);
+            assert!(e.rate >= 0.0, "extension rates must be non-negative");
+            incoming[e.to as usize].push(i as u32);
+            outgoing[e.from as usize].push(i as u32);
+        }
+        // Kahn topological sort.
+        let mut indeg: Vec<usize> = incoming.iter().map(Vec::len).collect();
+        let mut queue: Vec<u32> = (0..num_nodes as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut topo = Vec::with_capacity(num_nodes);
+        while let Some(v) = queue.pop() {
+            topo.push(v);
+            for &ei in &outgoing[v as usize] {
+                let to = edges[ei as usize].to as usize;
+                indeg[to] -= 1;
+                if indeg[to] == 0 {
+                    queue.push(to as u32);
+                }
+            }
+        }
+        assert_eq!(topo.len(), num_nodes, "CEG must be acyclic");
+        Ceg {
+            num_nodes,
+            bottom,
+            top,
+            edges,
+            incoming,
+            outgoing,
+            topo,
+        }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    pub fn bottom(&self) -> u32 {
+        self.bottom
+    }
+
+    pub fn top(&self) -> u32 {
+        self.top
+    }
+
+    pub fn edges(&self) -> &[CegEdge] {
+        &self.edges
+    }
+
+    /// Indices of the edges entering `node` (diagnostics / rendering).
+    pub fn incoming_edges(&self, node: u32) -> &[u32] {
+        &self.incoming[node as usize]
+    }
+
+    /// Indices of the edges leaving `node`.
+    pub fn outgoing_edges(&self, node: u32) -> &[u32] {
+        &self.outgoing[node as usize]
+    }
+
+    /// Hop count (number of edges) of the longest bottom-to-top path;
+    /// `None` when the top is unreachable.
+    pub fn max_hops(&self) -> Option<usize> {
+        self.hops(true)
+    }
+
+    /// Hop count of the shortest bottom-to-top path.
+    pub fn min_hops(&self) -> Option<usize> {
+        self.hops(false)
+    }
+
+    fn hops(&self, maximize: bool) -> Option<usize> {
+        let mut d = vec![None::<usize>; self.num_nodes];
+        d[self.bottom as usize] = Some(0);
+        for &v in &self.topo {
+            let Some(dv) = d[v as usize] else { continue };
+            for &ei in &self.outgoing[v as usize] {
+                let to = self.edges[ei as usize].to as usize;
+                let cand = dv + 1;
+                let better = match d[to] {
+                    None => true,
+                    Some(cur) => {
+                        if maximize {
+                            cand > cur
+                        } else {
+                            cand < cur
+                        }
+                    }
+                };
+                if better {
+                    d[to] = Some(cand);
+                }
+            }
+        }
+        d[self.top as usize]
+    }
+
+    /// Estimate under one of the nine heuristics; `None` if the top node is
+    /// unreachable from the bottom (no complete formula exists).
+    pub fn estimate(&self, h: Heuristic) -> Option<f64> {
+        match h.path_len {
+            PathLen::AllHops => self.estimate_all_hops(h.aggr),
+            PathLen::MaxHop => {
+                let target = self.max_hops()?;
+                self.estimate_fixed_hops(h.aggr, target)
+            }
+            PathLen::MinHop => {
+                let target = self.min_hops()?;
+                self.estimate_fixed_hops(h.aggr, target)
+            }
+        }
+    }
+
+    fn estimate_all_hops(&self, aggr: Aggr) -> Option<f64> {
+        match aggr {
+            Aggr::Max | Aggr::Min => {
+                let maximize = aggr == Aggr::Max;
+                let mut val = vec![None::<f64>; self.num_nodes];
+                val[self.bottom as usize] = Some(1.0);
+                for &v in &self.topo {
+                    let Some(base) = val[v as usize] else { continue };
+                    for &ei in &self.outgoing[v as usize] {
+                        let e = self.edges[ei as usize];
+                        let cand = base * e.rate;
+                        let slot = &mut val[e.to as usize];
+                        let better = match *slot {
+                            None => true,
+                            Some(cur) => {
+                                if maximize {
+                                    cand > cur
+                                } else {
+                                    cand < cur
+                                }
+                            }
+                        };
+                        if better {
+                            *slot = Some(cand);
+                        }
+                    }
+                }
+                val[self.top as usize]
+            }
+            Aggr::Avg => {
+                // sum of path products and path counts
+                let mut sum = vec![0.0f64; self.num_nodes];
+                let mut cnt = vec![0.0f64; self.num_nodes];
+                sum[self.bottom as usize] = 1.0;
+                cnt[self.bottom as usize] = 1.0;
+                for &v in &self.topo {
+                    if cnt[v as usize] == 0.0 {
+                        continue;
+                    }
+                    for &ei in &self.outgoing[v as usize] {
+                        let e = self.edges[ei as usize];
+                        sum[e.to as usize] += sum[v as usize] * e.rate;
+                        cnt[e.to as usize] += cnt[v as usize];
+                    }
+                }
+                let (s, c) = (sum[self.top as usize], cnt[self.top as usize]);
+                (c > 0.0).then(|| s / c)
+            }
+        }
+    }
+
+    fn estimate_fixed_hops(&self, aggr: Aggr, target: usize) -> Option<f64> {
+        let d = target + 1;
+        match aggr {
+            Aggr::Max | Aggr::Min => {
+                let maximize = aggr == Aggr::Max;
+                let mut val = vec![vec![None::<f64>; d]; self.num_nodes];
+                val[self.bottom as usize][0] = Some(1.0);
+                for &v in &self.topo {
+                    for depth in 0..d {
+                        let Some(base) = val[v as usize][depth] else {
+                            continue;
+                        };
+                        if depth + 1 > target {
+                            continue;
+                        }
+                        for &ei in &self.outgoing[v as usize] {
+                            let e = self.edges[ei as usize];
+                            let cand = base * e.rate;
+                            let slot = &mut val[e.to as usize][depth + 1];
+                            let better = match *slot {
+                                None => true,
+                                Some(cur) => {
+                                    if maximize {
+                                        cand > cur
+                                    } else {
+                                        cand < cur
+                                    }
+                                }
+                            };
+                            if better {
+                                *slot = Some(cand);
+                            }
+                        }
+                    }
+                }
+                val[self.top as usize][target]
+            }
+            Aggr::Avg => {
+                let mut sum = vec![vec![0.0f64; d]; self.num_nodes];
+                let mut cnt = vec![vec![0.0f64; d]; self.num_nodes];
+                sum[self.bottom as usize][0] = 1.0;
+                cnt[self.bottom as usize][0] = 1.0;
+                for &v in &self.topo {
+                    for depth in 0..d.saturating_sub(1) {
+                        if cnt[v as usize][depth] == 0.0 {
+                            continue;
+                        }
+                        for &ei in &self.outgoing[v as usize] {
+                            let e = self.edges[ei as usize];
+                            sum[e.to as usize][depth + 1] += sum[v as usize][depth] * e.rate;
+                            cnt[e.to as usize][depth + 1] += cnt[v as usize][depth];
+                        }
+                    }
+                }
+                let (s, c) = (sum[self.top as usize][target], cnt[self.top as usize][target]);
+                (c > 0.0).then(|| s / c)
+            }
+        }
+    }
+
+    /// The concrete best (max or min) path under a hop restriction,
+    /// returned as edge indices bottom → top. Used by the bound-sketch
+    /// optimization, which needs the path itself. `None` if unreachable.
+    pub fn best_path(&self, path_len: PathLen, maximize: bool) -> Option<Vec<u32>> {
+        // (node, depth) DP with parent pointers; AllHops uses depth 0 only
+        // conceptually but we reuse the layered DP with every depth valid.
+        let max_depth = self.max_hops()?;
+        let target = match path_len {
+            PathLen::MaxHop => Some(max_depth),
+            PathLen::MinHop => Some(self.min_hops()?),
+            PathLen::AllHops => None,
+        };
+        let d = max_depth + 1;
+        let mut val = vec![vec![None::<f64>; d + 1]; self.num_nodes];
+        let mut parent = vec![vec![None::<u32>; d + 1]; self.num_nodes];
+        val[self.bottom as usize][0] = Some(1.0);
+        for &v in &self.topo {
+            for depth in 0..=max_depth {
+                let Some(base) = val[v as usize][depth] else {
+                    continue;
+                };
+                for &ei in &self.outgoing[v as usize] {
+                    let e = self.edges[ei as usize];
+                    let cand = base * e.rate;
+                    let slot = &mut val[e.to as usize][depth + 1];
+                    let better = match *slot {
+                        None => true,
+                        Some(cur) => {
+                            if maximize {
+                                cand > cur
+                            } else {
+                                cand < cur
+                            }
+                        }
+                    };
+                    if better {
+                        *slot = Some(cand);
+                        parent[e.to as usize][depth + 1] = Some(ei);
+                    }
+                }
+            }
+        }
+        // pick the ending depth
+        let top = self.top as usize;
+        let end_depth = match target {
+            Some(t) => {
+                val[top][t]?;
+                t
+            }
+            None => {
+                let mut best: Option<(f64, usize)> = None;
+                for (depth, v) in val[top].iter().enumerate() {
+                    if let Some(x) = v {
+                        let better = match best {
+                            None => true,
+                            Some((bx, _)) => {
+                                if maximize {
+                                    *x > bx
+                                } else {
+                                    *x < bx
+                                }
+                            }
+                        };
+                        if better {
+                            best = Some((*x, depth));
+                        }
+                    }
+                }
+                best?.1
+            }
+        };
+        // walk parents back
+        let mut path = Vec::with_capacity(end_depth);
+        let (mut node, mut depth) = (self.top, end_depth);
+        while depth > 0 {
+            let ei = parent[node as usize][depth].expect("parent chain broken");
+            path.push(ei);
+            node = self.edges[ei as usize].from;
+            depth -= 1;
+        }
+        debug_assert_eq!(node, self.bottom);
+        path.reverse();
+        Some(path)
+    }
+
+    /// Distinct path estimates (deduplicated per node, capped at
+    /// `cap` values per node) — the estimate set the P* oracle chooses
+    /// from. Cheap in practice: most CEGs produce a handful of distinct
+    /// estimates even when the path count is astronomical.
+    pub fn path_estimates(&self, cap: usize) -> Vec<f64> {
+        let mut sets: Vec<FxHashSet<u64>> = vec![FxHashSet::default(); self.num_nodes];
+        sets[self.bottom as usize].insert(1.0f64.to_bits());
+        for &v in &self.topo {
+            if sets[v as usize].is_empty() {
+                continue;
+            }
+            let vals: Vec<f64> = sets[v as usize].iter().map(|&b| f64::from_bits(b)).collect();
+            for &ei in &self.outgoing[v as usize] {
+                let e = self.edges[ei as usize];
+                let to = e.to as usize;
+                for &x in &vals {
+                    if sets[to].len() >= cap {
+                        break;
+                    }
+                    // round to ~10 significant digits to merge float dust
+                    let y = x * e.rate;
+                    let key = round_sig(y).to_bits();
+                    sets[to].insert(key);
+                }
+            }
+        }
+        let mut out: Vec<f64> = sets[self.top as usize]
+            .iter()
+            .map(|&b| f64::from_bits(b))
+            .collect();
+        out.sort_by(f64::total_cmp);
+        out
+    }
+}
+
+fn round_sig(x: f64) -> f64 {
+    if x == 0.0 || !x.is_finite() {
+        return x;
+    }
+    let mag = x.abs().log10().floor();
+    let scale = 10f64.powf(9.0 - mag);
+    (x * scale).round() / scale
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Diamond CEG: 0 = bottom, 3 = top, two 2-hop routes and one direct
+    /// 1-hop edge.
+    ///      0 → 1 → 3   rates 2, 3   (product 6)
+    ///      0 → 2 → 3   rates 5, 7   (product 35)
+    ///      0 → 3       rate 10      (product 10)
+    fn diamond() -> Ceg {
+        let e = |from, to, rate| CegEdge {
+            from,
+            to,
+            rate,
+            tag: 0,
+        };
+        Ceg::new(
+            4,
+            0,
+            3,
+            vec![
+                e(0, 1, 2.0),
+                e(1, 3, 3.0),
+                e(0, 2, 5.0),
+                e(2, 3, 7.0),
+                e(0, 3, 10.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn hop_counts() {
+        let c = diamond();
+        assert_eq!(c.max_hops(), Some(2));
+        assert_eq!(c.min_hops(), Some(1));
+    }
+
+    #[test]
+    fn all_hops_aggregators() {
+        let c = diamond();
+        let est = |a| c.estimate(Heuristic::new(PathLen::AllHops, a)).unwrap();
+        assert_eq!(est(Aggr::Max), 35.0);
+        assert_eq!(est(Aggr::Min), 6.0);
+        assert!((est(Aggr::Avg) - (6.0 + 35.0 + 10.0) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hop_restricted_aggregators() {
+        let c = diamond();
+        let est = |p, a| c.estimate(Heuristic::new(p, a)).unwrap();
+        assert_eq!(est(PathLen::MaxHop, Aggr::Max), 35.0);
+        assert_eq!(est(PathLen::MaxHop, Aggr::Min), 6.0);
+        assert_eq!(est(PathLen::MinHop, Aggr::Max), 10.0);
+        assert_eq!(est(PathLen::MinHop, Aggr::Min), 10.0);
+        assert!((est(PathLen::MaxHop, Aggr::Avg) - 20.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unreachable_top_gives_none() {
+        let c = Ceg::new(3, 0, 2, vec![CegEdge { from: 0, to: 1, rate: 1.0, tag: 0 }]);
+        assert_eq!(c.estimate(Heuristic::new(PathLen::AllHops, Aggr::Max)), None);
+        assert_eq!(c.max_hops(), None);
+    }
+
+    #[test]
+    fn best_path_returns_edges() {
+        let c = diamond();
+        let p = c.best_path(PathLen::MaxHop, true).unwrap();
+        assert_eq!(p.len(), 2);
+        // the max 2-hop path is 0→2→3 (edges 2 and 3)
+        assert_eq!(p, vec![2, 3]);
+        let pmin = c.best_path(PathLen::AllHops, false).unwrap();
+        // all-hops min is 0→1→3 with estimate 6
+        assert_eq!(pmin, vec![0, 1]);
+    }
+
+    #[test]
+    fn path_estimates_enumerates_distinct_values() {
+        let c = diamond();
+        let vals = c.path_estimates(100);
+        assert_eq!(vals, vec![6.0, 10.0, 35.0]);
+    }
+
+    #[test]
+    fn heuristic_names() {
+        assert_eq!(
+            Heuristic::new(PathLen::MaxHop, Aggr::Max).name(),
+            "max-hop-max"
+        );
+        assert_eq!(Heuristic::all().len(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "acyclic")]
+    fn cyclic_ceg_panics() {
+        let e = |from, to| CegEdge { from, to, rate: 1.0, tag: 0 };
+        Ceg::new(2, 0, 1, vec![e(0, 1), e(1, 0)]);
+    }
+
+    #[test]
+    fn zero_rate_paths() {
+        let e = |from, to, rate| CegEdge { from, to, rate, tag: 0 };
+        let c = Ceg::new(3, 0, 2, vec![e(0, 1, 0.0), e(1, 2, 5.0)]);
+        assert_eq!(
+            c.estimate(Heuristic::new(PathLen::AllHops, Aggr::Max)),
+            Some(0.0)
+        );
+    }
+}

@@ -1,0 +1,248 @@
+//! A small dense simplex solver.
+//!
+//! The pessimistic bounds are defined by linear programs (MOLP, DBPLP, the
+//! AGM fractional edge cover). The paper's central theoretical result
+//! (Theorem 5.1) is that MOLP needs *no* LP solver — it is a shortest path
+//! in CEG_M. We still implement the LPs literally so that tests can verify
+//! the theorem, and to compute DBPLP and AGM, which are not path problems.
+//!
+//! The solver handles the standard primal form
+//!
+//! ```text
+//!   maximize c·x   subject to  A x ≤ b,  x ≥ 0,  b ≥ 0
+//! ```
+//!
+//! (origin-feasible, so a single phase suffices) with Bland's rule for
+//! anti-cycling. Minimization problems with `A x ≥ b` constraints (DBPLP,
+//! AGM) are solved through their LP duals, which are origin-feasible in
+//! this form. Problem sizes here are tiny (tens of variables, hundreds of
+//! constraints), so a dense tableau is the simplest correct choice.
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpResult {
+    /// Optimal objective value and primal solution.
+    Optimal { objective: f64, x: Vec<f64> },
+    /// The objective is unbounded above.
+    Unbounded,
+}
+
+impl LpResult {
+    /// The optimal objective; panics if unbounded.
+    pub fn objective(&self) -> f64 {
+        match self {
+            LpResult::Optimal { objective, .. } => *objective,
+            LpResult::Unbounded => panic!("LP is unbounded"),
+        }
+    }
+}
+
+/// Maximize `c·x` subject to `A x ≤ b`, `x ≥ 0`, with `b ≥ 0`.
+///
+/// `a` is row-major: `a[i]` is the coefficient row of constraint `i`.
+pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpResult {
+    let n = c.len();
+    let m = a.len();
+    assert_eq!(b.len(), m, "one bound per constraint");
+    for (i, row) in a.iter().enumerate() {
+        assert_eq!(row.len(), n, "constraint {i} has wrong arity");
+        assert!(
+            b[i] >= -1e-12,
+            "standard-form solver requires b >= 0 (b[{i}] = {})",
+            b[i]
+        );
+    }
+
+    // Tableau: m rows × (n + m + 1) columns (variables, slacks, rhs).
+    let cols = n + m + 1;
+    let mut t = vec![vec![0.0f64; cols]; m + 1];
+    for i in 0..m {
+        t[i][..n].copy_from_slice(&a[i]);
+        t[i][n + i] = 1.0;
+        t[i][cols - 1] = b[i].max(0.0);
+    }
+    // Objective row: maximize c·x → row holds -c.
+    for j in 0..n {
+        t[m][j] = -c[j];
+    }
+
+    // basis[i] = variable index basic in row i (initially the slacks).
+    let mut basis: Vec<usize> = (n..n + m).collect();
+
+    const EPS: f64 = 1e-9;
+    let max_iters = 50_000usize;
+    for _ in 0..max_iters {
+        // Bland's rule: entering variable = smallest index with negative
+        // reduced cost.
+        let Some(pivot_col) = (0..n + m).find(|&j| t[m][j] < -EPS) else {
+            // Optimal.
+            let mut x = vec![0.0f64; n];
+            for i in 0..m {
+                if basis[i] < n {
+                    x[basis[i]] = t[i][cols - 1];
+                }
+            }
+            return LpResult::Optimal {
+                objective: t[m][cols - 1],
+                x,
+            };
+        };
+
+        // Ratio test; Bland tie-break on smallest basis variable index.
+        let mut pivot_row: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            if t[i][pivot_col] > EPS {
+                let ratio = t[i][cols - 1] / t[i][pivot_col];
+                let better = ratio < best_ratio - EPS
+                    || (ratio < best_ratio + EPS
+                        && pivot_row.is_some_and(|r| basis[i] < basis[r]));
+                if better {
+                    best_ratio = ratio;
+                    pivot_row = Some(i);
+                }
+            }
+        }
+        let Some(r) = pivot_row else {
+            return LpResult::Unbounded;
+        };
+
+        // Pivot.
+        let pv = t[r][pivot_col];
+        for v in &mut t[r] {
+            *v /= pv;
+        }
+        let pivot_row_vals = t[r].clone();
+        for (i, row) in t.iter_mut().enumerate() {
+            if i != r {
+                let f = row[pivot_col];
+                if f.abs() > 0.0 {
+                    for (v, pvv) in row.iter_mut().zip(&pivot_row_vals) {
+                        *v -= f * pvv;
+                    }
+                }
+            }
+        }
+        basis[r] = pivot_col;
+    }
+    panic!("simplex failed to converge within {max_iters} iterations");
+}
+
+/// Minimize `c·x` subject to `A x ≥ b`, `x ≥ 0`, with `b ≥ 0`, `c ≥ 0`,
+/// solved through the dual `max b·y  s.t.  Aᵀ y ≤ c, y ≥ 0`.
+///
+/// Returns the optimal objective (`f64::INFINITY` would indicate an
+/// infeasible primal, which cannot happen here because `x` large enough is
+/// always feasible when every attribute is covered; an unbounded dual is
+/// reported as `None`).
+pub fn minimize_covering(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> Option<f64> {
+    let n = c.len();
+    let m = a.len();
+    assert_eq!(b.len(), m);
+    // Build the transpose.
+    let mut at = vec![vec![0.0f64; m]; n];
+    for i in 0..m {
+        for j in 0..n {
+            at[j][i] = a[i][j];
+        }
+    }
+    match maximize(b, &at, c) {
+        LpResult::Optimal { objective, .. } => Some(objective),
+        LpResult::Unbounded => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+    }
+
+    #[test]
+    fn textbook_max() {
+        // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → 36 at (2, 6)
+        let r = maximize(
+            &[3.0, 5.0],
+            &[
+                vec![1.0, 0.0],
+                vec![0.0, 2.0],
+                vec![3.0, 2.0],
+            ],
+            &[4.0, 12.0, 18.0],
+        );
+        match r {
+            LpResult::Optimal { objective, x } => {
+                assert_close(objective, 36.0);
+                assert_close(x[0], 2.0);
+                assert_close(x[1], 6.0);
+            }
+            _ => panic!("expected optimal"),
+        }
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with no constraints binding x
+        let r = maximize(&[1.0], &[vec![-1.0]], &[1.0]);
+        assert_eq!(r, LpResult::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // classic degenerate instance
+        let r = maximize(
+            &[10.0, -57.0, -9.0, -24.0],
+            &[
+                vec![0.5, -5.5, -2.5, 9.0],
+                vec![0.5, -1.5, -0.5, 1.0],
+                vec![1.0, 0.0, 0.0, 0.0],
+            ],
+            &[0.0, 0.0, 1.0],
+        );
+        assert_close(r.objective(), 1.0);
+    }
+
+    #[test]
+    fn zero_objective_at_origin() {
+        let r = maximize(&[-1.0, -1.0], &[vec![1.0, 1.0]], &[5.0]);
+        assert_close(r.objective(), 0.0);
+    }
+
+    #[test]
+    fn covering_min() {
+        // min x + y s.t. x + y ≥ 2, x ≥ 1 → 2
+        let v = minimize_covering(
+            &[1.0, 1.0],
+            &[vec![1.0, 1.0], vec![1.0, 0.0]],
+            &[2.0, 1.0],
+        )
+        .unwrap();
+        assert_close(v, 2.0);
+    }
+
+    #[test]
+    fn covering_min_fractional() {
+        // AGM-style: triangle fractional edge cover: min w1+w2+w3,
+        // each attribute covered by two relations: w_i + w_j ≥ 1 → 3/2.
+        let v = minimize_covering(
+            &[1.0, 1.0, 1.0],
+            &[
+                vec![1.0, 0.0, 1.0],
+                vec![1.0, 1.0, 0.0],
+                vec![0.0, 1.0, 1.0],
+            ],
+            &[1.0, 1.0, 1.0],
+        )
+        .unwrap();
+        assert_close(v, 1.5);
+    }
+
+    #[test]
+    fn equality_via_pair_of_inequalities() {
+        // max x s.t. x ≤ 3 (and x ≥ 0 implicit) → 3
+        let r = maximize(&[1.0], &[vec![1.0]], &[3.0]);
+        assert_close(r.objective(), 3.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! # ceg-estimators
+//!
+//! High-level estimator API: every technique evaluated in the paper's
+//! Section 6, behind one [`CardinalityEstimator`] trait.
+//!
+//! * [`OptimisticEstimator`] — the nine CEG_O heuristics, with automatic
+//!   CEG_OCR switching for queries with large cycles (Sections 4, 6.2),
+//! * [`MolpEstimator`] / [`CbsEstimator`] — the pessimistic bounds
+//!   (Section 5),
+//! * [`SketchedOptimistic`] / [`SketchedMolp`] — bound-sketch variants
+//!   (Section 6.3),
+//! * [`CsEstimator`] — Characteristic Sets (Section 6.4),
+//! * [`SumRdfEstimator`] — SumRDF-style summary estimation (Section 6.4),
+//! * [`WanderJoinEstimator`] — the sampling baseline (Section 6.5),
+//! * [`Rdf3xDefaultEstimator`] — the RDF-3X-style default used as the
+//!   plan-quality baseline (Section 6.6),
+//! * [`pstar_estimate`] — the P* oracle (Section 6.2.3).
+//!
+//! # Example
+//!
+//! ```
+//! use ceg_graph::GraphBuilder;
+//! use ceg_query::templates;
+//! use ceg_catalog::MarkovTable;
+//! use ceg_estimators::{CardinalityEstimator, OptimisticEstimator};
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(0, 1, 0);
+//! b.add_edge(1, 2, 1);
+//! b.add_edge(1, 3, 1);
+//! let graph = b.build();
+//!
+//! let query = templates::path(2, &[0, 1]);
+//! let table = MarkovTable::build_for_query(&graph, &query, 2);
+//! let mut est = OptimisticEstimator::recommended(&table); // max-hop-max
+//! assert_eq!(est.estimate(&query), Some(2.0)); // exact: query fits in table
+//! ```
+
+pub mod baselines;
+pub mod jsub;
+pub mod max_entropy;
+pub mod optimistic;
+pub mod pessimistic;
+pub mod traits;
+pub mod wander_join;
+
+pub use baselines::{CsEstimator, Rdf3xDefaultEstimator, SumRdfEstimator};
+pub use jsub::JsubEstimator;
+pub use max_entropy::MaxEntEstimator;
+pub use optimistic::{pstar_estimate, OptimisticEstimator, SketchedOptimistic};
+pub use pessimistic::{CbsEstimator, MolpEstimator, SketchedMolp};
+pub use traits::CardinalityEstimator;
+pub use wander_join::WanderJoinEstimator;

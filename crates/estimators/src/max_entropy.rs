@@ -1,0 +1,292 @@
+//! Maximum-entropy estimation over Markov-table selectivities.
+//!
+//! Section 7 of the paper sketches (and leaves to future work) applying
+//! Markl et al.'s consistent-selectivity approach to join queries: model
+//! the query as the Cartesian product of its relations filtered by one
+//! equality *predicate per join variable*; every Markov-table entry whose
+//! pattern fully contains some join variables yields a known selectivity
+//! for that predicate subset (`sel = |P_S| / Π_{i∈S} |R_i|`, exactly the
+//! paper's example); the estimate is the all-predicates probability of
+//! the maximum-entropy distribution consistent with those selectivities,
+//! times the product of the relation sizes.
+//!
+//! The max-ent program is solved with iterative proportional fitting
+//! (IPF) over the `2^P` predicate-subset atoms. Patterns that contain a
+//! join variable only partially (some of its occurrences lie outside the
+//! pattern) constrain a *weakened* predicate and are conservatively
+//! skipped. As the paper anticipates, the result is another optimistic
+//! estimator over the same statistics.
+
+use ceg_catalog::MarkovTable;
+use ceg_graph::LabeledGraph;
+use ceg_query::{QueryGraph, VarId};
+
+use crate::traits::CardinalityEstimator;
+
+/// Maximum-entropy estimator over a Markov table.
+pub struct MaxEntEstimator<'a> {
+    table: &'a MarkovTable,
+    label_counts: Vec<f64>,
+    max_iters: usize,
+    tolerance: f64,
+}
+
+impl<'a> MaxEntEstimator<'a> {
+    pub fn new(graph: &LabeledGraph, table: &'a MarkovTable) -> Self {
+        MaxEntEstimator {
+            table,
+            label_counts: (0..graph.num_labels() as u16)
+                .map(|l| graph.label_count(l) as f64)
+                .collect(),
+            max_iters: 500,
+            tolerance: 1e-10,
+        }
+    }
+
+    fn relation_size(&self, query: &QueryGraph, edge: usize) -> f64 {
+        let l = query.edge(edge).label as usize;
+        self.label_counts.get(l).copied().unwrap_or(0.0)
+    }
+
+    /// Constraints `(predicate mask, selectivity)` derived from the
+    /// Markov table; `preds` is the list of join variables.
+    fn constraints(
+        &self,
+        query: &QueryGraph,
+        preds: &[VarId],
+    ) -> Option<Vec<(usize, f64)>> {
+        let mut out: Vec<(usize, f64)> = Vec::new();
+        let subsets = query.connected_subsets();
+        for mask in subsets {
+            if mask.len() > self.table.h() && mask != query.full_mask() {
+                continue;
+            }
+            // pattern canonicalization is capped at 8 variables; larger
+            // sub-queries are never in the table anyway
+            if query.vars_of(mask).count_ones() > 8 {
+                continue;
+            }
+            let Some(card) = self.table.card_of_subquery(query, mask) else {
+                continue; // pattern not stored (e.g. the full query)
+            };
+            // predicates fully internal to the pattern: every query
+            // occurrence of the variable is one of the pattern's edges
+            let mut pmask = 0usize;
+            let mut all_internal = true;
+            for (pi, &v) in preds.iter().enumerate() {
+                let total_occ = query.var_degree(v);
+                let in_s = query
+                    .edges_at(v)
+                    .filter(|&i| mask.contains(i))
+                    .count();
+                if in_s == 0 {
+                    continue;
+                }
+                if in_s == total_occ {
+                    pmask |= 1 << pi;
+                } else if in_s >= 2 {
+                    // partially-contained join variable with at least two
+                    // internal occurrences: the pattern applies a weakened
+                    // predicate we cannot express — skip this constraint
+                    all_internal = false;
+                }
+            }
+            if !all_internal || pmask == 0 {
+                continue;
+            }
+            let mut denom = 1.0f64;
+            for i in mask.iter() {
+                denom *= self.relation_size(query, i);
+            }
+            if denom == 0.0 {
+                return None;
+            }
+            out.push((pmask, (card as f64 / denom).min(1.0)));
+        }
+
+        // A predicate over a variable with more occurrences than any
+        // stored pattern covers (e.g. a star center under h = 2) would
+        // otherwise float at the uniform 0.5 marginal, inflating the
+        // estimate absurdly. Pin it with the chain-independence
+        // approximation: P(o_1 = … = o_k) ≈ Π of k-1 pairwise
+        // selectivities, each taken from the stored 2-edge patterns.
+        for (pi, &v) in preds.iter().enumerate() {
+            if out.iter().any(|&(m, _)| m & (1 << pi) != 0) {
+                continue;
+            }
+            let occurrences: Vec<usize> = query.edges_at(v).collect();
+            let k = occurrences.len();
+            let mut pair_sels: Vec<f64> = Vec::new();
+            for (a, &i) in occurrences.iter().enumerate() {
+                for &j in &occurrences[a + 1..] {
+                    let mask = ceg_query::EdgeMask::single(i).insert(j);
+                    let Some(card) = self.table.card_of_subquery(query, mask) else {
+                        continue;
+                    };
+                    let denom = self.relation_size(query, i) * self.relation_size(query, j);
+                    if denom > 0.0 {
+                        pair_sels.push((card as f64 / denom).min(1.0));
+                    }
+                }
+            }
+            if pair_sels.is_empty() {
+                continue; // genuinely no statistics; leave unconstrained
+            }
+            let gm = pair_sels.iter().map(|s| s.max(1e-300).ln()).sum::<f64>()
+                / pair_sels.len() as f64;
+            let sel = (gm * (k.saturating_sub(1)) as f64).exp().min(1.0);
+            out.push((1 << pi, sel));
+        }
+
+        out.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        out.dedup();
+        Some(out)
+    }
+}
+
+impl CardinalityEstimator for MaxEntEstimator<'_> {
+    fn name(&self) -> String {
+        "MaxEnt".into()
+    }
+
+    fn estimate(&mut self, query: &QueryGraph) -> Option<f64> {
+        if query.num_edges() == 0 {
+            return Some(1.0);
+        }
+        let mut product = 1.0f64;
+        for i in 0..query.num_edges() {
+            let s = self.relation_size(query, i);
+            if s == 0.0 {
+                return Some(0.0);
+            }
+            product *= s;
+        }
+        let preds = query.join_vars();
+        if preds.is_empty() {
+            return Some(product); // pure Cartesian product
+        }
+        if preds.len() > 12 {
+            return None; // 2^P atoms
+        }
+        let constraints = self.constraints(query, &preds)?;
+        if constraints.iter().any(|&(_, s)| s == 0.0) {
+            return Some(0.0);
+        }
+        let n = 1usize << preds.len();
+        let full = n - 1;
+
+        // IPF from the uniform distribution
+        let mut x = vec![1.0f64 / n as f64; n];
+        for _ in 0..self.max_iters {
+            let mut worst = 0.0f64;
+            for &(pmask, sel) in &constraints {
+                let marginal: f64 = (0..n).filter(|t| t & pmask == pmask).map(|t| x[t]).sum();
+                let rest = 1.0 - marginal;
+                worst = worst.max((marginal - sel).abs());
+                if marginal <= 0.0 || rest <= 0.0 {
+                    continue;
+                }
+                let up = sel / marginal;
+                let down = (1.0 - sel) / rest;
+                for (t, v) in x.iter_mut().enumerate() {
+                    *v *= if t & pmask == pmask { up } else { down };
+                }
+            }
+            if worst < self.tolerance {
+                break;
+            }
+        }
+        Some(x[full] * product)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceg_exec::count;
+    use ceg_graph::GraphBuilder;
+    use ceg_query::templates;
+
+    fn toy() -> LabeledGraph {
+        let mut b = GraphBuilder::new(20);
+        for i in 0..6 {
+            b.add_edge(i, 6 + i, 0);
+            b.add_edge(6 + i, 12 + (i % 4), 1);
+            b.add_edge(12 + (i % 4), 16 + (i % 3), 2);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn exact_when_query_fits_in_table() {
+        let g = toy();
+        let q = templates::path(2, &[0, 1]);
+        let t = MarkovTable::build_for_query(&g, &q, 2);
+        let est = MaxEntEstimator::new(&g, &t).estimate(&q).unwrap();
+        let truth = count(&g, &q) as f64;
+        assert!(
+            (est - truth).abs() / truth < 1e-3,
+            "est {est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn reduces_to_independence_without_shared_constraints() {
+        // 3-path with h = 2: predicates p_{a1}, p_{a2}; constraints pin
+        // each individually, the joint defaults to the product — the
+        // classic conditional-independence estimate |AB||BC|/(|A||B||C|)
+        // rescaled, i.e. |AB|·|BC|/|B|.
+        let g = toy();
+        let q = templates::path(3, &[0, 1, 2]);
+        let t = MarkovTable::build_for_query(&g, &q, 2);
+        let est = MaxEntEstimator::new(&g, &t).estimate(&q).unwrap();
+        let ab = count(&g, &templates::path(2, &[0, 1])) as f64;
+        let bc = count(&g, &templates::path(2, &[1, 2])) as f64;
+        let expect = ab * bc / g.label_count(1) as f64;
+        assert!(
+            (est - expect).abs() / expect < 1e-3,
+            "est {est} vs markov formula {expect}"
+        );
+    }
+
+    #[test]
+    fn zero_selectivity_estimates_zero() {
+        let g = toy();
+        let q = templates::path(2, &[1, 0]); // empty join
+        let t = MarkovTable::build_for_query(&g, &q, 2);
+        let est = MaxEntEstimator::new(&g, &t).estimate(&q).unwrap();
+        assert_eq!(est, 0.0);
+    }
+
+    #[test]
+    fn star_center_is_one_predicate() {
+        // 2-star with h = 2: the single predicate is pinned exactly
+        let g = toy();
+        let q = templates::star(2, &[0, 0]);
+        let t = MarkovTable::build_for_query(&g, &q, 2);
+        let est = MaxEntEstimator::new(&g, &t).estimate(&q).unwrap();
+        let truth = count(&g, &q) as f64;
+        assert!(
+            (est - truth).abs() / truth < 1e-3,
+            "est {est} vs truth {truth}"
+        );
+    }
+
+    #[test]
+    fn single_edge_is_relation_size() {
+        let g = toy();
+        let q = templates::path(1, &[0]);
+        let t = MarkovTable::build_for_query(&g, &q, 2);
+        let est = MaxEntEstimator::new(&g, &t).estimate(&q).unwrap();
+        assert!((est - g.label_count(0) as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn q5f_estimate_is_positive_and_finite() {
+        let g = toy();
+        let q = templates::q5f(&[0, 1, 2, 2, 2]);
+        let t = MarkovTable::build_for_query(&g, &q, 2);
+        let est = MaxEntEstimator::new(&g, &t).estimate(&q).unwrap();
+        assert!(est.is_finite() && est >= 0.0);
+    }
+}

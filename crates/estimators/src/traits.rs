@@ -1,0 +1,41 @@
+//! The estimator interface.
+
+use ceg_query::QueryGraph;
+
+/// A cardinality estimator: maps a query to an estimated output size.
+///
+/// `estimate` takes `&mut self` because samplers carry RNG state and some
+/// estimators memoize; it returns `None` when the estimator cannot produce
+/// a value for the query (missing statistics, timeout) — the experiment
+/// harness counts those separately, as the paper does for SumRDF's
+/// timeouts (Section 6.4).
+pub trait CardinalityEstimator {
+    /// Short display name used in reports (e.g. `max-hop-max`, `MOLP`).
+    fn name(&self) -> String;
+
+    /// Estimate the cardinality of `query`.
+    fn estimate(&mut self, query: &QueryGraph) -> Option<f64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(f64);
+    impl CardinalityEstimator for Fixed {
+        fn name(&self) -> String {
+            "fixed".into()
+        }
+        fn estimate(&mut self, _q: &QueryGraph) -> Option<f64> {
+            Some(self.0)
+        }
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let mut est: Box<dyn CardinalityEstimator> = Box::new(Fixed(42.0));
+        let q = ceg_query::templates::path(1, &[0]);
+        assert_eq!(est.estimate(&q), Some(42.0));
+        assert_eq!(est.name(), "fixed");
+    }
+}

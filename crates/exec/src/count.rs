@@ -1,0 +1,387 @@
+//! The backtracking homomorphism counter.
+
+use ceg_graph::{LabeledGraph, VertexId};
+use ceg_query::{QueryGraph, VarId};
+
+use crate::constraints::{VarConstraint, VarConstraints};
+use crate::order::variable_order;
+
+/// Work budget for a counting run: the maximum number of candidate
+/// extensions the matcher may try. Exceeding the budget aborts the count
+/// (the paper's baselines also time out on hard queries, Section 6.4).
+#[derive(Debug, Clone, Copy)]
+pub struct CountBudget {
+    pub max_expansions: u64,
+}
+
+impl CountBudget {
+    pub const UNLIMITED: CountBudget = CountBudget {
+        max_expansions: u64::MAX,
+    };
+
+    pub fn new(max_expansions: u64) -> Self {
+        CountBudget { max_expansions }
+    }
+}
+
+/// Count the homomorphisms of `query` in `graph` (join semantics: distinct
+/// variables may map to the same vertex).
+pub fn count(graph: &LabeledGraph, query: &QueryGraph) -> u64 {
+    count_constrained(graph, query, &VarConstraints::none(query.num_vars()))
+}
+
+/// Count homomorphisms subject to per-variable constraints.
+pub fn count_constrained(graph: &LabeledGraph, query: &QueryGraph, cons: &VarConstraints) -> u64 {
+    count_with_limit(graph, query, cons, CountBudget::UNLIMITED)
+        .expect("unlimited budget cannot be exhausted")
+}
+
+/// Count with a work budget; `None` when the budget is exhausted.
+pub fn count_with_limit(
+    graph: &LabeledGraph,
+    query: &QueryGraph,
+    cons: &VarConstraints,
+    budget: CountBudget,
+) -> Option<u64> {
+    let mut total = 0u64;
+    let exhausted = enumerate_inner(graph, query, cons, budget, &mut |_| {
+        total += 1;
+        true
+    });
+    exhausted.then_some(total)
+}
+
+/// Enumerate homomorphisms, invoking `visit` with the binding indexed by
+/// variable id; `visit` returns `false` to stop early. Returns `false` if
+/// enumeration was stopped (by the visitor or the budget).
+pub fn enumerate(
+    graph: &LabeledGraph,
+    query: &QueryGraph,
+    cons: &VarConstraints,
+    visit: &mut dyn FnMut(&[VertexId]) -> bool,
+) -> bool {
+    enumerate_inner(graph, query, cons, CountBudget::UNLIMITED, visit)
+}
+
+fn enumerate_inner(
+    graph: &LabeledGraph,
+    query: &QueryGraph,
+    cons: &VarConstraints,
+    budget: CountBudget,
+    visit: &mut dyn FnMut(&[VertexId]) -> bool,
+) -> bool {
+    if query.num_vars() == 0 {
+        return visit(&[]);
+    }
+    let order = variable_order(graph, query);
+    let mut binding = vec![0 as VertexId; query.num_vars() as usize];
+    let mut state = Matcher {
+        graph,
+        query,
+        cons,
+        order: &order,
+        binding: &mut binding,
+        bound: 0,
+        remaining: budget.max_expansions,
+    };
+    state.recurse(0, visit)
+}
+
+struct Matcher<'a> {
+    graph: &'a LabeledGraph,
+    query: &'a QueryGraph,
+    cons: &'a VarConstraints,
+    order: &'a [VarId],
+    binding: &'a mut [VertexId],
+    bound: u32,
+    remaining: u64,
+}
+
+impl Matcher<'_> {
+    /// Returns `false` when stopped early (budget or visitor).
+    fn recurse(&mut self, depth: usize, visit: &mut dyn FnMut(&[VertexId]) -> bool) -> bool {
+        if depth == self.order.len() {
+            return visit(self.binding);
+        }
+        let v = self.order[depth];
+        let vc = self.cons.get(v);
+
+        // Split the query edges incident to v into the one used to generate
+        // candidates (smallest list) and the rest used as filters.
+        let mut gen: Option<(usize, &[VertexId])> = None;
+        let mut filters: Vec<usize> = Vec::new();
+        for i in self.query.edges_at(v) {
+            let e = self.query.edge(i);
+            if e.src == e.dst {
+                filters.push(i); // self-loop: check after binding
+                continue;
+            }
+            let other = e.other(v);
+            if self.bound & (1 << other) == 0 {
+                continue; // other endpoint not bound yet
+            }
+            let o_val = self.binding[other as usize];
+            let list = if e.dst == v {
+                self.graph.out_neighbors(o_val, e.label)
+            } else {
+                self.graph.in_neighbors(o_val, e.label)
+            };
+            match gen {
+                Some((_, g)) if g.len() <= list.len() => filters.push(i),
+                Some((gi, _)) => {
+                    filters.push(gi);
+                    gen = Some((i, list));
+                }
+                None => gen = Some((i, list)),
+            }
+        }
+
+        match gen {
+            Some((_, candidates)) => {
+                for &c in candidates {
+                    if self.remaining == 0 {
+                        return false;
+                    }
+                    self.remaining -= 1;
+                    if !vc.admits(c) || !self.check_filters(&filters, v, c) {
+                        continue;
+                    }
+                    self.binding[v as usize] = c;
+                    self.bound |= 1 << v;
+                    let ok = self.recurse(depth + 1, visit);
+                    self.bound &= !(1 << v);
+                    if !ok {
+                        return false;
+                    }
+                }
+                true
+            }
+            None => {
+                // No bound neighbour (first variable, or a disconnected
+                // component): scan the domain, restricted when possible.
+                match vc {
+                    VarConstraint::Fixed(u) => {
+                        if self.remaining == 0 {
+                            return false;
+                        }
+                        self.remaining -= 1;
+                        if !self.check_filters(&filters, v, u) {
+                            return true;
+                        }
+                        self.binding[v as usize] = u;
+                        self.bound |= 1 << v;
+                        let ok = self.recurse(depth + 1, visit);
+                        self.bound &= !(1 << v);
+                        ok
+                    }
+                    _ => {
+                        for c in 0..self.graph.num_vertices() as VertexId {
+                            if self.remaining == 0 {
+                                return false;
+                            }
+                            self.remaining -= 1;
+                            if !vc.admits(c) || !self.check_filters(&filters, v, c) {
+                                continue;
+                            }
+                            self.binding[v as usize] = c;
+                            self.bound |= 1 << v;
+                            let ok = self.recurse(depth + 1, visit);
+                            self.bound &= !(1 << v);
+                            if !ok {
+                                return false;
+                            }
+                        }
+                        true
+                    }
+                }
+            }
+        }
+    }
+
+    fn check_filters(&self, filters: &[usize], v: VarId, c: VertexId) -> bool {
+        for &i in filters {
+            let e = self.query.edge(i);
+            if e.src == e.dst {
+                if !self.graph.has_edge(c, c, e.label) {
+                    return false;
+                }
+                continue;
+            }
+            let other = e.other(v);
+            if self.bound & (1 << other) == 0 {
+                continue;
+            }
+            let o_val = self.binding[other as usize];
+            let ok = if e.dst == v {
+                self.graph.has_edge(o_val, c, e.label)
+            } else {
+                self.graph.has_edge(c, o_val, e.label)
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceg_graph::GraphBuilder;
+    use ceg_query::{templates, QueryEdge};
+
+    /// Graph: label 0 = path edges 0->1->2->3; label 1 = 1->3, 3->3 (loop).
+    fn sample() -> LabeledGraph {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0);
+        b.add_edge(1, 2, 0);
+        b.add_edge(2, 3, 0);
+        b.add_edge(1, 3, 1);
+        b.add_edge(3, 3, 1);
+        b.build()
+    }
+
+    #[test]
+    fn single_edge_count_is_relation_size() {
+        let g = sample();
+        let q = templates::path(1, &[0]);
+        assert_eq!(count(&g, &q), 3);
+        let q1 = templates::path(1, &[1]);
+        assert_eq!(count(&g, &q1), 2);
+    }
+
+    #[test]
+    fn two_path_count() {
+        let g = sample();
+        let q = templates::path(2, &[0, 0]);
+        // 0->1->2 and 1->2->3
+        assert_eq!(count(&g, &q), 2);
+    }
+
+    #[test]
+    fn homomorphism_semantics_allow_repeats() {
+        // query a0 -1-> a1 -1-> a2 on graph with 1->3, 3->3:
+        // matches: (1,3,3) and (3,3,3).
+        let g = sample();
+        let q = templates::path(2, &[1, 1]);
+        assert_eq!(count(&g, &q), 2);
+    }
+
+    #[test]
+    fn self_loop_query() {
+        let g = sample();
+        let q = QueryGraph::new(1, vec![QueryEdge::new(0, 0, 1)]);
+        assert_eq!(count(&g, &q), 1); // only vertex 3
+    }
+
+    #[test]
+    fn triangle_count() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0);
+        b.add_edge(1, 2, 0);
+        b.add_edge(2, 0, 0);
+        let g = b.build();
+        let q = templates::cycle(3, &[0, 0, 0]);
+        // the directed triangle matches at 3 rotations
+        assert_eq!(count(&g, &q), 3);
+    }
+
+    #[test]
+    fn star_count_is_degree_product() {
+        let mut b = GraphBuilder::new(5);
+        for d in 1..5 {
+            b.add_edge(0, d, 0);
+        }
+        let g = b.build();
+        // 2-star: ordered pairs of out-neighbours = 4*4 = 16 homomorphisms
+        let q = templates::star(2, &[0, 0]);
+        assert_eq!(count(&g, &q), 16);
+    }
+
+    #[test]
+    fn constrained_count_partitions_sum_to_total() {
+        let g = sample();
+        let q = templates::path(2, &[0, 0]);
+        let total = count(&g, &q);
+        let buckets = 3u32;
+        let mut sum = 0;
+        for b0 in 0..buckets {
+            let mut cons = VarConstraints::none(3);
+            cons.set(1, VarConstraint::HashBucket { buckets, bucket: b0 });
+            sum += count_constrained(&g, &q, &cons);
+        }
+        assert_eq!(sum, total);
+    }
+
+    #[test]
+    fn fixed_constraint_counts_extensions() {
+        let g = sample();
+        let q = templates::path(1, &[0]);
+        let mut cons = VarConstraints::none(2);
+        cons.set(0, VarConstraint::Fixed(1));
+        assert_eq!(count_constrained(&g, &q, &cons), 1); // 1 -> 2
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_none() {
+        let g = sample();
+        let q = templates::path(2, &[0, 0]);
+        let res = count_with_limit(
+            &g,
+            &q,
+            &VarConstraints::none(3),
+            CountBudget::new(1),
+        );
+        assert!(res.is_none());
+    }
+
+    #[test]
+    fn enumerate_visits_every_match() {
+        let g = sample();
+        let q = templates::path(2, &[0, 0]);
+        let mut seen = Vec::new();
+        enumerate(&g, &q, &VarConstraints::none(3), &mut |b| {
+            seen.push((b[0], b[1], b[2]));
+            true
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(0, 1, 2), (1, 2, 3)]);
+    }
+
+    #[test]
+    fn enumerate_early_stop() {
+        let g = sample();
+        let q = templates::path(2, &[0, 0]);
+        let mut n = 0;
+        let finished = enumerate(&g, &q, &VarConstraints::none(3), &mut |_| {
+            n += 1;
+            false
+        });
+        assert!(!finished);
+        assert_eq!(n, 1);
+    }
+
+    #[test]
+    fn empty_graph_counts_zero() {
+        let g = GraphBuilder::with_labels(0, 1).build();
+        let q = templates::path(2, &[0, 0]);
+        assert_eq!(count(&g, &q), 0);
+    }
+
+    #[test]
+    fn q5f_on_small_graph() {
+        // hand-checkable fork: hub vertex 1 with B in, and C,D,E out.
+        let mut b = GraphBuilder::new(8);
+        b.add_edge(0, 7, 0); // A: 0 -> 7
+        b.add_edge(7, 1, 1); // B: 7 -> 1
+        b.add_edge(1, 2, 2); // C
+        b.add_edge(1, 3, 2); // C (two C-edges)
+        b.add_edge(1, 4, 3); // D
+        b.add_edge(1, 5, 4); // E
+        let g = b.build();
+        let q = templates::q5f(&[0, 1, 2, 3, 4]);
+        // A,B fixed; C has 2 choices; D and E one each => 2 matches
+        assert_eq!(count(&g, &q), 2);
+    }
+}

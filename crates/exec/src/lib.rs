@@ -1,0 +1,25 @@
+//! # ceg-exec
+//!
+//! Join execution substrate: counts the exact number of homomorphisms
+//! (join results) of a query in a labeled graph. The executor supplies
+//!
+//! * ground-truth cardinalities for q-error measurement,
+//! * the counts stored in Markov tables (small-join statistics),
+//! * constrained counts for the bound-sketch optimization (per-variable
+//!   hash-bucket predicates, Section 5.2.1),
+//! * degree statistics of small joins for MOLP (Section 5.1.1).
+//!
+//! The algorithm is a worst-case-optimal-style backtracking matcher: query
+//! variables are bound one at a time in a connectivity-aware order, and the
+//! candidate set for each new variable is the intersection of the
+//! neighbour lists induced by its already-bound neighbours.
+
+pub mod constraints;
+pub mod count;
+pub mod order;
+pub mod tree_count;
+
+pub use constraints::{VarConstraint, VarConstraints};
+pub use count::{count, count_constrained, count_with_limit, enumerate, CountBudget};
+pub use order::variable_order;
+pub use tree_count::{count_tree_dp, exact_count};

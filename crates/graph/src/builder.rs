@@ -1,0 +1,114 @@
+//! Incremental graph construction.
+
+use crate::csr::Csr;
+use crate::graph::LabeledGraph;
+use crate::{LabelId, VertexId};
+
+/// Builder that collects labeled edges and produces a [`LabeledGraph`].
+///
+/// Duplicate `(src, dst, label)` triples are removed at build time — the
+/// relations of Section 2 are sets, not bags.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    /// Per-label edge pairs, grown on demand.
+    per_label: Vec<Vec<(VertexId, VertexId)>>,
+}
+
+impl GraphBuilder {
+    /// Builder over the vertex domain `0..num_vertices`.
+    pub fn new(num_vertices: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            per_label: Vec::new(),
+        }
+    }
+
+    /// Builder with a pre-declared number of labels (avoids label-vector
+    /// growth; useful when filtering an existing graph so empty relations
+    /// keep their label ids).
+    pub fn with_labels(num_vertices: usize, num_labels: usize) -> Self {
+        GraphBuilder {
+            num_vertices,
+            per_label: vec![Vec::new(); num_labels],
+        }
+    }
+
+    /// Add edge `src -label-> dst`, growing the vertex domain if needed.
+    pub fn add_edge(&mut self, src: VertexId, dst: VertexId, label: LabelId) {
+        let needed = (src.max(dst) as usize) + 1;
+        if needed > self.num_vertices {
+            self.num_vertices = needed;
+        }
+        if label as usize >= self.per_label.len() {
+            self.per_label.resize(label as usize + 1, Vec::new());
+        }
+        self.per_label[label as usize].push((src, dst));
+    }
+
+    /// Number of edges added so far (duplicates included).
+    pub fn len(&self) -> usize {
+        self.per_label.iter().map(Vec::len).sum()
+    }
+
+    /// True if no edge has been added.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Finalize into an immutable [`LabeledGraph`].
+    pub fn build(mut self) -> LabeledGraph {
+        let n = self.num_vertices;
+        let mut fwd = Vec::with_capacity(self.per_label.len());
+        let mut bwd = Vec::with_capacity(self.per_label.len());
+        for pairs in &mut self.per_label {
+            pairs.sort_unstable();
+            pairs.dedup();
+            fwd.push(Csr::from_pairs(n, pairs));
+            let rev: Vec<(VertexId, VertexId)> = pairs.iter().map(|&(s, d)| (d, s)).collect();
+            bwd.push(Csr::from_pairs(n, &rev));
+        }
+        LabeledGraph::new(n, fwd, bwd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_are_removed() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 0);
+        b.add_edge(0, 1, 0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn domain_grows_on_demand() {
+        let mut b = GraphBuilder::new(0);
+        b.add_edge(5, 9, 2);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 10);
+        assert_eq!(g.num_labels(), 3);
+        assert!(g.has_edge(5, 9, 2));
+    }
+
+    #[test]
+    fn with_labels_preserves_empty_relations() {
+        let b = GraphBuilder::with_labels(4, 7);
+        let g = b.build();
+        assert_eq!(g.num_labels(), 7);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn len_counts_pending_edges() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.is_empty());
+        b.add_edge(0, 1, 0);
+        b.add_edge(1, 2, 1);
+        assert_eq!(b.len(), 2);
+    }
+}

@@ -1,0 +1,161 @@
+//! Compressed sparse row adjacency index.
+//!
+//! One [`Csr`] stores the adjacency of a single relation in a single
+//! direction: `neighbors(v)` returns the sorted list of endpoints reachable
+//! from `v` through edges of that relation. Sorted neighbour slices give
+//! O(log d) membership tests and allow merge-intersection during matching.
+
+use crate::VertexId;
+
+/// CSR index over one direction of one relation.
+#[derive(Debug, Clone, Default)]
+pub struct Csr {
+    /// `offsets[v]..offsets[v + 1]` indexes into `targets` for vertex `v`.
+    offsets: Vec<u32>,
+    /// Concatenated, per-vertex-sorted neighbour lists.
+    targets: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Build a CSR from `(from, to)` pairs over a domain of `num_vertices`.
+    ///
+    /// Pairs may arrive in any order; duplicates must already be removed by
+    /// the caller (the [`crate::GraphBuilder`] does this).
+    pub fn from_pairs(num_vertices: usize, pairs: &[(VertexId, VertexId)]) -> Self {
+        let mut counts = vec![0u32; num_vertices + 1];
+        for &(f, _) in pairs {
+            counts[f as usize + 1] += 1;
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts.clone();
+        let mut targets = vec![0 as VertexId; pairs.len()];
+        let mut cursor = counts;
+        for &(f, t) in pairs {
+            let c = &mut cursor[f as usize];
+            targets[*c as usize] = t;
+            *c += 1;
+        }
+        // Sort each neighbour list for binary-search membership tests.
+        for v in 0..num_vertices {
+            let (s, e) = (offsets[v] as usize, offsets[v + 1] as usize);
+            targets[s..e].sort_unstable();
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of vertices in the domain.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of stored edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Sorted neighbours of `v`. Empty slice if `v` is out of range.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        if v + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.targets[self.offsets[v] as usize..self.offsets[v + 1] as usize]
+    }
+
+    /// Degree of `v` in this direction.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// True if an edge `v -> t` is present.
+    #[inline]
+    pub fn contains(&self, v: VertexId, t: VertexId) -> bool {
+        self.neighbors(v).binary_search(&t).is_ok()
+    }
+
+    /// Maximum degree over all vertices (0 for an empty index).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.degree(v as VertexId))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of vertices with non-zero degree (`|π_X R|` for this side).
+    pub fn num_active(&self) -> usize {
+        (0..self.num_vertices())
+            .filter(|&v| self.degree(v as VertexId) > 0)
+            .count()
+    }
+
+    /// Iterate `(from, to)` pairs in vertex order.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.num_vertices()).flat_map(move |v| {
+            self.neighbors(v as VertexId)
+                .iter()
+                .map(move |&t| (v as VertexId, t))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        Csr::from_pairs(5, &[(0, 2), (0, 1), (2, 3), (4, 0), (2, 4)])
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let c = sample();
+        assert_eq!(c.neighbors(0), &[1, 2]);
+        assert_eq!(c.neighbors(2), &[3, 4]);
+        assert_eq!(c.neighbors(1), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn degree_and_membership() {
+        let c = sample();
+        assert_eq!(c.degree(0), 2);
+        assert!(c.contains(0, 2));
+        assert!(!c.contains(0, 3));
+        assert_eq!(c.max_degree(), 2);
+    }
+
+    #[test]
+    fn active_count_and_edge_count() {
+        let c = sample();
+        assert_eq!(c.num_edges(), 5);
+        assert_eq!(c.num_active(), 3); // vertices 0, 2, 4
+    }
+
+    #[test]
+    fn out_of_range_vertex_is_empty() {
+        let c = sample();
+        assert_eq!(c.neighbors(99), &[] as &[VertexId]);
+        assert_eq!(c.degree(99), 0);
+    }
+
+    #[test]
+    fn iter_edges_roundtrip() {
+        let c = sample();
+        let mut edges: Vec<_> = c.iter_edges().collect();
+        edges.sort_unstable();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (2, 3), (2, 4), (4, 0)]);
+    }
+
+    #[test]
+    fn empty_csr() {
+        let c = Csr::from_pairs(0, &[]);
+        assert_eq!(c.num_edges(), 0);
+        assert_eq!(c.max_degree(), 0);
+        assert_eq!(c.num_vertices(), 0);
+    }
+}

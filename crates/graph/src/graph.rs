@@ -1,0 +1,223 @@
+//! The edge-labeled directed graph: a set of binary relations.
+
+use crate::csr::Csr;
+use crate::{LabelId, VertexId};
+
+/// A single labeled edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    pub src: VertexId,
+    pub dst: VertexId,
+    pub label: LabelId,
+}
+
+/// Immutable edge-labeled directed graph.
+///
+/// Conceptually this is the database `{R_0, …, R_{L-1}}` where relation
+/// `R_l(src, dst)` holds the edges with label `l` (Section 2). Each relation
+/// is indexed both forward (`src → dst`) and backward (`dst → src`).
+#[derive(Debug, Clone, Default)]
+pub struct LabeledGraph {
+    num_vertices: usize,
+    fwd: Vec<Csr>,
+    bwd: Vec<Csr>,
+}
+
+impl LabeledGraph {
+    pub(crate) fn new(num_vertices: usize, fwd: Vec<Csr>, bwd: Vec<Csr>) -> Self {
+        debug_assert_eq!(fwd.len(), bwd.len());
+        LabeledGraph {
+            num_vertices,
+            fwd,
+            bwd,
+        }
+    }
+
+    /// Number of vertices in the domain (vertex ids are `0..num_vertices`).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of distinct edge labels (= relations).
+    #[inline]
+    pub fn num_labels(&self) -> usize {
+        self.fwd.len()
+    }
+
+    /// Total number of edges across all labels.
+    pub fn num_edges(&self) -> usize {
+        self.fwd.iter().map(Csr::num_edges).sum()
+    }
+
+    /// Cardinality `|R_l|` of one relation.
+    #[inline]
+    pub fn label_count(&self, l: LabelId) -> usize {
+        self.fwd.get(l as usize).map_or(0, Csr::num_edges)
+    }
+
+    /// Out-neighbours of `v` through label `l`, sorted.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId, l: LabelId) -> &[VertexId] {
+        self.fwd.get(l as usize).map_or(&[], |c| c.neighbors(v))
+    }
+
+    /// In-neighbours of `v` through label `l`, sorted.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId, l: LabelId) -> &[VertexId] {
+        self.bwd.get(l as usize).map_or(&[], |c| c.neighbors(v))
+    }
+
+    /// Out-degree of `v` for label `l` — `deg(src(v), R_l)` in paper terms.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId, l: LabelId) -> usize {
+        self.out_neighbors(v, l).len()
+    }
+
+    /// In-degree of `v` for label `l` — `deg(dst(v), R_l)`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId, l: LabelId) -> usize {
+        self.in_neighbors(v, l).len()
+    }
+
+    /// True if edge `src -l-> dst` exists.
+    #[inline]
+    pub fn has_edge(&self, src: VertexId, dst: VertexId, l: LabelId) -> bool {
+        self.fwd.get(l as usize).is_some_and(|c| c.contains(src, dst))
+    }
+
+    /// Maximum out-degree over all vertices: `deg(src, R_l)` (maximum number
+    /// of `dst` values per `src`), used by pessimistic bounds.
+    pub fn max_out_degree(&self, l: LabelId) -> usize {
+        self.fwd.get(l as usize).map_or(0, Csr::max_degree)
+    }
+
+    /// Maximum in-degree over all vertices: `deg(dst, R_l)`.
+    pub fn max_in_degree(&self, l: LabelId) -> usize {
+        self.bwd.get(l as usize).map_or(0, Csr::max_degree)
+    }
+
+    /// `|π_src R_l|` — number of distinct sources of label `l`.
+    pub fn distinct_sources(&self, l: LabelId) -> usize {
+        self.fwd.get(l as usize).map_or(0, Csr::num_active)
+    }
+
+    /// `|π_dst R_l|` — number of distinct destinations of label `l`.
+    pub fn distinct_targets(&self, l: LabelId) -> usize {
+        self.bwd.get(l as usize).map_or(0, Csr::num_active)
+    }
+
+    /// Iterate the edges of one relation.
+    pub fn edges(&self, l: LabelId) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.fwd
+            .get(l as usize)
+            .into_iter()
+            .flat_map(Csr::iter_edges)
+    }
+
+    /// Iterate every edge in the graph.
+    pub fn all_edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.num_labels() as LabelId).flat_map(move |l| {
+            self.edges(l).map(move |(src, dst)| Edge { src, dst, label: l })
+        })
+    }
+
+    /// Build a sub-graph keeping only edges accepted by `keep`.
+    ///
+    /// Used by the bound-sketch optimization, which partitions relations by
+    /// hashing attribute values (Section 5.2.1).
+    pub fn filter(&self, mut keep: impl FnMut(VertexId, VertexId, LabelId) -> bool) -> LabeledGraph {
+        let mut b = crate::GraphBuilder::with_labels(self.num_vertices, self.num_labels());
+        for e in self.all_edges() {
+            if keep(e.src, e.dst, e.label) {
+                b.add_edge(e.src, e.dst, e.label);
+            }
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    /// Tiny two-label graph: label 0 = {0->1, 0->2, 1->2}, label 1 = {2->0}.
+    fn sample() -> LabeledGraph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0);
+        b.add_edge(0, 2, 0);
+        b.add_edge(1, 2, 0);
+        b.add_edge(2, 0, 1);
+        b.build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = sample();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_labels(), 2);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.label_count(0), 3);
+        assert_eq!(g.label_count(1), 1);
+    }
+
+    #[test]
+    fn neighbors_both_directions() {
+        let g = sample();
+        assert_eq!(g.out_neighbors(0, 0), &[1, 2]);
+        assert_eq!(g.in_neighbors(2, 0), &[0, 1]);
+        assert_eq!(g.in_neighbors(0, 1), &[2]);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = sample();
+        assert_eq!(g.out_degree(0, 0), 2);
+        assert_eq!(g.in_degree(2, 0), 2);
+        assert_eq!(g.max_out_degree(0), 2);
+        assert_eq!(g.max_in_degree(0), 2);
+        assert_eq!(g.max_out_degree(1), 1);
+    }
+
+    #[test]
+    fn projections() {
+        let g = sample();
+        assert_eq!(g.distinct_sources(0), 2); // 0 and 1
+        assert_eq!(g.distinct_targets(0), 2); // 1 and 2
+    }
+
+    #[test]
+    fn has_edge_checks_label() {
+        let g = sample();
+        assert!(g.has_edge(0, 1, 0));
+        assert!(!g.has_edge(0, 1, 1));
+        assert!(!g.has_edge(1, 0, 0));
+    }
+
+    #[test]
+    fn filter_keeps_subset() {
+        let g = sample();
+        let f = g.filter(|s, _, _| s == 0);
+        assert_eq!(f.num_edges(), 2);
+        assert_eq!(f.num_vertices(), 3);
+        assert!(f.has_edge(0, 1, 0));
+        assert!(!f.has_edge(1, 2, 0));
+    }
+
+    #[test]
+    fn all_edges_covers_every_label() {
+        let g = sample();
+        let mut es: Vec<_> = g.all_edges().collect();
+        es.sort();
+        assert_eq!(es.len(), 4);
+        assert_eq!(es.last().unwrap().label, 1);
+    }
+
+    #[test]
+    fn unknown_label_is_empty() {
+        let g = sample();
+        assert_eq!(g.label_count(9), 0);
+        assert_eq!(g.out_neighbors(0, 9), &[] as &[VertexId]);
+    }
+}

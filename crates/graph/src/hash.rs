@@ -1,0 +1,159 @@
+//! A small FxHash-style hasher.
+//!
+//! The Rust Performance Book recommends replacing SipHash with a fast
+//! multiplicative hash for integer-keyed tables on trusted inputs. The
+//! offline crate allowlist for this project does not include `rustc-hash`,
+//! so we implement the same algorithm (word-at-a-time multiply-rotate-xor)
+//! here. It is used for every hot map in the workspace.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from the FxHash algorithm (derived from the golden ratio).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style streaming hasher: not HashDoS-resistant, but several times
+/// faster than SipHash for the short integer keys used in this workspace.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_word(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_word(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.add_word(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_word(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_word(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_word(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// Drop-in `HashMap` replacement with the fast hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// Drop-in `HashSet` replacement with the fast hasher.
+pub type FxHashSet<K> = HashSet<K, FxBuildHasher>;
+
+/// Hash a single vertex id into one of `buckets` partitions.
+///
+/// Used by the bound-sketch optimization (Section 5.2.1): relations are
+/// partitioned by hashing the values of partition attributes. A cheap
+/// avalanche (splitmix-style) keeps adjacent ids from landing in the same
+/// bucket systematically.
+#[inline]
+pub fn bucket_of(v: u32, buckets: u32) -> u32 {
+    debug_assert!(buckets > 0);
+    let mut x = v as u64;
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    (x % buckets as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hasher_is_deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xdead_beef);
+        b.write_u64(0xdead_beef);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hasher_distinguishes_values() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u32(1);
+        b.write_u32(2);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn write_bytes_matches_padding_semantics() {
+        // 9 bytes exercise both the full-word and remainder paths.
+        let mut a = FxHasher::default();
+        a.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        let mut b = FxHasher::default();
+        b.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_works_with_fx_hasher() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(11, "eleven");
+        assert_eq!(m[&7], "seven");
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn bucket_of_is_in_range_and_covers_buckets() {
+        let buckets = 4;
+        let mut seen = [false; 4];
+        for v in 0..1000u32 {
+            let b = bucket_of(v, buckets);
+            assert!(b < buckets);
+            seen[b as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    fn bucket_of_single_bucket_is_zero() {
+        for v in [0u32, 1, 99, u32::MAX] {
+            assert_eq!(bucket_of(v, 1), 0);
+        }
+    }
+}

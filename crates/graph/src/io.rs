@@ -1,0 +1,105 @@
+//! Plain-text edge-list persistence.
+//!
+//! Format: one edge per line, `src dst label`, whitespace separated; `#`
+//! starts a comment. This mirrors the format used by the paper's public
+//! artifact repositories for their datasets.
+
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::{GraphBuilder, LabeledGraph};
+
+/// Parse a graph from a reader in `src dst label` format.
+pub fn read_edge_list<R: BufRead>(reader: R) -> io::Result<LabeledGraph> {
+    let mut b = GraphBuilder::new(0);
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let parse = |tok: Option<&str>, what: &str| -> io::Result<u64> {
+            tok.ok_or_else(|| bad_line(lineno, what, "missing"))?
+                .parse::<u64>()
+                .map_err(|_| bad_line(lineno, what, "not an integer"))
+        };
+        let src = parse(it.next(), "src")? as u32;
+        let dst = parse(it.next(), "dst")? as u32;
+        let label = parse(it.next(), "label")? as u16;
+        b.add_edge(src, dst, label);
+    }
+    Ok(b.build())
+}
+
+fn bad_line(lineno: usize, field: &str, why: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("line {}: field `{field}` {why}", lineno + 1),
+    )
+}
+
+/// Load a graph from a file path.
+pub fn load_graph(path: impl AsRef<Path>) -> io::Result<LabeledGraph> {
+    let f = std::fs::File::open(path)?;
+    read_edge_list(io::BufReader::new(f))
+}
+
+/// Write a graph as an edge list.
+pub fn write_edge_list<W: Write>(graph: &LabeledGraph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for e in graph.all_edges() {
+        writeln!(w, "{} {} {}", e.src, e.dst, e.label)?;
+    }
+    w.flush()
+}
+
+/// Save a graph to a file path.
+pub fn save_graph(graph: &LabeledGraph, path: impl AsRef<Path>) -> io::Result<()> {
+    let f = std::fs::File::create(path)?;
+    write_edge_list(graph, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_text() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0);
+        b.add_edge(1, 2, 1);
+        b.add_edge(3, 0, 0);
+        let g = b.build();
+
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(g2.num_edges(), 3);
+        assert!(g2.has_edge(0, 1, 0));
+        assert!(g2.has_edge(1, 2, 1));
+        assert!(g2.has_edge(3, 0, 0));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let text = "# header\n\n0 1 0 # trailing comment\n1 2 0\n";
+        let g = read_edge_list(io::BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        let text = "0 1\n";
+        let err = read_edge_list(io::BufReader::new(text.as_bytes())).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("label"));
+    }
+
+    #[test]
+    fn non_integer_is_an_error() {
+        let text = "0 x 1\n";
+        let err = read_edge_list(io::BufReader::new(text.as_bytes())).unwrap_err();
+        assert!(err.to_string().contains("dst"));
+    }
+}

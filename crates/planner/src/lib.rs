@@ -1,0 +1,18 @@
+//! # ceg-planner
+//!
+//! Join-order optimization substrate for the plan-quality experiment
+//! (Section 6.6). The paper injects each estimator's cardinalities into
+//! RDF-3X's dynamic-programming join optimizer and compares plan run
+//! times; we reproduce the setup with
+//!
+//! * [`optimizer`] — a System-R-style DP optimizer over connected
+//!   sub-queries whose cost model (`C_out`) sums *estimated* intermediate
+//!   cardinalities supplied by any [`ceg_estimators::CardinalityEstimator`],
+//! * [`executor`] — a hash-join pipeline that executes the chosen plan and
+//!   reports *actual* intermediate tuple counts and wall time.
+
+pub mod executor;
+pub mod optimizer;
+
+pub use executor::{execute_plan, ExecStats};
+pub use optimizer::{optimize, optimize_greedy, optimize_left_deep, Plan};

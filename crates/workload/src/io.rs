@@ -1,0 +1,145 @@
+//! Plain-text persistence for workloads.
+//!
+//! Instantiated workloads (queries + exact cardinalities) are expensive
+//! to produce; persisting them makes experiment runs reproducible and
+//! lets external tools consume the same query sets. One query per line:
+//!
+//! ```text
+//! <template> <truth> <num_vars> <num_edges> <src> <dst> <label> …
+//! ```
+
+use std::io::{self, BufRead, BufWriter, Write};
+use std::path::Path;
+
+use ceg_query::{QueryEdge, QueryGraph};
+
+use crate::workloads::WorkloadQuery;
+
+/// Serialize a workload.
+pub fn write_workload<W: Write>(queries: &[WorkloadQuery], writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# ceg workload v1: template truth num_vars num_edges (src dst label)*")?;
+    for wq in queries {
+        write!(
+            w,
+            "{} {} {} {}",
+            wq.template,
+            wq.truth,
+            wq.query.num_vars(),
+            wq.query.num_edges()
+        )?;
+        for e in wq.query.edges() {
+            write!(w, " {} {} {}", e.src, e.dst, e.label)?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Parse a workload written by [`write_workload`].
+pub fn read_workload<R: BufRead>(reader: R) -> io::Result<Vec<WorkloadQuery>> {
+    let mut out = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let bad = |what: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: {what}", lineno + 1),
+            )
+        };
+        let template = it.next().ok_or_else(|| bad("missing template"))?.to_string();
+        let truth: f64 = it
+            .next()
+            .ok_or_else(|| bad("missing truth"))?
+            .parse()
+            .map_err(|_| bad("bad truth"))?;
+        let nv: u8 = it
+            .next()
+            .ok_or_else(|| bad("missing num_vars"))?
+            .parse()
+            .map_err(|_| bad("bad num_vars"))?;
+        let m: usize = it
+            .next()
+            .ok_or_else(|| bad("missing num_edges"))?
+            .parse()
+            .map_err(|_| bad("bad num_edges"))?;
+        let mut edges = Vec::with_capacity(m);
+        for _ in 0..m {
+            let s: u8 = it
+                .next()
+                .ok_or_else(|| bad("truncated edges"))?
+                .parse()
+                .map_err(|_| bad("bad src"))?;
+            let d: u8 = it
+                .next()
+                .ok_or_else(|| bad("truncated edges"))?
+                .parse()
+                .map_err(|_| bad("bad dst"))?;
+            let l: u16 = it
+                .next()
+                .ok_or_else(|| bad("truncated edges"))?
+                .parse()
+                .map_err(|_| bad("bad label"))?;
+            edges.push(QueryEdge::new(s, d, l));
+        }
+        out.push(WorkloadQuery {
+            query: QueryGraph::new(nv, edges),
+            template,
+            truth,
+        });
+    }
+    Ok(out)
+}
+
+/// Save to a file path.
+pub fn save_workload(queries: &[WorkloadQuery], path: impl AsRef<Path>) -> io::Result<()> {
+    write_workload(queries, std::fs::File::create(path)?)
+}
+
+/// Load from a file path.
+pub fn load_workload(path: impl AsRef<Path>) -> io::Result<Vec<WorkloadQuery>> {
+    read_workload(io::BufReader::new(std::fs::File::open(path)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Dataset;
+    use crate::workloads::Workload;
+
+    #[test]
+    fn roundtrip() {
+        let g = Dataset::Hetionet.generate(4);
+        let w = Workload::Job.build(&g, 1, 4);
+        assert!(!w.is_empty());
+        let mut buf = Vec::new();
+        write_workload(&w, &mut buf).unwrap();
+        let w2 = read_workload(io::BufReader::new(&buf[..])).unwrap();
+        assert_eq!(w.len(), w2.len());
+        for (a, b) in w.iter().zip(&w2) {
+            assert_eq!(a.query, b.query);
+            assert_eq!(a.truth, b.truth);
+            assert_eq!(a.template, b.template);
+        }
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let text = "# hello\npath-2 5 3 2 0 1 0 1 2 1\n";
+        let w = read_workload(io::BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(w.len(), 1);
+        assert_eq!(w[0].truth, 5.0);
+        assert_eq!(w[0].query.num_edges(), 2);
+    }
+
+    #[test]
+    fn truncated_line_is_error() {
+        let text = "t 5 3 2 0 1\n";
+        assert!(read_workload(io::BufReader::new(text.as_bytes())).is_err());
+    }
+}

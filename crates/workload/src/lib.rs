@@ -1,0 +1,26 @@
+//! # ceg-workload
+//!
+//! Datasets, workloads and experiment infrastructure for reproducing the
+//! paper's evaluation (Section 6):
+//!
+//! * [`datasets`] — seeded synthetic stand-ins for the paper's six
+//!   datasets (IMDb, YAGO, DBLP, WatDiv, Hetionet, Epinions); see
+//!   DESIGN.md §3 for the substitution rationale,
+//! * [`workloads`] — the five workloads (JOB, Acyclic, Cyclic,
+//!   G-CARE-Acyclic, G-CARE-Cyclic) instantiated from the paper's query
+//!   templates with ground-truth cardinalities,
+//! * [`qerror`] — signed log q-errors and the distribution summaries the
+//!   paper's box plots report,
+//! * [`runner`] — drives a set of estimators over a workload and renders
+//!   the result tables.
+
+pub mod datasets;
+pub mod io;
+pub mod qerror;
+pub mod runner;
+pub mod workloads;
+
+pub use datasets::{Dataset, DatasetSpec};
+pub use qerror::{signed_log_qerror, QErrorSummary};
+pub use runner::{run_estimators, EstimatorReport};
+pub use workloads::{Workload, WorkloadQuery};

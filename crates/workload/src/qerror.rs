@@ -1,0 +1,164 @@
+//! Q-error bookkeeping and the paper's distribution summaries.
+//!
+//! The paper reports *signed log q-errors*: `log10(max(c/e, e/c))`, with a
+//! negative sign for underestimates, plus box-plot percentiles and a
+//! trimmed mean excluding the top 10% of magnitudes (Section 6.2).
+
+/// Signed log10 q-error of one estimate: negative = underestimate.
+/// Zero-vs-zero is a perfect estimate (0.0); a one-sided zero saturates.
+pub fn signed_log_qerror(estimate: f64, truth: f64) -> f64 {
+    const SATURATE: f64 = 12.0; // |log10 q| cap for degenerate cases
+    if truth <= 0.0 && estimate <= 0.0 {
+        return 0.0;
+    }
+    if estimate <= 0.0 {
+        return -SATURATE;
+    }
+    if truth <= 0.0 {
+        return SATURATE;
+    }
+    let lq = (estimate / truth).log10();
+    lq.clamp(-SATURATE, SATURATE)
+}
+
+/// Box-plot style summary of a signed-log-q-error distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QErrorSummary {
+    pub count: usize,
+    /// Queries the estimator could not answer (timeouts / missing stats).
+    pub failures: usize,
+    pub p25: f64,
+    pub median: f64,
+    pub p75: f64,
+    pub min: f64,
+    pub max: f64,
+    /// Mean of |log q| after dropping the top 10% magnitudes, signed by
+    /// the mean's direction — the red dashed line of the paper's plots.
+    pub trimmed_mean: f64,
+    /// Fraction of underestimates (signed error < 0).
+    pub under_fraction: f64,
+}
+
+impl QErrorSummary {
+    /// Summarize signed log q-errors; `failures` counts skipped queries.
+    pub fn from_signed(mut errors: Vec<f64>, failures: usize) -> Self {
+        if errors.is_empty() {
+            return QErrorSummary {
+                count: 0,
+                failures,
+                p25: f64::NAN,
+                median: f64::NAN,
+                p75: f64::NAN,
+                min: f64::NAN,
+                max: f64::NAN,
+                trimmed_mean: f64::NAN,
+                under_fraction: f64::NAN,
+            };
+        }
+        errors.sort_by(f64::total_cmp);
+        let pct = |p: f64| -> f64 {
+            let idx = ((errors.len() - 1) as f64 * p).round() as usize;
+            errors[idx]
+        };
+        let under = errors.iter().filter(|&&e| e < 0.0).count();
+
+        // trimmed mean over magnitudes (drop top 10% magnitudes)
+        let mut mags: Vec<f64> = errors.iter().map(|e| e.abs()).collect();
+        mags.sort_by(f64::total_cmp);
+        let keep = ((mags.len() as f64) * 0.9).ceil() as usize;
+        let keep = keep.clamp(1, mags.len());
+        let mean_mag = mags[..keep].iter().sum::<f64>() / keep as f64;
+        let mean_sign = if errors.iter().sum::<f64>() < 0.0 { -1.0 } else { 1.0 };
+
+        QErrorSummary {
+            count: errors.len(),
+            failures,
+            p25: pct(0.25),
+            median: pct(0.5),
+            p75: pct(0.75),
+            min: errors[0],
+            max: *errors.last().unwrap(),
+            trimmed_mean: mean_sign * mean_mag,
+            under_fraction: under as f64 / errors.len() as f64,
+        }
+    }
+
+    /// Render one ASCII box-plot row (log10 scale), `width` characters
+    /// spanning `[-span, +span]`.
+    pub fn ascii_box(&self, span: f64, width: usize) -> String {
+        if self.count == 0 {
+            return format!("{:width$}", "(no data)", width = width);
+        }
+        let mut row: Vec<char> = vec![' '; width];
+        let pos = |v: f64| -> usize {
+            let t = ((v + span) / (2.0 * span)).clamp(0.0, 1.0);
+            ((width - 1) as f64 * t).round() as usize
+        };
+        let (lo, hi) = (pos(self.min), pos(self.max));
+        for c in row.iter_mut().take(hi + 1).skip(lo) {
+            *c = '-';
+        }
+        let (b0, b1) = (pos(self.p25), pos(self.p75));
+        for c in row.iter_mut().take(b1 + 1).skip(b0) {
+            *c = '=';
+        }
+        row[pos(self.median)] = '|';
+        let zero = pos(0.0);
+        if row[zero] == ' ' {
+            row[zero] = '.';
+        }
+        row.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_log_qerror_signs() {
+        assert_eq!(signed_log_qerror(100.0, 100.0), 0.0);
+        assert!((signed_log_qerror(1000.0, 100.0) - 1.0).abs() < 1e-12);
+        assert!((signed_log_qerror(10.0, 100.0) + 1.0).abs() < 1e-12);
+        assert_eq!(signed_log_qerror(0.0, 0.0), 0.0);
+        assert_eq!(signed_log_qerror(0.0, 5.0), -12.0);
+        assert_eq!(signed_log_qerror(5.0, 0.0), 12.0);
+    }
+
+    #[test]
+    fn summary_percentiles() {
+        let errs = vec![-2.0, -1.0, 0.0, 1.0, 2.0];
+        let s = QErrorSummary::from_signed(errs, 0);
+        assert_eq!(s.median, 0.0);
+        assert_eq!(s.p25, -1.0);
+        assert_eq!(s.p75, 1.0);
+        assert_eq!(s.min, -2.0);
+        assert_eq!(s.max, 2.0);
+        assert!((s.under_fraction - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_outliers() {
+        let mut errs = vec![0.1; 19];
+        errs.push(100.0); // one extreme outlier = exactly the top 10%
+        let s = QErrorSummary::from_signed(errs, 0);
+        assert!(s.trimmed_mean < 1.0, "trimmed mean {}", s.trimmed_mean);
+    }
+
+    #[test]
+    fn empty_summary_is_nan() {
+        let s = QErrorSummary::from_signed(vec![], 3);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.failures, 3);
+        assert!(s.median.is_nan());
+    }
+
+    #[test]
+    fn ascii_box_renders() {
+        let s = QErrorSummary::from_signed(vec![-1.0, 0.0, 1.0, 2.0], 0);
+        let row = s.ascii_box(4.0, 41);
+        assert_eq!(row.len(), 41);
+        assert!(row.contains('|'));
+        assert!(row.contains('='));
+    }
+}

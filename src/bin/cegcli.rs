@@ -1,0 +1,202 @@
+//! `cegcli` — command-line front end for the cegraph library.
+//!
+//! ```text
+//! cegcli generate <imdb|yago|dblp|watdiv|hetionet|epinions> <seed> <out.edges>
+//! cegcli workload <graph.edges> <job|acyclic|cyclic|gcare-acyclic|gcare-cyclic>
+//!                 <per-template> <seed> <out.wl>
+//! cegcli stats    <graph.edges> <queries.wl> <h> <out.markov>
+//! cegcli estimate <graph.edges> <queries.wl> [markov.file] [heuristic]
+//! cegcli molp     <graph.edges> <queries.wl>
+//! cegcli explain  <graph.edges> <queries.wl> <query-index>   # CEG_O as DOT
+//! ```
+
+use std::process::ExitCode;
+
+use cegraph::catalog::io::{load_markov, save_markov};
+use cegraph::catalog::MarkovTable;
+use cegraph::core::render::{ceg_o_to_dot, molp_path_to_string};
+use cegraph::core::{molp_min_path, Aggr, CegO, Heuristic, MolpInstance, PathLen};
+use cegraph::estimators::{CardinalityEstimator, OptimisticEstimator};
+use cegraph::graph::io::{load_graph, save_graph};
+use cegraph::workload::io::{load_workload, save_workload};
+use cegraph::workload::qerror::signed_log_qerror;
+use cegraph::workload::{Dataset, Workload};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{}", USAGE.trim());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = r#"
+usage:
+  cegcli generate <imdb|yago|dblp|watdiv|hetionet|epinions> <seed> <out.edges>
+  cegcli workload <graph.edges> <job|acyclic|cyclic|gcare-acyclic|gcare-cyclic> <per-template> <seed> <out.wl>
+  cegcli stats    <graph.edges> <queries.wl> <h> <out.markov>
+  cegcli estimate <graph.edges> <queries.wl> [markov.file] [heuristic]
+  cegcli molp     <graph.edges> <queries.wl>
+  cegcli explain  <graph.edges> <queries.wl> <query-index>
+"#;
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "generate" => generate(&args[1..]),
+        "workload" => workload(&args[1..]),
+        "stats" => stats(&args[1..]),
+        "estimate" => estimate(&args[1..]),
+        "molp" => molp(&args[1..]),
+        "explain" => explain(&args[1..]),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn parse_dataset(name: &str) -> Result<Dataset, String> {
+    Ok(match name {
+        "imdb" => Dataset::Imdb,
+        "yago" => Dataset::Yago,
+        "dblp" => Dataset::Dblp,
+        "watdiv" => Dataset::Watdiv,
+        "hetionet" => Dataset::Hetionet,
+        "epinions" => Dataset::Epinions,
+        _ => return Err(format!("unknown dataset `{name}`")),
+    })
+}
+
+fn parse_workload(name: &str) -> Result<Workload, String> {
+    Ok(match name {
+        "job" => Workload::Job,
+        "acyclic" => Workload::Acyclic,
+        "cyclic" => Workload::Cyclic,
+        "gcare-acyclic" => Workload::GCareAcyclic,
+        "gcare-cyclic" => Workload::GCareCyclic,
+        _ => return Err(format!("unknown workload `{name}`")),
+    })
+}
+
+fn parse_heuristic(name: &str) -> Result<Heuristic, String> {
+    for h in Heuristic::all() {
+        if h.name() == name {
+            return Ok(h);
+        }
+    }
+    Err(format!("unknown heuristic `{name}` (try max-hop-max)"))
+}
+
+fn arg<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
+    args.get(i).map(String::as_str).ok_or_else(|| format!("missing {what}"))
+}
+
+fn generate(args: &[String]) -> Result<(), String> {
+    let ds = parse_dataset(arg(args, 0, "dataset")?)?;
+    let seed: u64 = arg(args, 1, "seed")?.parse().map_err(|_| "bad seed")?;
+    let out = arg(args, 2, "output path")?;
+    let g = ds.generate(seed);
+    save_graph(&g, out).map_err(|e| e.to_string())?;
+    println!(
+        "{}: |V|={} |E|={} labels={} -> {out}",
+        ds.name(),
+        g.num_vertices(),
+        g.num_edges(),
+        g.num_labels()
+    );
+    Ok(())
+}
+
+fn workload(args: &[String]) -> Result<(), String> {
+    let g = load_graph(arg(args, 0, "graph path")?).map_err(|e| e.to_string())?;
+    let wl = parse_workload(arg(args, 1, "workload")?)?;
+    let per: usize = arg(args, 2, "per-template")?.parse().map_err(|_| "bad per-template")?;
+    let seed: u64 = arg(args, 3, "seed")?.parse().map_err(|_| "bad seed")?;
+    let out = arg(args, 4, "output path")?;
+    let queries = wl.build(&g, per, seed);
+    save_workload(&queries, out).map_err(|e| e.to_string())?;
+    println!("{}: {} queries -> {out}", wl.name(), queries.len());
+    Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let g = load_graph(arg(args, 0, "graph path")?).map_err(|e| e.to_string())?;
+    let queries = load_workload(arg(args, 1, "workload path")?).map_err(|e| e.to_string())?;
+    let h: usize = arg(args, 2, "h")?.parse().map_err(|_| "bad h")?;
+    let out = arg(args, 3, "output path")?;
+    let qs: Vec<_> = queries.iter().map(|q| q.query.clone()).collect();
+    let table = MarkovTable::build(&g, &qs, h);
+    save_markov(&table, out).map_err(|e| e.to_string())?;
+    println!(
+        "markov table h={h}: {} entries (~{:.1} KB) -> {out}",
+        table.len(),
+        table.approx_bytes() as f64 / 1024.0
+    );
+    Ok(())
+}
+
+fn estimate(args: &[String]) -> Result<(), String> {
+    let g = load_graph(arg(args, 0, "graph path")?).map_err(|e| e.to_string())?;
+    let queries = load_workload(arg(args, 1, "workload path")?).map_err(|e| e.to_string())?;
+    let table = match args.get(2) {
+        Some(path) => load_markov(path).map_err(|e| e.to_string())?,
+        None => {
+            let qs: Vec<_> = queries.iter().map(|q| q.query.clone()).collect();
+            MarkovTable::build(&g, &qs, 2)
+        }
+    };
+    let heuristic = match args.get(3) {
+        Some(name) => parse_heuristic(name)?,
+        None => Heuristic::new(PathLen::MaxHop, Aggr::Max),
+    };
+    let mut est = OptimisticEstimator::new(&table, heuristic);
+    println!(
+        "{:<20} {:>14} {:>14} {:>9}",
+        "template", "estimate", "truth", "log10-q"
+    );
+    for wq in &queries {
+        match est.estimate(&wq.query) {
+            Some(e) => println!(
+                "{:<20} {:>14.1} {:>14.1} {:>9.2}",
+                wq.template,
+                e,
+                wq.truth,
+                signed_log_qerror(e, wq.truth)
+            ),
+            None => println!("{:<20} {:>14} {:>14.1}", wq.template, "-", wq.truth),
+        }
+    }
+    Ok(())
+}
+
+fn molp(args: &[String]) -> Result<(), String> {
+    let g = load_graph(arg(args, 0, "graph path")?).map_err(|e| e.to_string())?;
+    let queries = load_workload(arg(args, 1, "workload path")?).map_err(|e| e.to_string())?;
+    for wq in &queries {
+        let inst = MolpInstance::from_graph(&g, &wq.query);
+        let Some((bound, steps)) = molp_min_path(&inst) else {
+            println!("{}: unbounded", wq.template);
+            continue;
+        };
+        println!(
+            "{}: MOLP bound {bound:.1} (truth {}), minimum path:",
+            wq.template, wq.truth
+        );
+        print!("{}", molp_path_to_string(&wq.query, &steps));
+    }
+    Ok(())
+}
+
+fn explain(args: &[String]) -> Result<(), String> {
+    let g = load_graph(arg(args, 0, "graph path")?).map_err(|e| e.to_string())?;
+    let queries = load_workload(arg(args, 1, "workload path")?).map_err(|e| e.to_string())?;
+    let idx: usize = arg(args, 2, "query index")?.parse().map_err(|_| "bad index")?;
+    let wq = queries.get(idx).ok_or("query index out of range")?;
+    let table = MarkovTable::build_for_query(&g, &wq.query, 2);
+    let ceg = CegO::build(&wq.query, &table);
+    print!("{}", ceg_o_to_dot(&ceg, &wq.query));
+    Ok(())
+}
