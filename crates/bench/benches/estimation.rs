@@ -27,8 +27,7 @@ fn bench_estimation(c: &mut Criterion) {
         b.iter(|| black_box(est.estimate(black_box(query))));
     });
     group.bench_function("all-hops-avg", |b| {
-        let mut est =
-            OptimisticEstimator::new(&table, Heuristic::new(PathLen::AllHops, Aggr::Avg));
+        let mut est = OptimisticEstimator::new(&table, Heuristic::new(PathLen::AllHops, Aggr::Avg));
         b.iter(|| black_box(est.estimate(black_box(query))));
     });
     group.bench_function("molp", |b| {

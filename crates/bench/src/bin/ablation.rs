@@ -1,4 +1,4 @@
-//! Ablation study of the CEG_O construction rules (DESIGN.md §5):
+//! Ablation study of the CEG_O construction rules (docs/ARCHITECTURE.md §D.5):
 //!
 //! * Rule 1 — *size-h numerators* (formulas condition on the largest
 //!   stored joins);
@@ -51,7 +51,11 @@ fn main() {
             continue;
         }
         let table = common::markov_for(&graph, &queries, 3);
-        println!("\n== {} / {} ({label}), max-hop-max ==", ds.name(), wl.name());
+        println!(
+            "\n== {} / {} ({label}), max-hop-max ==",
+            ds.name(),
+            wl.name()
+        );
         println!(
             "{:<26} {:>7} {:>7} {:>7} {:>7} {:>6}",
             "variant", "p25", "median", "p75", "mean*", "under"

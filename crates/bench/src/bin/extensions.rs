@@ -12,8 +12,7 @@ use ceg_bench::common;
 use ceg_catalog::MarkovTable;
 use ceg_core::{Aggr, Heuristic, PathLen};
 use ceg_estimators::{
-    CardinalityEstimator, JsubEstimator, MaxEntEstimator, OptimisticEstimator,
-    WanderJoinEstimator,
+    CardinalityEstimator, JsubEstimator, MaxEntEstimator, OptimisticEstimator, WanderJoinEstimator,
 };
 use ceg_workload::runner::{render_table, run_estimators};
 use ceg_workload::{Dataset, Workload};

@@ -31,7 +31,10 @@ fn main() {
         reports.push(common::pstar_report(&tri, &table, None));
         println!(
             "{}",
-            render_table(&format!("{} / Cyclic (triangles only)", ds.name()), &reports)
+            render_table(
+                &format!("{} / Cyclic (triangles only)", ds.name()),
+                &reports
+            )
         );
     }
 }

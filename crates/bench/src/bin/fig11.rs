@@ -36,7 +36,10 @@ fn main() {
         reports_o.push(common::pstar_report(&large, &table, None));
         println!(
             "{}",
-            render_table(&format!("{} / {} on CEG_O", ds.name(), wl.name()), &reports_o)
+            render_table(
+                &format!("{} / {} on CEG_O", ds.name(), wl.name()),
+                &reports_o
+            )
         );
 
         let mut ests_ocr = common::nine_estimators_ocr(&table, &ccr);

@@ -37,7 +37,10 @@ fn main() {
         let reports = run_estimators(&queries, &mut opt_ests);
         println!(
             "{}",
-            render_table(&format!("{} / {}: max-hop-max + sketch", ds.name(), wl.name()), &reports)
+            render_table(
+                &format!("{} / {}: max-hop-max + sketch", ds.name(), wl.name()),
+                &reports
+            )
         );
 
         let mut molp_ests: Vec<Box<dyn CardinalityEstimator>> = budgets
@@ -47,7 +50,10 @@ fn main() {
         let reports = run_estimators(&queries, &mut molp_ests);
         println!(
             "{}",
-            render_table(&format!("{} / {}: MOLP + sketch", ds.name(), wl.name()), &reports)
+            render_table(
+                &format!("{} / {}: MOLP + sketch", ds.name(), wl.name()),
+                &reports
+            )
         );
     }
 }

@@ -1,8 +1,9 @@
 //! Figure 15 — impact of estimators on plan quality (Section 6.6).
 //!
-//! For each query the DP optimizer (the RDF-3X stand-in, see DESIGN.md
-//! §3) is run once with the RDF-3X-style default estimator and once with
-//! each of the nine optimistic estimators; every chosen plan is executed
+//! For each query the DP optimizer (the RDF-3X stand-in, see
+//! docs/ARCHITECTURE.md §D.2) is run once with the RDF-3X-style default
+//! estimator and once with each of the nine optimistic estimators; every
+//! chosen plan is executed
 //! and its cost (actual intermediate tuples, the stable proxy for run
 //! time on our scaled data; wall time is also reported) compared with the
 //! default plan's. Queries where all estimators pick plans within 10% of
@@ -81,7 +82,12 @@ fn main() {
                 wall_speedups[i].push(ws.log10());
             }
         }
-        println!("== {} / {}: {} queries with diverging plans ==", ds.name(), wl.name(), kept);
+        println!(
+            "== {} / {}: {} queries with diverging plans ==",
+            ds.name(),
+            wl.name(),
+            kept
+        );
         println!(
             "{:<14} {:>8} {:>8} {:>8} {:>10} {:>12}",
             "estimator", "p25", "median", "p75", "mean|s|", "wall-median"

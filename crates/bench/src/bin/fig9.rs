@@ -21,7 +21,11 @@ fn main() {
     for (ds, wl, per_template) in combos {
         let (graph, queries) = common::setup(ds, wl, per_template);
         if queries.is_empty() {
-            println!("-- {} / {}: no instantiable queries --", ds.name(), wl.name());
+            println!(
+                "-- {} / {}: no instantiable queries --",
+                ds.name(),
+                wl.name()
+            );
             continue;
         }
         let table = common::markov_for(&graph, &queries, 3);

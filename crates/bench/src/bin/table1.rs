@@ -34,18 +34,19 @@ fn main() {
 
     println!("Table 1: example Markov table (h = 2)");
     println!("{:<14} {:>6}", "Path", "|Path|");
-    let mut rows: Vec<(String, u64)> = table
-        .iter()
-        .map(|(p, c)| (p.to_string(), c))
-        .collect();
+    let mut rows: Vec<(String, u64)> = table.iter().map(|(p, c)| (p.to_string(), c)).collect();
     rows.sort();
     for (p, c) in rows {
         println!("{p:<14} {c:>6}");
     }
 
     // Section 4.1 estimate: |A→B| * |B→C| / |B|
-    let ab = table.card_of_subquery(&q3, EdgeMask::from_bits(0b011)).unwrap() as f64;
-    let bc = table.card_of_subquery(&q3, EdgeMask::from_bits(0b110)).unwrap() as f64;
+    let ab = table
+        .card_of_subquery(&q3, EdgeMask::from_bits(0b011))
+        .unwrap() as f64;
+    let bc = table
+        .card_of_subquery(&q3, EdgeMask::from_bits(0b110))
+        .unwrap() as f64;
     let b = table.card_of_subquery(&q3, EdgeMask::single(1)).unwrap() as f64;
     let est = ab * bc / b;
     let truth = count(&g, &q3);

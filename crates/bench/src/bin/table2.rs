@@ -1,7 +1,7 @@
 //! Table 2 — dataset descriptions: domain, |V|, |E|, |edge labels|.
 //!
 //! Prints the paper's Table 2 columns for our scaled synthetic stand-ins
-//! next to the paper's original sizes (see DESIGN.md §3 for the
+//! next to the paper's original sizes (see docs/ARCHITECTURE.md §D.1 for the
 //! substitution rationale).
 
 use ceg_workload::Dataset;

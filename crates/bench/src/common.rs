@@ -66,7 +66,9 @@ pub fn ccr_for(graph: &LabeledGraph, queries: &[WorkloadQuery], samples: u32) ->
 pub fn nine_estimators<'a>(table: &'a MarkovTable) -> Vec<Box<dyn CardinalityEstimator + 'a>> {
     Heuristic::all()
         .into_iter()
-        .map(|h| Box::new(OptimisticEstimator::ceg_o_only(table, h)) as Box<dyn CardinalityEstimator>)
+        .map(|h| {
+            Box::new(OptimisticEstimator::ceg_o_only(table, h)) as Box<dyn CardinalityEstimator>
+        })
         .collect()
 }
 

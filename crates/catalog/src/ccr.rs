@@ -47,12 +47,7 @@ impl CcrTable {
     /// Build the rates needed by the given workload queries: one entry per
     /// (cycle, candidate closing edge) pair over all simple cycles of each
     /// query. `samples` random walks are drawn per entry.
-    pub fn build(
-        graph: &LabeledGraph,
-        queries: &[QueryGraph],
-        samples: u32,
-        seed: u64,
-    ) -> Self {
+    pub fn build(graph: &LabeledGraph, queries: &[QueryGraph], samples: u32, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut rates = FxHashMap::default();
         for q in queries {

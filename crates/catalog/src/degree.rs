@@ -137,11 +137,7 @@ impl DegreeStats {
     /// Base statistics plus degree statistics of every connected 2-edge
     /// sub-join of the workload queries (Section 5.1.1). `budget` caps the
     /// per-join enumeration work.
-    pub fn build_with_joins(
-        graph: &LabeledGraph,
-        queries: &[QueryGraph],
-        budget: u64,
-    ) -> Self {
+    pub fn build_with_joins(graph: &LabeledGraph, queries: &[QueryGraph], budget: u64) -> Self {
         let mut stats = Self::build_base(graph);
         for q in queries {
             for mask in q.connected_subsets_up_to(2) {

@@ -34,9 +34,7 @@ pub fn write_markov<W: Write>(table: &MarkovTable, writer: W) -> io::Result<()> 
 /// Parse a Markov table written by [`write_markov`].
 pub fn read_markov<R: BufRead>(reader: R) -> io::Result<MarkovTable> {
     let mut lines = reader.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| bad("missing header"))??;
+    let header = lines.next().ok_or_else(|| bad("missing header"))??;
     let h: usize = header
         .strip_prefix("markov h=")
         .ok_or_else(|| bad("bad header"))?

@@ -16,9 +16,9 @@
 //!   baseline (Section 6.4).
 
 pub mod ccr;
-pub mod io;
 pub mod charsets;
 pub mod degree;
+pub mod io;
 pub mod markov;
 pub mod summary;
 

@@ -92,7 +92,11 @@ impl SummaryGraph {
     fn multiplicity(&self, l: LabelId, bs: u32, bd: u32) -> u64 {
         self.adj
             .get(&(l, bs))
-            .and_then(|v| v.binary_search_by_key(&bd, |&(b, _)| b).ok().map(|i| v[i].1))
+            .and_then(|v| {
+                v.binary_search_by_key(&bd, |&(b, _)| b)
+                    .ok()
+                    .map(|i| v[i].1)
+            })
             .unwrap_or(0)
     }
 }
@@ -256,8 +260,8 @@ mod tests {
         let s = SummaryGraph::build(&g, 1);
         let q = templates::path(2, &[0, 1]);
         let n = g.num_vertices() as f64;
-        let expect = n * n * n * (g.label_count(0) as f64 / (n * n))
-            * (g.label_count(1) as f64 / (n * n));
+        let expect =
+            n * n * n * (g.label_count(0) as f64 / (n * n)) * (g.label_count(1) as f64 / (n * n));
         let est = s.estimate(&q, u64::MAX).unwrap();
         assert!((est - expect).abs() < 1e-6, "est={est} expect={expect}");
     }

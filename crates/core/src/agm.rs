@@ -93,7 +93,10 @@ mod tests {
         let q = templates::cycle(3, &[0, 1, 2]);
         let agm = agm_bound(&q, &stats);
         let expect = ((g.label_count(0) * g.label_count(1) * g.label_count(2)) as f64).sqrt();
-        assert!((agm - expect).abs() / expect < 1e-6, "agm {agm} expect {expect}");
+        assert!(
+            (agm - expect).abs() / expect < 1e-6,
+            "agm {agm} expect {expect}"
+        );
     }
 
     #[test]

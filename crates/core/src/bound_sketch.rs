@@ -45,10 +45,7 @@ fn buckets_per_attr(k: u32, num_attrs: u32) -> u32 {
 
 /// Partition attributes of a MOLP minimum path: join attributes whose
 /// first introduction was through an *unbound* edge (`X = ∅`).
-pub fn molp_partition_attrs(
-    query: &QueryGraph,
-    steps: &[crate::ceg_m::MolpStep],
-) -> AttrMask {
+pub fn molp_partition_attrs(query: &QueryGraph, steps: &[crate::ceg_m::MolpStep]) -> AttrMask {
     let mut w: AttrMask = 0;
     let mut bound_new: AttrMask = 0;
     for s in steps {
@@ -71,7 +68,9 @@ pub fn molp_sketch_bound(graph: &LabeledGraph, query: &QueryGraph, k: u32) -> f6
         return direct;
     }
     let s_mask = molp_partition_attrs(query, &steps);
-    let s_vars: Vec<VarId> = (0..query.num_vars()).filter(|&v| s_mask & (1 << v) != 0).collect();
+    let s_vars: Vec<VarId> = (0..query.num_vars())
+        .filter(|&v| s_mask & (1 << v) != 0)
+        .collect();
     if s_vars.is_empty() {
         return direct;
     }
@@ -162,7 +161,9 @@ pub fn optimistic_sketch_estimate(
         return Some(direct);
     }
     let s_mask = optimistic_partition_attrs(query, &ceg, &path);
-    let s_vars: Vec<VarId> = (0..query.num_vars()).filter(|&v| s_mask & (1 << v) != 0).collect();
+    let s_vars: Vec<VarId> = (0..query.num_vars())
+        .filter(|&v| s_mask & (1 << v) != 0)
+        .collect();
     if s_vars.is_empty() {
         return Some(direct);
     }
@@ -340,7 +341,10 @@ mod tests {
         let truth = count(&g, &q) as f64;
         for k in [1, 4, 16, 64] {
             let bound = molp_sketch_bound(&g, &q, k);
-            assert!(bound >= truth - 1e-6, "k={k}: bound {bound} < truth {truth}");
+            assert!(
+                bound >= truth - 1e-6,
+                "k={k}: bound {bound} < truth {truth}"
+            );
         }
     }
 

@@ -47,7 +47,7 @@ impl BoundingFormula {
 /// Enumerate every feasible coverage of `query` (each attribute covered at
 /// least once) and return the corresponding bounding formulas.
 ///
-/// This is the brute-force BFG/FCG of reference [5]: exponential in the
+/// This is the brute-force BFG/FCG of reference \[5\]: exponential in the
 /// number of attributes, fine for the paper's query sizes.
 pub fn bounding_formulas(query: &QueryGraph, stats: &DegreeStats) -> Vec<BoundingFormula> {
     let m = query.num_edges();
@@ -101,7 +101,12 @@ fn enumerate_covers(
         });
         return;
     }
-    for c in [EdgeCover::None, EdgeCover::Src, EdgeCover::Dst, EdgeCover::Both] {
+    for c in [
+        EdgeCover::None,
+        EdgeCover::Src,
+        EdgeCover::Dst,
+        EdgeCover::Both,
+    ] {
         covers[i] = c;
         enumerate_covers(query, stats, i + 1, covers, out);
     }
@@ -162,7 +167,10 @@ mod tests {
         ] {
             let bound = cbs_bound(&q, &stats);
             let truth = count(&g, &q) as f64;
-            assert!(bound >= truth - 1e-9, "bound {bound} < truth {truth} for {q}");
+            assert!(
+                bound >= truth - 1e-9,
+                "bound {bound} < truth {truth} for {q}"
+            );
         }
     }
 
@@ -194,10 +202,7 @@ mod tests {
         // can be unsafe — see `appendix_c_counterexample` below.)
         let g = toy();
         let stats = DegreeStats::build_base(&g);
-        for q in [
-            templates::path(3, &[0, 1, 0]),
-            templates::star(2, &[0, 2]),
-        ] {
+        for q in [templates::path(3, &[0, 1, 0]), templates::star(2, &[0, 2])] {
             let cbs = cbs_bound(&q, &stats);
             let molp = molp_bound(&MolpInstance::from_stats(&q, &stats, false));
             assert!(molp <= cbs + 1e-9, "MOLP {molp} > CBS {cbs} for {q}");

@@ -127,7 +127,9 @@ impl Ceg {
         }
         // Kahn topological sort.
         let mut indeg: Vec<usize> = incoming.iter().map(Vec::len).collect();
-        let mut queue: Vec<u32> = (0..num_nodes as u32).filter(|&v| indeg[v as usize] == 0).collect();
+        let mut queue: Vec<u32> = (0..num_nodes as u32)
+            .filter(|&v| indeg[v as usize] == 0)
+            .collect();
         let mut topo = Vec::with_capacity(num_nodes);
         while let Some(v) = queue.pop() {
             topo.push(v);
@@ -241,7 +243,9 @@ impl Ceg {
                 let mut val = vec![None::<f64>; self.num_nodes];
                 val[self.bottom as usize] = Some(1.0);
                 for &v in &self.topo {
-                    let Some(base) = val[v as usize] else { continue };
+                    let Some(base) = val[v as usize] else {
+                        continue;
+                    };
                     for &ei in &self.outgoing[v as usize] {
                         let e = self.edges[ei as usize];
                         let cand = base * e.rate;
@@ -339,7 +343,10 @@ impl Ceg {
                         }
                     }
                 }
-                let (s, c) = (sum[self.top as usize][target], cnt[self.top as usize][target]);
+                let (s, c) = (
+                    sum[self.top as usize][target],
+                    cnt[self.top as usize][target],
+                );
                 (c > 0.0).then(|| s / c)
             }
         }
@@ -441,7 +448,10 @@ impl Ceg {
             if sets[v as usize].is_empty() {
                 continue;
             }
-            let vals: Vec<f64> = sets[v as usize].iter().map(|&b| f64::from_bits(b)).collect();
+            let vals: Vec<f64> = sets[v as usize]
+                .iter()
+                .map(|&b| f64::from_bits(b))
+                .collect();
             for &ei in &self.outgoing[v as usize] {
                 let e = self.edges[ei as usize];
                 let to = e.to as usize;
@@ -533,8 +543,21 @@ mod tests {
 
     #[test]
     fn unreachable_top_gives_none() {
-        let c = Ceg::new(3, 0, 2, vec![CegEdge { from: 0, to: 1, rate: 1.0, tag: 0 }]);
-        assert_eq!(c.estimate(Heuristic::new(PathLen::AllHops, Aggr::Max)), None);
+        let c = Ceg::new(
+            3,
+            0,
+            2,
+            vec![CegEdge {
+                from: 0,
+                to: 1,
+                rate: 1.0,
+                tag: 0,
+            }],
+        );
+        assert_eq!(
+            c.estimate(Heuristic::new(PathLen::AllHops, Aggr::Max)),
+            None
+        );
         assert_eq!(c.max_hops(), None);
     }
 
@@ -569,13 +592,23 @@ mod tests {
     #[test]
     #[should_panic(expected = "acyclic")]
     fn cyclic_ceg_panics() {
-        let e = |from, to| CegEdge { from, to, rate: 1.0, tag: 0 };
+        let e = |from, to| CegEdge {
+            from,
+            to,
+            rate: 1.0,
+            tag: 0,
+        };
         Ceg::new(2, 0, 1, vec![e(0, 1), e(1, 0)]);
     }
 
     #[test]
     fn zero_rate_paths() {
-        let e = |from, to, rate| CegEdge { from, to, rate, tag: 0 };
+        let e = |from, to, rate| CegEdge {
+            from,
+            to,
+            rate,
+            tag: 0,
+        };
         let c = Ceg::new(3, 0, 2, vec![e(0, 1, 0.0), e(1, 2, 5.0)]);
         assert_eq!(
             c.estimate(Heuristic::new(PathLen::AllHops, Aggr::Max)),

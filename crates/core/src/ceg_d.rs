@@ -77,7 +77,10 @@ impl CegD {
                 }
             }
         }
-        CegD { num_vars: nv, edges }
+        CegD {
+            num_vars: nv,
+            edges,
+        }
     }
 
     pub fn num_edges(&self) -> usize {
@@ -197,8 +200,14 @@ mod tests {
                 .ln();
             let shortest = ceg_d.shortest_path_ln().unwrap();
             let dbplp = dbplp_bound(&q, &stats, &cover).max(1e-12).ln();
-            assert!(molp <= shortest + 1e-6, "MOLP {molp} > CEG_D min {shortest}");
-            assert!(shortest <= dbplp + 1e-6, "CEG_D min {shortest} > DBPLP {dbplp}");
+            assert!(
+                molp <= shortest + 1e-6,
+                "MOLP {molp} > CEG_D min {shortest}"
+            );
+            assert!(
+                shortest <= dbplp + 1e-6,
+                "CEG_D min {shortest} > DBPLP {dbplp}"
+            );
         }
     }
 

@@ -84,8 +84,7 @@ impl MolpInstance {
     /// those are included (making MOLP use a strict superset of what the
     /// optimistic estimators use, as in Section 5.1.1).
     pub fn from_stats(query: &QueryGraph, stats: &DegreeStats, use_joins: bool) -> Self {
-        let endpoints: Vec<(VarId, VarId)> =
-            query.edges().iter().map(|e| (e.src, e.dst)).collect();
+        let endpoints: Vec<(VarId, VarId)> = query.edges().iter().map(|e| (e.src, e.dst)).collect();
         let mut zero = false;
         let base: Vec<BaseDeg> = query
             .edges()
@@ -432,8 +431,8 @@ pub fn molp_lp_bound(inst: &MolpInstance, with_projections: bool) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ceg_exec::VarConstraint;
     use ceg_exec::count;
+    use ceg_exec::VarConstraint;
     use ceg_graph::{GraphBuilder, LabeledGraph};
     use ceg_query::templates;
 
@@ -471,7 +470,10 @@ mod tests {
             let inst = MolpInstance::from_graph(&g, &q);
             let bound = molp_bound(&inst);
             let truth = count(&g, &q) as f64;
-            assert!(bound >= truth - 1e-9, "bound {bound} < truth {truth} for {q}");
+            assert!(
+                bound >= truth - 1e-9,
+                "bound {bound} < truth {truth} for {q}"
+            );
         }
     }
 
@@ -559,7 +561,13 @@ mod tests {
         let g = toy();
         let q = templates::path(2, &[0, 1]);
         let mut cons = VarConstraints::none(3);
-        cons.set(1, VarConstraint::HashBucket { buckets: 2, bucket: 0 });
+        cons.set(
+            1,
+            VarConstraint::HashBucket {
+                buckets: 2,
+                bucket: 0,
+            },
+        );
         let inst = MolpInstance::from_graph_constrained(&g, &q, &cons);
         let unconstrained = MolpInstance::from_graph(&g, &q);
         assert!(molp_bound(&inst) <= molp_bound(&unconstrained) + 1e-9);

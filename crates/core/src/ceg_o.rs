@@ -179,8 +179,8 @@ impl CegO {
                 ));
             }
             // Rule 2: early cycle closing.
-            let any_closing = options.early_cycle_closing
-                && candidate_edges.iter().any(|(_, i)| i.closes_cycle);
+            let any_closing =
+                options.early_cycle_closing && candidate_edges.iter().any(|(_, i)| i.closes_cycle);
             for (mut ce, info) in candidate_edges {
                 if any_closing && !info.closes_cycle {
                     continue;

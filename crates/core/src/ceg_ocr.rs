@@ -115,10 +115,12 @@ mod tests {
         assert!(truth > 0.0);
         // CEG_O estimates the broken 4-path and overestimates; the CCR
         // correction must bring the estimate closer to the truth.
-        assert!(est_o > truth, "CEG_O should overestimate: {est_o} vs {truth}");
         assert!(
-            (est_ocr.max(1e-12).ln() - truth.ln()).abs()
-                < (est_o.ln() - truth.ln()).abs(),
+            est_o > truth,
+            "CEG_O should overestimate: {est_o} vs {truth}"
+        );
+        assert!(
+            (est_ocr.max(1e-12).ln() - truth.ln()).abs() < (est_o.ln() - truth.ln()).abs(),
             "OCR {est_ocr} not closer to {truth} than O {est_o}"
         );
     }

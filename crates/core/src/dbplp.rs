@@ -138,7 +138,10 @@ mod tests {
         ] {
             let bound = dbplp_bound_default(&q, &stats);
             let truth = count(&g, &q) as f64;
-            assert!(bound >= truth - 1e-9, "DBPLP {bound} < truth {truth} for {q}");
+            assert!(
+                bound >= truth - 1e-9,
+                "DBPLP {bound} < truth {truth} for {q}"
+            );
         }
     }
 

@@ -58,9 +58,9 @@ pub mod agm;
 pub mod bound_sketch;
 pub mod cbs;
 pub mod ceg;
+pub mod ceg_d;
 pub mod ceg_m;
 pub mod ceg_o;
-pub mod ceg_d;
 pub mod ceg_ocr;
 pub mod dbplp;
 pub mod lp;

@@ -95,8 +95,7 @@ pub fn maximize(c: &[f64], a: &[Vec<f64>], b: &[f64]) -> LpResult {
             if t[i][pivot_col] > EPS {
                 let ratio = t[i][cols - 1] / t[i][pivot_col];
                 let better = ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && pivot_row.is_some_and(|r| basis[i] < basis[r]));
+                    || (ratio < best_ratio + EPS && pivot_row.is_some_and(|r| basis[i] < basis[r]));
                 if better {
                     best_ratio = ratio;
                     pivot_row = Some(i);
@@ -165,11 +164,7 @@ mod tests {
         // max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → 36 at (2, 6)
         let r = maximize(
             &[3.0, 5.0],
-            &[
-                vec![1.0, 0.0],
-                vec![0.0, 2.0],
-                vec![3.0, 2.0],
-            ],
+            &[vec![1.0, 0.0], vec![0.0, 2.0], vec![3.0, 2.0]],
             &[4.0, 12.0, 18.0],
         );
         match r {
@@ -213,12 +208,8 @@ mod tests {
     #[test]
     fn covering_min() {
         // min x + y s.t. x + y ≥ 2, x ≥ 1 → 2
-        let v = minimize_covering(
-            &[1.0, 1.0],
-            &[vec![1.0, 1.0], vec![1.0, 0.0]],
-            &[2.0, 1.0],
-        )
-        .unwrap();
+        let v =
+            minimize_covering(&[1.0, 1.0], &[vec![1.0, 1.0], vec![1.0, 0.0]], &[2.0, 1.0]).unwrap();
         assert_close(v, 2.0);
     }
 

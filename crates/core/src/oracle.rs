@@ -41,7 +41,12 @@ mod tests {
     use crate::ceg::CegEdge;
 
     fn diamond() -> Ceg {
-        let e = |from, to, rate| CegEdge { from, to, rate, tag: 0 };
+        let e = |from, to, rate| CegEdge {
+            from,
+            to,
+            rate,
+            tag: 0,
+        };
         Ceg::new(
             4,
             0,
@@ -50,7 +55,7 @@ mod tests {
                 e(0, 1, 2.0),
                 e(1, 3, 3.0), // path estimate 6
                 e(0, 2, 5.0),
-                e(2, 3, 7.0), // path estimate 35
+                e(2, 3, 7.0),  // path estimate 35
                 e(0, 3, 10.0), // path estimate 10
             ],
         )

@@ -24,7 +24,11 @@ pub fn ceg_o_to_dot(ceg: &CegO, query: &QueryGraph) -> String {
     }
     for e in ceg.ceg().edges() {
         let info = ceg.ext_info(e.tag);
-        let style = if info.closes_cycle { ",style=dashed" } else { "" };
+        let style = if info.closes_cycle {
+            ",style=dashed"
+        } else {
+            ""
+        };
         out.push_str(&format!(
             "  n{} -> n{} [label=\"{:.3}\"{style}];\n",
             e.from, e.to, e.rate

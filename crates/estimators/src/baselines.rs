@@ -65,10 +65,7 @@ impl CardinalityEstimator for CsEstimator<'_> {
                 occurrences[v as usize] += 1;
             }
         }
-        let links: u32 = occurrences
-            .iter()
-            .map(|&o| o.saturating_sub(1))
-            .sum();
+        let links: u32 = occurrences.iter().map(|&o| o.saturating_sub(1)).sum();
         let n = self.cs.num_vertices().max(1) as f64;
         est *= n.powi(-(links as i32));
         Some(est)

@@ -50,11 +50,7 @@ impl<'a> MaxEntEstimator<'a> {
 
     /// Constraints `(predicate mask, selectivity)` derived from the
     /// Markov table; `preds` is the list of join variables.
-    fn constraints(
-        &self,
-        query: &QueryGraph,
-        preds: &[VarId],
-    ) -> Option<Vec<(usize, f64)>> {
+    fn constraints(&self, query: &QueryGraph, preds: &[VarId]) -> Option<Vec<(usize, f64)>> {
         let mut out: Vec<(usize, f64)> = Vec::new();
         let subsets = query.connected_subsets();
         for mask in subsets {
@@ -75,10 +71,7 @@ impl<'a> MaxEntEstimator<'a> {
             let mut all_internal = true;
             for (pi, &v) in preds.iter().enumerate() {
                 let total_occ = query.var_degree(v);
-                let in_s = query
-                    .edges_at(v)
-                    .filter(|&i| mask.contains(i))
-                    .count();
+                let in_s = query.edges_at(v).filter(|&i| mask.contains(i)).count();
                 if in_s == 0 {
                     continue;
                 }
@@ -132,8 +125,8 @@ impl<'a> MaxEntEstimator<'a> {
             if pair_sels.is_empty() {
                 continue; // genuinely no statistics; leave unconstrained
             }
-            let gm = pair_sels.iter().map(|s| s.max(1e-300).ln()).sum::<f64>()
-                / pair_sels.len() as f64;
+            let gm =
+                pair_sels.iter().map(|s| s.max(1e-300).ln()).sum::<f64>() / pair_sels.len() as f64;
             let sel = (gm * (k.saturating_sub(1)) as f64).exp().min(1.0);
             out.push((1 << pi, sel));
         }

@@ -229,7 +229,10 @@ mod tests {
         }
         let avg = total / 100.0;
         let truth = count(&g, &q) as f64; // 3
-        assert!((avg - truth).abs() / truth < 0.25, "avg {avg} truth {truth}");
+        assert!(
+            (avg - truth).abs() / truth < 0.25,
+            "avg {avg} truth {truth}"
+        );
     }
 
     #[test]

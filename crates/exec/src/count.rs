@@ -308,7 +308,13 @@ mod tests {
         let mut sum = 0;
         for b0 in 0..buckets {
             let mut cons = VarConstraints::none(3);
-            cons.set(1, VarConstraint::HashBucket { buckets, bucket: b0 });
+            cons.set(
+                1,
+                VarConstraint::HashBucket {
+                    buckets,
+                    bucket: b0,
+                },
+            );
             sum += count_constrained(&g, &q, &cons);
         }
         assert_eq!(sum, total);
@@ -327,12 +333,7 @@ mod tests {
     fn budget_exhaustion_returns_none() {
         let g = sample();
         let q = templates::path(2, &[0, 0]);
-        let res = count_with_limit(
-            &g,
-            &q,
-            &VarConstraints::none(3),
-            CountBudget::new(1),
-        );
+        let res = count_with_limit(&g, &q, &VarConstraints::none(3), CountBudget::new(1));
         assert!(res.is_none());
     }
 

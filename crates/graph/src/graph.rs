@@ -83,7 +83,9 @@ impl LabeledGraph {
     /// True if edge `src -l-> dst` exists.
     #[inline]
     pub fn has_edge(&self, src: VertexId, dst: VertexId, l: LabelId) -> bool {
-        self.fwd.get(l as usize).is_some_and(|c| c.contains(src, dst))
+        self.fwd
+            .get(l as usize)
+            .is_some_and(|c| c.contains(src, dst))
     }
 
     /// Maximum out-degree over all vertices: `deg(src, R_l)` (maximum number
@@ -118,7 +120,8 @@ impl LabeledGraph {
     /// Iterate every edge in the graph.
     pub fn all_edges(&self) -> impl Iterator<Item = Edge> + '_ {
         (0..self.num_labels() as LabelId).flat_map(move |l| {
-            self.edges(l).map(move |(src, dst)| Edge { src, dst, label: l })
+            self.edges(l)
+                .map(move |(src, dst)| Edge { src, dst, label: l })
         })
     }
 
@@ -126,7 +129,10 @@ impl LabeledGraph {
     ///
     /// Used by the bound-sketch optimization, which partitions relations by
     /// hashing attribute values (Section 5.2.1).
-    pub fn filter(&self, mut keep: impl FnMut(VertexId, VertexId, LabelId) -> bool) -> LabeledGraph {
+    pub fn filter(
+        &self,
+        mut keep: impl FnMut(VertexId, VertexId, LabelId) -> bool,
+    ) -> LabeledGraph {
         let mut b = crate::GraphBuilder::with_labels(self.num_vertices, self.num_labels());
         for e in self.all_edges() {
             if keep(e.src, e.dst, e.label) {

@@ -122,7 +122,9 @@ fn hash_join(l: &Table, r: &Table, row_budget: usize) -> Option<Table> {
     let mut rows: Vec<Vec<VertexId>> = Vec::new();
     for prow in &probe.rows {
         let key = key_of(prow, !build_is_left);
-        let Some(matches) = index.get(&key) else { continue };
+        let Some(matches) = index.get(&key) else {
+            continue;
+        };
         for &bi in matches {
             let brow = &build.rows[bi];
             let (lrow, rrow) = if build_is_left {
@@ -194,18 +196,12 @@ mod tests {
         let g = toy();
         let q = templates::path(3, &[0, 1, 2]);
         let left_deep = Plan::Join(
-            Box::new(Plan::Join(
-                Box::new(Plan::Scan(0)),
-                Box::new(Plan::Scan(1)),
-            )),
+            Box::new(Plan::Join(Box::new(Plan::Scan(0)), Box::new(Plan::Scan(1)))),
             Box::new(Plan::Scan(2)),
         );
         let right_deep = Plan::Join(
             Box::new(Plan::Scan(0)),
-            Box::new(Plan::Join(
-                Box::new(Plan::Scan(1)),
-                Box::new(Plan::Scan(2)),
-            )),
+            Box::new(Plan::Join(Box::new(Plan::Scan(1)), Box::new(Plan::Scan(2)))),
         );
         let a = execute_plan(&g, &q, &left_deep, 1 << 24).unwrap();
         let b = execute_plan(&g, &q, &right_deep, 1 << 24).unwrap();

@@ -3,7 +3,7 @@
 //! Plans are binary join trees over the query's edges (relations); the DP
 //! explores every connected edge-subset and splits it into two connected
 //! halves. The cost model is `C_out`: the sum of estimated cardinalities
-//! of all intermediate (non-leaf) results — the metric reference [12] of
+//! of all intermediate (non-leaf) results — the metric reference \[12\] of
 //! the paper showed rewards accurate estimators.
 
 use ceg_estimators::CardinalityEstimator;
@@ -77,10 +77,8 @@ pub fn optimize(query: &QueryGraph, est: &mut dyn CardinalityEstimator) -> (Plan
                 if let (Some((cl, pl)), Some((cr, pr))) = (best.get(&lm), best.get(&rm)) {
                     let cost = cl + cr + card[&mask];
                     if cheapest.as_ref().is_none_or(|(c, _)| cost < *c) {
-                        cheapest = Some((
-                            cost,
-                            Plan::Join(Box::new(pl.clone()), Box::new(pr.clone())),
-                        ));
+                        cheapest =
+                            Some((cost, Plan::Join(Box::new(pl.clone()), Box::new(pr.clone()))));
                     }
                 }
             }
@@ -91,7 +89,9 @@ pub fn optimize(query: &QueryGraph, est: &mut dyn CardinalityEstimator) -> (Plan
         }
     }
     let full = query.full_mask();
-    let (cost, plan) = best.remove(&full).expect("connected query must have a plan");
+    let (cost, plan) = best
+        .remove(&full)
+        .expect("connected query must have a plan");
     (plan, cost)
 }
 
@@ -199,7 +199,9 @@ pub fn optimize_left_deep(query: &QueryGraph, est: &mut dyn CardinalityEstimator
         let mut cheapest: Option<(f64, Plan)> = None;
         for i in mask.iter() {
             let rest = mask.remove(i);
-            let Some((c, p)) = best.get(&rest) else { continue };
+            let Some((c, p)) = best.get(&rest) else {
+                continue;
+            };
             let cost = c + card[&mask];
             if cheapest.as_ref().is_none_or(|(x, _)| cost < *x) {
                 cheapest = Some((

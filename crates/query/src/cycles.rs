@@ -55,12 +55,18 @@ pub fn is_acyclic(query: &QueryGraph) -> bool {
 /// acyclic. Query graphs are tiny (≤ 12 edges) so a DFS enumeration of
 /// simple cycles is fine.
 pub fn largest_cycle(query: &QueryGraph) -> usize {
-    all_simple_cycle_lengths(query).into_iter().max().unwrap_or(0)
+    all_simple_cycle_lengths(query)
+        .into_iter()
+        .max()
+        .unwrap_or(0)
 }
 
 /// Length of the shortest simple cycle (the girth), 0 if acyclic.
 pub fn girth(query: &QueryGraph) -> usize {
-    all_simple_cycle_lengths(query).into_iter().min().unwrap_or(0)
+    all_simple_cycle_lengths(query)
+        .into_iter()
+        .min()
+        .unwrap_or(0)
 }
 
 /// True if the query has at least one cycle strictly longer than `h` that
@@ -71,7 +77,9 @@ pub fn has_large_cycle(query: &QueryGraph, h: usize) -> bool {
     // Every simple cycle longer than h is "large"; the early-closing rule
     // handles those whose chords create smaller cycles, so we check for a
     // chordless (induced) cycle of length > h.
-    chordless_cycle_lengths(query).into_iter().any(|len| len > h)
+    chordless_cycle_lengths(query)
+        .into_iter()
+        .any(|len| len > h)
 }
 
 /// True if all of the query's cycles are triangles (used to split the
@@ -244,10 +252,7 @@ mod tests {
 
     #[test]
     fn antiparallel_pair_is_a_two_cycle() {
-        let q = QueryGraph::new(
-            2,
-            vec![QueryEdge::new(0, 1, 0), QueryEdge::new(1, 0, 1)],
-        );
+        let q = QueryGraph::new(2, vec![QueryEdge::new(0, 1, 0), QueryEdge::new(1, 0, 1)]);
         assert_eq!(girth(&q), 2);
         assert!(!is_acyclic(&q));
     }

@@ -255,10 +255,7 @@ mod tests {
 
     /// 3-path: a0 -0-> a1 -1-> a2.
     fn path3() -> QueryGraph {
-        QueryGraph::new(
-            3,
-            vec![QueryEdge::new(0, 1, 0), QueryEdge::new(1, 2, 1)],
-        )
+        QueryGraph::new(3, vec![QueryEdge::new(0, 1, 0), QueryEdge::new(1, 2, 1)])
     }
 
     /// Triangle: a0 -> a1 -> a2 -> a0, labels 0, 1, 2.

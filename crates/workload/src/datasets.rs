@@ -120,7 +120,12 @@ impl DatasetSpec {
         }
     }
 
-    fn uncorrelated(dataset: Dataset, num_vertices: usize, num_edges: usize, num_labels: usize) -> Self {
+    fn uncorrelated(
+        dataset: Dataset,
+        num_vertices: usize,
+        num_edges: usize,
+        num_labels: usize,
+    ) -> Self {
         DatasetSpec {
             dataset,
             num_vertices,
@@ -273,7 +278,11 @@ mod tests {
                 .count();
             // Zipf label popularity may leave at most a couple of labels
             // nearly empty, but not most of them
-            assert!(empty < g.num_labels() / 4, "{}: {empty} empty labels", d.name());
+            assert!(
+                empty < g.num_labels() / 4,
+                "{}: {empty} empty labels",
+                d.name()
+            );
         }
     }
 

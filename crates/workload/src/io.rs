@@ -18,7 +18,10 @@ use crate::workloads::WorkloadQuery;
 /// Serialize a workload.
 pub fn write_workload<W: Write>(queries: &[WorkloadQuery], writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# ceg workload v1: template truth num_vars num_edges (src dst label)*")?;
+    writeln!(
+        w,
+        "# ceg workload v1: template truth num_vars num_edges (src dst label)*"
+    )?;
     for wq in queries {
         write!(
             w,
@@ -52,7 +55,10 @@ pub fn read_workload<R: BufRead>(reader: R) -> io::Result<Vec<WorkloadQuery>> {
                 format!("line {}: {what}", lineno + 1),
             )
         };
-        let template = it.next().ok_or_else(|| bad("missing template"))?.to_string();
+        let template = it
+            .next()
+            .ok_or_else(|| bad("missing template"))?
+            .to_string();
         let truth: f64 = it
             .next()
             .ok_or_else(|| bad("missing truth"))?

@@ -5,7 +5,7 @@
 //!
 //! * [`datasets`] — seeded synthetic stand-ins for the paper's six
 //!   datasets (IMDb, YAGO, DBLP, WatDiv, Hetionet, Epinions); see
-//!   DESIGN.md §3 for the substitution rationale,
+//!   docs/ARCHITECTURE.md §D.1 for the substitution rationale,
 //! * [`workloads`] — the five workloads (JOB, Acyclic, Cyclic,
 //!   G-CARE-Acyclic, G-CARE-Cyclic) instantiated from the paper's query
 //!   templates with ground-truth cardinalities,

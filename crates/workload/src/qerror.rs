@@ -68,7 +68,11 @@ impl QErrorSummary {
         let keep = ((mags.len() as f64) * 0.9).ceil() as usize;
         let keep = keep.clamp(1, mags.len());
         let mean_mag = mags[..keep].iter().sum::<f64>() / keep as f64;
-        let mean_sign = if errors.iter().sum::<f64>() < 0.0 { -1.0 } else { 1.0 };
+        let mean_sign = if errors.iter().sum::<f64>() < 0.0 {
+            -1.0
+        } else {
+            1.0
+        };
 
         QErrorSummary {
             count: errors.len(),

@@ -64,7 +64,13 @@ pub fn render_table(title: &str, reports: &[EstimatorReport]) -> String {
     out.push_str(&format!("== {title} ==\n"));
     out.push_str(&format!(
         "{:<18} {:>7} {:>7} {:>7} {:>7} {:>6} {:>9}  {}\n",
-        "estimator", "p25", "median", "p75", "mean*", "under", "time(us)",
+        "estimator",
+        "p25",
+        "median",
+        "p75",
+        "mean*",
+        "under",
+        "time(us)",
         format_args!("log10 q-error in [-{span}, {span}] ('|' median, '=' IQR, '.' zero)"),
     ));
     for r in reports {

@@ -50,7 +50,10 @@ fn show_ceg(name: &str, ceg: &CegO) {
         ceg.ceg().max_hops()
     );
     let estimates = ceg.ceg().path_estimates(10_000);
-    println!("distinct path estimates ({}): {estimates:?}", estimates.len());
+    println!(
+        "distinct path estimates ({}): {estimates:?}",
+        estimates.len()
+    );
     for h in Heuristic::all() {
         if let Some(e) = ceg.ceg().estimate(h) {
             println!("  {:<14} -> {e:.2}", h.name());

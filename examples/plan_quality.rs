@@ -6,11 +6,11 @@
 //! ```
 
 use cegraph::catalog::MarkovTable;
+use cegraph::core::{Aggr, Heuristic, PathLen};
 use cegraph::estimators::{OptimisticEstimator, Rdf3xDefaultEstimator};
 use cegraph::planner::{execute_plan, optimize};
 use cegraph::query::templates;
 use cegraph::workload::Dataset;
-use cegraph::core::{Aggr, Heuristic, PathLen};
 
 fn main() {
     let graph = Dataset::Dblp.generate(5);
@@ -36,7 +36,11 @@ fn main() {
         let mut est = OptimisticEstimator::new(&table, h);
         let (plan, cost) = optimize(&q, &mut est);
         let stats = execute_plan(&graph, &q, &plan, budget).expect("plan runs");
-        println!("\n{} plan (est. C_out {cost:.0}): {}", h.name(), plan.render());
+        println!(
+            "\n{} plan (est. C_out {cost:.0}): {}",
+            h.name(),
+            plan.render()
+        );
         println!(
             "  -> {} intermediate tuples, {} results, {:?} ({}x vs default)",
             stats.intermediate_tuples,

@@ -91,7 +91,9 @@ fn parse_heuristic(name: &str) -> Result<Heuristic, String> {
 }
 
 fn arg<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> {
-    args.get(i).map(String::as_str).ok_or_else(|| format!("missing {what}"))
+    args.get(i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing {what}"))
 }
 
 fn generate(args: &[String]) -> Result<(), String> {
@@ -113,7 +115,9 @@ fn generate(args: &[String]) -> Result<(), String> {
 fn workload(args: &[String]) -> Result<(), String> {
     let g = load_graph(arg(args, 0, "graph path")?).map_err(|e| e.to_string())?;
     let wl = parse_workload(arg(args, 1, "workload")?)?;
-    let per: usize = arg(args, 2, "per-template")?.parse().map_err(|_| "bad per-template")?;
+    let per: usize = arg(args, 2, "per-template")?
+        .parse()
+        .map_err(|_| "bad per-template")?;
     let seed: u64 = arg(args, 3, "seed")?.parse().map_err(|_| "bad seed")?;
     let out = arg(args, 4, "output path")?;
     let queries = wl.build(&g, per, seed);
@@ -193,7 +197,9 @@ fn molp(args: &[String]) -> Result<(), String> {
 fn explain(args: &[String]) -> Result<(), String> {
     let g = load_graph(arg(args, 0, "graph path")?).map_err(|e| e.to_string())?;
     let queries = load_workload(arg(args, 1, "workload path")?).map_err(|e| e.to_string())?;
-    let idx: usize = arg(args, 2, "query index")?.parse().map_err(|_| "bad index")?;
+    let idx: usize = arg(args, 2, "query index")?
+        .parse()
+        .map_err(|_| "bad index")?;
     let wq = queries.get(idx).ok_or("query index out of range")?;
     let table = MarkovTable::build_for_query(&g, &wq.query, 2);
     let ceg = CegO::build(&wq.query, &table);

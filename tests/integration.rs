@@ -6,8 +6,7 @@ use cegraph::catalog::{CharacteristicSets, DegreeStats, MarkovTable, SummaryGrap
 use cegraph::core::{Aggr, Heuristic, PathLen};
 use cegraph::estimators::{
     CardinalityEstimator, CbsEstimator, CsEstimator, MolpEstimator, OptimisticEstimator,
-    Rdf3xDefaultEstimator, SketchedMolp, SketchedOptimistic, SumRdfEstimator,
-    WanderJoinEstimator,
+    Rdf3xDefaultEstimator, SketchedMolp, SketchedOptimistic, SumRdfEstimator, WanderJoinEstimator,
 };
 use cegraph::planner::{execute_plan, optimize};
 use cegraph::workload::runner::{render_table, run_estimators};
