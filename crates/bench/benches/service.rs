@@ -1,0 +1,69 @@
+//! Service-layer throughput: batched vs one-at-a-time estimation.
+//!
+//! The service batches requests per dataset so one cache pass, one
+//! catalog fill and one catalog read lock cover the whole batch. These
+//! benches quantify that amortization on the engine directly (no socket
+//! in the way), plus the ceiling set by the LRU cache:
+//!
+//! * `one-at-a-time/*` — one `Engine::estimate` call per query,
+//! * `batched/*` — one `Engine::estimate_batch` call for the workload,
+//! * `cached/*` — the same traffic against a warm LRU (all hits).
+//!
+//! The first two run with caching disabled (capacity 0) so they measure
+//! the estimation path, not the cache.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use ceg_bench::common;
+use ceg_query::QueryGraph;
+use ceg_service::{DatasetRegistry, Engine};
+use ceg_workload::{Dataset, Workload};
+
+fn engine_for(graph: &ceg_graph::LabeledGraph, cache_capacity: usize) -> Engine {
+    let registry = Arc::new(DatasetRegistry::new());
+    registry.insert_graph("bench", graph.clone(), 2);
+    Engine::new(registry, cache_capacity)
+}
+
+fn bench_service(c: &mut Criterion) {
+    let (graph, workload) = common::setup(Dataset::Hetionet, Workload::Job, 2);
+    let queries: Vec<QueryGraph> = workload.iter().map(|q| q.query.clone()).collect();
+
+    let mut group = c.benchmark_group("service");
+    group.sample_size(20);
+
+    // Warm catalogs once so the benches measure steady-state request
+    // handling, not the first-ever pattern counting.
+    let single = engine_for(&graph, 0);
+    let batched = engine_for(&graph, 0);
+    let cached = engine_for(&graph, 4096);
+    single.estimate_batch("bench", &queries).unwrap();
+    batched.estimate_batch("bench", &queries).unwrap();
+    cached.estimate_batch("bench", &queries).unwrap();
+
+    group.bench_function("one-at-a-time/job", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(single.estimate("bench", black_box(q)).unwrap());
+            }
+        });
+    });
+    group.bench_function("batched/job", |b| {
+        b.iter(|| {
+            black_box(
+                batched
+                    .estimate_batch("bench", black_box(&queries))
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("cached/job", |b| {
+        b.iter(|| black_box(cached.estimate_batch("bench", black_box(&queries)).unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_service);
+criterion_main!(benches);

@@ -10,10 +10,13 @@
 //!   ([`EdgeMask`]) utilities used to enumerate sub-queries (CEG vertices),
 //! * [`Pattern`] / [`PatternKey`] — canonicalized small patterns used as
 //!   Markov-table keys,
+//! * [`canon`] — renaming-invariant canonical hashing and exact
+//!   isomorphism for whole queries (service-layer cache keys),
 //! * [`cycles`] — cycle structure analysis (acyclicity, largest cycle,
 //!   cyclomatic number) driving the CEG_O vs CEG_OCR choice,
 //! * [`templates`] — every query template used in the paper's evaluation.
 
+pub mod canon;
 pub mod cycles;
 pub mod mask;
 pub mod pattern;

@@ -1,0 +1,333 @@
+//! LRU estimate cache keyed by renaming-invariant canonical query hashes.
+//!
+//! Repeated traffic is dominated by the same (or isomorphic) queries; a
+//! warm service should answer those without touching the catalog at all.
+//! The cache key is [`QueryGraph::canonical_hash`] (stable under variable
+//! renaming), and every hit is verified with the exact
+//! [`QueryGraph::is_isomorphic`] check so the rare WL hash collision can
+//! never surface a wrong estimate — it just shares a bucket.
+
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+
+use ceg_graph::hash::FxHasher;
+use ceg_graph::FxHashMap;
+use ceg_query::QueryGraph;
+
+/// A plain LRU map: capacity-bounded, least-recently-*used* eviction.
+///
+/// Recency is tracked with a monotonically increasing stamp per entry and
+/// a queue of `(key, stamp)` observations; stale observations (the entry
+/// was touched again later) are skipped during eviction, and the queue is
+/// compacted when it grows past four times the capacity, keeping both
+/// `get` and `insert` amortized O(1).
+pub struct LruCache<K, V> {
+    capacity: usize,
+    map: FxHashMap<K, (V, u64)>,
+    order: VecDeque<(K, u64)>,
+    tick: u64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// An empty cache holding at most `capacity` entries. Capacity 0 is a
+    /// valid always-miss cache (used to disable caching in benchmarks).
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            map: FxHashMap::default(),
+            order: VecDeque::new(),
+            tick: 0,
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn touch(&mut self, key: &K) {
+        self.tick += 1;
+        let tick = self.tick;
+        if let Some((_, stamp)) = self.map.get_mut(key) {
+            *stamp = tick;
+        }
+        self.order.push_back((key.clone(), tick));
+        if self.order.len() > 4 * self.capacity.max(1) {
+            self.compact();
+        }
+    }
+
+    /// Drop stale recency observations (entries touched again later, or
+    /// already evicted).
+    fn compact(&mut self) {
+        let map = &self.map;
+        self.order
+            .retain(|(k, stamp)| map.get(k).is_some_and(|(_, s)| s == stamp));
+    }
+
+    /// Look up `key`, marking it most recently used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        if !self.map.contains_key(key) {
+            return None;
+        }
+        self.touch(key);
+        self.map.get(key).map(|(v, _)| v)
+    }
+
+    /// Look up `key` mutably, marking it most recently used on a hit.
+    pub fn get_mut(&mut self, key: &K) -> Option<&mut V> {
+        if !self.map.contains_key(key) {
+            return None;
+        }
+        self.touch(key);
+        self.map.get_mut(key).map(|(v, _)| v)
+    }
+
+    /// Insert or replace `key`, evicting least-recently-used entries if
+    /// the cache is over capacity.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        self.map.insert(key.clone(), (value, self.tick));
+        self.order.push_back((key, self.tick));
+        while self.map.len() > self.capacity {
+            match self.order.pop_front() {
+                Some((k, stamp)) => {
+                    if self.map.get(&k).is_some_and(|(_, s)| *s == stamp) {
+                        self.map.remove(&k);
+                    }
+                }
+                None => break, // unreachable: map non-empty implies queued stamps
+            }
+        }
+        if self.order.len() > 4 * self.capacity {
+            self.compact();
+        }
+    }
+}
+
+/// One cached estimate: the dataset it belongs to, the query it answers
+/// (kept for exact verification), and the estimator's result — `None` is
+/// cached too, so a query the estimator cannot answer does not hammer the
+/// catalog on every retry.
+struct CachedEstimate {
+    dataset: String,
+    query: QueryGraph,
+    value: Option<f64>,
+}
+
+/// The service's estimate cache: LRU over canonical-hash buckets with
+/// exact isomorphism verification and hit/miss counters (exposed through
+/// the wire protocol so cache behavior is observable end to end).
+pub struct EstimateCache {
+    lru: LruCache<u64, Vec<CachedEstimate>>,
+    hits: u64,
+    misses: u64,
+}
+
+fn bucket_key(dataset: &str, canonical_hash: u64) -> u64 {
+    let mut h = FxHasher::default();
+    dataset.hash(&mut h);
+    h.write_u64(canonical_hash);
+    h.finish()
+}
+
+impl EstimateCache {
+    /// A cache holding at most `capacity` hash buckets.
+    pub fn new(capacity: usize) -> Self {
+        EstimateCache {
+            lru: LruCache::new(capacity),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Look up an estimate for `query` on `dataset`. `Some(value)` is a
+    /// verified hit (the cached query is isomorphic, so the estimate is
+    /// exactly what the estimator would recompute); `None` is a miss.
+    /// Counters are updated either way.
+    pub fn lookup(&mut self, dataset: &str, query: &QueryGraph) -> Option<Option<f64>> {
+        self.lookup_hashed(dataset, query, query.canonical_hash())
+    }
+
+    /// [`EstimateCache::lookup`] with the query's canonical hash already
+    /// computed — callers holding a lock around the cache (the engine)
+    /// hash outside it and probe with this.
+    pub fn lookup_hashed(
+        &mut self,
+        dataset: &str,
+        query: &QueryGraph,
+        canonical_hash: u64,
+    ) -> Option<Option<f64>> {
+        let key = bucket_key(dataset, canonical_hash);
+        if let Some(bucket) = self.lru.get(&key) {
+            for entry in bucket {
+                if entry.dataset == dataset && entry.query.is_isomorphic(query) {
+                    let value = entry.value;
+                    self.hits += 1;
+                    return Some(value);
+                }
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Store an estimate. Collision buckets stay tiny (WL collisions need
+    /// deliberately adversarial regular graphs), so the inner scan is a
+    /// formality.
+    pub fn store(&mut self, dataset: &str, query: &QueryGraph, value: Option<f64>) {
+        self.store_hashed(dataset, query, query.canonical_hash(), value)
+    }
+
+    /// [`EstimateCache::store`] with a precomputed canonical hash.
+    pub fn store_hashed(
+        &mut self,
+        dataset: &str,
+        query: &QueryGraph,
+        canonical_hash: u64,
+        value: Option<f64>,
+    ) {
+        let key = bucket_key(dataset, canonical_hash);
+        let entry = CachedEstimate {
+            dataset: dataset.to_string(),
+            query: query.clone(),
+            value,
+        };
+        if let Some(bucket) = self.lru.get_mut(&key) {
+            for existing in bucket.iter_mut() {
+                if existing.dataset == dataset && existing.query.is_isomorphic(query) {
+                    existing.value = value;
+                    return;
+                }
+            }
+            bucket.push(entry);
+            return;
+        }
+        self.lru.insert(key, vec![entry]);
+    }
+
+    /// Verified hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of cached hash buckets.
+    pub fn len(&self) -> usize {
+        self.lru.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.lru.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceg_query::templates;
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        assert_eq!(c.get(&1), Some(&10)); // 1 is now most recent
+        c.insert(3, 30); // evicts 2
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(c.get(&3), Some(&30));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn lru_replaces_in_place() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.insert(1, 10);
+        c.insert(1, 11);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn lru_zero_capacity_never_stores() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.insert(1, 10);
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn lru_survives_many_touches() {
+        // Exercises queue compaction: far more touches than capacity.
+        let mut c: LruCache<u32, u32> = LruCache::new(4);
+        for i in 0..4 {
+            c.insert(i, i);
+        }
+        for _ in 0..1000 {
+            assert_eq!(c.get(&0), Some(&0));
+        }
+        c.insert(100, 100); // must evict one of 1..=3, never 0
+        assert_eq!(c.get(&0), Some(&0));
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn estimate_cache_hits_isomorphic_queries() {
+        let mut cache = EstimateCache::new(16);
+        let q = templates::path(3, &[0, 1, 0]);
+        assert_eq!(cache.lookup("ds", &q), None);
+        cache.store("ds", &q, Some(42.0));
+        // Same query: hit.
+        assert_eq!(cache.lookup("ds", &q), Some(Some(42.0)));
+        // Renamed (isomorphic) query: still a hit.
+        let renamed = {
+            use ceg_query::{QueryEdge, QueryGraph};
+            let edges = q
+                .edges()
+                .iter()
+                .map(|e| QueryEdge::new(3 - e.src, 3 - e.dst, e.label))
+                .collect();
+            QueryGraph::new(4, edges)
+        };
+        assert_eq!(cache.lookup("ds", &renamed), Some(Some(42.0)));
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn estimate_cache_separates_datasets() {
+        let mut cache = EstimateCache::new(16);
+        let q = templates::path(2, &[0, 1]);
+        cache.store("a", &q, Some(1.0));
+        assert_eq!(cache.lookup("b", &q), None);
+        assert_eq!(cache.lookup("a", &q), Some(Some(1.0)));
+    }
+
+    #[test]
+    fn estimate_cache_caches_failures() {
+        let mut cache = EstimateCache::new(16);
+        let q = templates::path(2, &[0, 1]);
+        cache.store("ds", &q, None);
+        assert_eq!(cache.lookup("ds", &q), Some(None));
+        assert_eq!(cache.hits(), 1);
+    }
+}

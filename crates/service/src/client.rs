@@ -1,0 +1,111 @@
+//! A small blocking client for the wire protocol.
+//!
+//! Used by `cegcli query`, the integration tests and the CI smoke script;
+//! anything that can write lines to a TCP socket (netcat included) speaks
+//! the same protocol.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use ceg_query::QueryGraph;
+
+use crate::engine::EngineStats;
+use crate::protocol::{Request, Response};
+
+/// The answer to one `ESTIMATE` request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateReply {
+    /// The estimate; `None` when the estimator cannot answer.
+    pub value: Option<f64>,
+    /// True if the server answered from its LRU cache.
+    pub cached: bool,
+    /// Server-wide cache hits after this request.
+    pub hits: u64,
+    /// Server-wide cache misses after this request.
+    pub misses: u64,
+}
+
+/// One connection to a running estimation server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server at `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client {
+            writer: stream.try_clone()?,
+            reader: BufReader::new(stream),
+        })
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> io::Result<Response> {
+        writeln!(self.writer, "{}", request.format())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::parse(line.trim_end())
+            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))
+    }
+
+    fn protocol_error(response: Response) -> io::Error {
+        let msg = match response {
+            Response::Error(msg) => msg,
+            other => format!("unexpected response `{}`", other.format()),
+        };
+        io::Error::other(msg)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(Self::protocol_error(other)),
+        }
+    }
+
+    /// Estimate `query` against the named dataset.
+    pub fn estimate(&mut self, dataset: &str, query: &QueryGraph) -> io::Result<EstimateReply> {
+        let request = Request::Estimate {
+            dataset: dataset.to_string(),
+            query: query.clone(),
+        };
+        match self.roundtrip(&request)? {
+            Response::Estimate {
+                outcome,
+                hits,
+                misses,
+            } => Ok(EstimateReply {
+                value: outcome.value,
+                cached: outcome.cached,
+                hits,
+                misses,
+            }),
+            other => Err(Self::protocol_error(other)),
+        }
+    }
+
+    /// Fetch the server's counter snapshot.
+    pub fn stats(&mut self) -> io::Result<EngineStats> {
+        match self.roundtrip(&Request::Stats)? {
+            Response::Stats(stats) => Ok(stats),
+            other => Err(Self::protocol_error(other)),
+        }
+    }
+
+    /// Politely close the connection.
+    pub fn quit(mut self) -> io::Result<()> {
+        match self.roundtrip(&Request::Quit)? {
+            Response::Bye => Ok(()),
+            other => Err(Self::protocol_error(other)),
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! The transport-independent estimation core.
+//!
+//! One [`Engine`] per server: it owns the shared [`EstimateCache`] and a
+//! handle to the [`DatasetRegistry`], and turns a batch of queries into a
+//! batch of estimates in three phases — cache lookups, one amortized
+//! catalog fill for all misses, then per-query estimation under a single
+//! read lock. The TCP server, `cegcli`, benches and tests all drive this
+//! same type, so the batched path is measurable without a socket in the
+//! way.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use ceg_estimators::{CardinalityEstimator, OptimisticEstimator};
+use ceg_query::QueryGraph;
+
+use crate::cache::EstimateCache;
+use crate::registry::DatasetRegistry;
+
+/// One estimate with its cache provenance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EstimateOutcome {
+    /// The estimate; `None` when the estimator cannot answer the query.
+    pub value: Option<f64>,
+    /// True if served from the LRU cache.
+    pub cached: bool,
+}
+
+/// Counter snapshot reported over the wire by `STATS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineStats {
+    pub requests: u64,
+    pub batches: u64,
+    pub cache_hits: u64,
+    pub cache_misses: u64,
+    pub datasets: u64,
+}
+
+/// Shared estimation core: registry + cache + counters.
+pub struct Engine {
+    registry: Arc<DatasetRegistry>,
+    cache: Mutex<EstimateCache>,
+    requests: AtomicU64,
+    batches: AtomicU64,
+}
+
+impl Engine {
+    /// An engine over `registry` with an LRU cache of `cache_capacity`
+    /// buckets (0 disables caching).
+    pub fn new(registry: Arc<DatasetRegistry>, cache_capacity: usize) -> Self {
+        Engine {
+            registry,
+            cache: Mutex::new(EstimateCache::new(cache_capacity)),
+            requests: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+        }
+    }
+
+    /// The registry this engine serves from.
+    pub fn registry(&self) -> &Arc<DatasetRegistry> {
+        &self.registry
+    }
+
+    /// Estimate one query (a batch of one).
+    pub fn estimate(&self, dataset: &str, query: &QueryGraph) -> Result<EstimateOutcome, String> {
+        Ok(self.estimate_batch(dataset, std::slice::from_ref(query))?[0])
+    }
+
+    /// Estimate a batch of queries against one dataset.
+    ///
+    /// Phases: (1) one cache pass under the cache lock; (2) one
+    /// `ensure_patterns` call for **all** misses, so overlapping patterns
+    /// across the batch are counted once and the catalog write lock is
+    /// taken at most once; (3) estimation for the misses under a single
+    /// catalog read lock; (4) one cache pass to store the new results.
+    pub fn estimate_batch(
+        &self,
+        dataset: &str,
+        queries: &[QueryGraph],
+    ) -> Result<Vec<EstimateOutcome>, String> {
+        let entry = self
+            .registry
+            .get(dataset)
+            .ok_or_else(|| format!("unknown dataset `{dataset}`"))?;
+        self.requests
+            .fetch_add(queries.len() as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+
+        // The WL canonical hash is the expensive part of a cache probe;
+        // compute it outside the cache lock so concurrent workers only
+        // serialize on the map operations themselves.
+        let hashes: Vec<u64> = queries.iter().map(|q| q.canonical_hash()).collect();
+        let mut outcomes: Vec<Option<EstimateOutcome>> = vec![None; queries.len()];
+        let mut miss_indices: Vec<usize> = Vec::new();
+        {
+            let mut cache = self.cache.lock().unwrap();
+            for (i, q) in queries.iter().enumerate() {
+                match cache.lookup_hashed(dataset, q, hashes[i]) {
+                    Some(value) => {
+                        outcomes[i] = Some(EstimateOutcome {
+                            value,
+                            cached: true,
+                        })
+                    }
+                    None => miss_indices.push(i),
+                }
+            }
+        }
+        if !miss_indices.is_empty() {
+            let miss_queries: Vec<QueryGraph> =
+                miss_indices.iter().map(|&i| queries[i].clone()).collect();
+            entry.ensure_patterns(&miss_queries);
+            let values: Vec<Option<f64>> = entry.with_markov(|table| {
+                let mut est = OptimisticEstimator::recommended(table);
+                miss_queries
+                    .iter()
+                    .map(|q| {
+                        // The CEG estimators assume connected, non-empty
+                        // queries; anything else is unanswerable, not a
+                        // panic (wire input is rejected at parse time,
+                        // this guards direct API callers).
+                        if q.num_edges() == 0 || !q.is_connected() {
+                            None
+                        } else {
+                            est.estimate(q)
+                        }
+                    })
+                    .collect()
+            });
+            let mut cache = self.cache.lock().unwrap();
+            for (&i, value) in miss_indices.iter().zip(&values) {
+                cache.store_hashed(dataset, &queries[i], hashes[i], *value);
+                outcomes[i] = Some(EstimateOutcome {
+                    value: *value,
+                    cached: false,
+                });
+            }
+        }
+        Ok(outcomes.into_iter().map(|o| o.unwrap()).collect())
+    }
+
+    /// Snapshot of the engine counters.
+    pub fn stats(&self) -> EngineStats {
+        let cache = self.cache.lock().unwrap();
+        EngineStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            datasets: self.registry.len() as u64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceg_graph::GraphBuilder;
+    use ceg_query::templates;
+
+    fn engine() -> Engine {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 0);
+        b.add_edge(1, 2, 1);
+        b.add_edge(1, 3, 1);
+        b.add_edge(3, 4, 0);
+        let registry = Arc::new(DatasetRegistry::new());
+        registry.insert_graph("toy", b.build(), 2);
+        Engine::new(registry, 64)
+    }
+
+    #[test]
+    fn repeated_query_is_served_from_cache() {
+        let engine = engine();
+        let q = templates::path(2, &[0, 1]);
+        let first = engine.estimate("toy", &q).unwrap();
+        assert!(!first.cached);
+        assert_eq!(first.value, Some(2.0)); // exact: the query fits in the table
+        let second = engine.estimate("toy", &q).unwrap();
+        assert!(second.cached);
+        assert_eq!(second.value, first.value);
+        let stats = engine.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.requests, 2);
+    }
+
+    #[test]
+    fn batch_mixes_hits_and_misses() {
+        let engine = engine();
+        let a = templates::path(2, &[0, 1]);
+        let b = templates::path(2, &[1, 0]);
+        engine.estimate("toy", &a).unwrap();
+        let out = engine.estimate_batch("toy", &[a, b]).unwrap();
+        assert!(out[0].cached);
+        assert!(!out[1].cached);
+    }
+
+    #[test]
+    fn unknown_dataset_is_an_error() {
+        let engine = engine();
+        let q = templates::path(2, &[0, 1]);
+        assert!(engine.estimate("nope", &q).is_err());
+    }
+
+    #[test]
+    fn unanswerable_queries_yield_none_not_panic() {
+        use ceg_query::{QueryEdge, QueryGraph};
+        let engine = engine();
+        // Zero edges and a disconnected pair: the CEG estimators assert
+        // on both, so the engine must answer None instead of unwinding.
+        let empty = QueryGraph::new(1, vec![]);
+        let disconnected =
+            QueryGraph::new(4, vec![QueryEdge::new(0, 1, 0), QueryEdge::new(2, 3, 1)]);
+        for q in [empty, disconnected] {
+            let out = engine.estimate("toy", &q).unwrap();
+            assert_eq!(out.value, None);
+            // And the verdict is cached like any other result.
+            assert!(engine.estimate("toy", &q).unwrap().cached);
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! # ceg-service
+//!
+//! A long-running, concurrent cardinality-estimation service on top of the
+//! CEG estimators — the layer that turns the batch reproduction into a
+//! system that can serve sustained traffic. The batch front door
+//! (`cegcli estimate`) reloads the graph and rebuilds catalogs on every
+//! invocation; this crate keeps that state warm and shares it:
+//!
+//! * [`registry`] — a [`DatasetRegistry`] loads each graph once, builds or
+//!   loads its Markov catalog once, and shares both across requests via
+//!   `Arc`; catalogs grow incrementally as unseen query patterns arrive,
+//! * [`pool`] — a hand-rolled `std::thread` [`WorkerPool`] (the build
+//!   environment has no crates-registry access, so no rayon/tokio): one
+//!   mpsc shard per worker, requests routed by dataset so each worker can
+//!   drain its queue into a per-dataset **batch** and amortize catalog
+//!   locking and pattern counting across requests,
+//! * [`cache`] — an [`EstimateCache`] (LRU) keyed by the renaming-invariant
+//!   [`canonical hash`](ceg_query::canon) from `ceg-query`, verified by
+//!   exact isomorphism so hash collisions can never return a wrong
+//!   estimate; hit/miss counters are exposed through the wire protocol,
+//! * [`engine`] — the transport-independent core: cache lookup → batched
+//!   catalog fill → estimate → cache store,
+//! * [`protocol`] / [`server`] / [`client`] — a line-delimited text
+//!   protocol over `std::net::TcpListener`, served by `cegcli serve` and
+//!   spoken by `cegcli query` (or a 5-line netcat script).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ceg_graph::GraphBuilder;
+//! use ceg_query::templates;
+//! use ceg_service::{Client, DatasetRegistry, Server, ServerConfig};
+//!
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(0, 1, 0);
+//! b.add_edge(1, 2, 1);
+//! b.add_edge(1, 3, 1);
+//! let registry = Arc::new(DatasetRegistry::new());
+//! registry.insert_graph("default", b.build(), 2);
+//!
+//! let server = Server::start(registry, "127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr()).unwrap();
+//! let reply = client.estimate("default", &templates::path(2, &[0, 1])).unwrap();
+//! assert_eq!(reply.value, Some(2.0));
+//! assert!(!reply.cached);
+//! let again = client.estimate("default", &templates::path(2, &[0, 1])).unwrap();
+//! assert!(again.cached);
+//! server.shutdown();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod engine;
+pub mod pool;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use cache::{EstimateCache, LruCache};
+pub use client::{Client, EstimateReply};
+pub use engine::{Engine, EngineStats, EstimateOutcome};
+pub use pool::{run_scoped, WorkerPool};
+pub use protocol::{Request, Response};
+pub use registry::{DatasetEntry, DatasetRegistry};
+pub use server::{Server, ServerConfig};

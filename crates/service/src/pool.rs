@@ -1,0 +1,262 @@
+//! A hand-rolled `std::thread` worker pool with sharded, batching queues.
+//!
+//! The build environment has no crates-registry access, so there is no
+//! rayon or tokio to lean on; plain threads and `std::sync::mpsc` cover
+//! what the service needs:
+//!
+//! * **Sharding.** Each worker owns one mpsc queue. Callers pick a shard
+//!   per job ([`WorkerPool::submit`] round-robins; [`WorkerPool::submit_to`]
+//!   pins) — the server round-robins and lets each worker's drained batch
+//!   regroup by dataset.
+//! * **Batching.** A worker blocks for the first job, then drains up to
+//!   `batch_max - 1` more without blocking and hands the whole batch to
+//!   the handler in one call — the handler amortizes catalog locking and
+//!   pattern counting across the batch.
+//! * **Scoped fan-out.** [`run_scoped`] runs borrowed jobs across a bounded
+//!   number of ephemeral threads and returns results in job order; the
+//!   parallel workload runner in `ceg-workload` is built on it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Sender, TryRecvError};
+use std::sync::Mutex;
+use std::thread::{self, JoinHandle};
+
+/// A fixed set of worker threads, each owning one job queue (shard).
+///
+/// Jobs of type `T` are consumed by a shared `handler` which receives
+/// *batches*: the first job blocks the worker, any jobs already queued
+/// behind it (up to the batch cap) ride along in the same call.
+pub struct WorkerPool<T: Send + 'static> {
+    shards: Vec<Sender<T>>,
+    handles: Vec<JoinHandle<()>>,
+    next: AtomicUsize,
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawn `workers` threads (at least one), each draining batches of at
+    /// most `batch_max` jobs into `handler`. The handler runs on worker
+    /// threads, so it must be `Send + Sync` and is shared by value-clone.
+    pub fn new<H>(workers: usize, batch_max: usize, handler: H) -> Self
+    where
+        H: Fn(Vec<T>) + Send + Clone + 'static,
+    {
+        let workers = workers.max(1);
+        let batch_max = batch_max.max(1);
+        let mut shards = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = mpsc::channel::<T>();
+            shards.push(tx);
+            let handler = handler.clone();
+            let handle = thread::Builder::new()
+                .name(format!("ceg-worker-{w}"))
+                .spawn(move || {
+                    // Blocks for the first job; `Err` means every sender is
+                    // gone and the pool is shutting down.
+                    while let Ok(first) = rx.recv() {
+                        let mut batch = vec![first];
+                        while batch.len() < batch_max {
+                            match rx.try_recv() {
+                                Ok(job) => batch.push(job),
+                                Err(TryRecvError::Empty | TryRecvError::Disconnected) => break,
+                            }
+                        }
+                        // A panicking handler must not kill the shard:
+                        // the queue's jobs would silently never run and
+                        // every future submit to this shard would hang
+                        // its caller. Contain the panic, drop the batch
+                        // (reply channels close, so waiters see an
+                        // error), keep serving.
+                        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            handler(batch)
+                        }));
+                        if caught.is_err() {
+                            eprintln!("ceg-worker-{w}: batch handler panicked; batch dropped");
+                        }
+                    }
+                })
+                .expect("failed to spawn worker thread");
+            handles.push(handle);
+        }
+        WorkerPool {
+            shards,
+            handles,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of workers (= shards).
+    pub fn workers(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Enqueue a job on a specific shard (modulo the worker count). Jobs
+    /// that should batch together — same dataset — go to the same shard.
+    pub fn submit_to(&self, shard: usize, job: T) {
+        // Send can only fail after shutdown, which consumes the pool.
+        let _ = self.shards[shard % self.shards.len()].send(job);
+    }
+
+    /// Enqueue a job on the next shard round-robin.
+    pub fn submit(&self, job: T) {
+        let shard = self.next.fetch_add(1, Ordering::Relaxed);
+        self.submit_to(shard, job);
+    }
+
+    /// Drop the queues and join every worker; queued jobs are drained
+    /// before the workers exit.
+    pub fn shutdown(mut self) {
+        self.shards.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for WorkerPool<T> {
+    fn drop(&mut self) {
+        self.shards.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Run `jobs` across at most `parallelism` ephemeral threads and return
+/// their results **in job order** regardless of completion order.
+///
+/// Unlike [`WorkerPool`], jobs may borrow from the caller's stack (the
+/// threads are scoped), which is what `ceg-workload`'s parallel runner
+/// needs: estimators borrow catalogs that live on the caller's frame.
+/// With `parallelism <= 1` the jobs run inline on the calling thread.
+pub fn run_scoped<T, F>(parallelism: usize, jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    if parallelism <= 1 || jobs.len() <= 1 {
+        return jobs.into_iter().map(|f| f()).collect();
+    }
+    let n = jobs.len();
+    let queue: Mutex<Vec<Option<F>>> = Mutex::new(jobs.into_iter().map(Some).collect());
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    let cursor = AtomicUsize::new(0);
+    thread::scope(|scope| {
+        for _ in 0..parallelism.min(n) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let job = queue.lock().unwrap()[i].take().expect("job taken twice");
+                let out = job();
+                results.lock().unwrap()[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("worker thread panicked before storing its result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn pool_runs_every_job() {
+        let sum = Arc::new(AtomicU64::new(0));
+        let pool = {
+            let sum = sum.clone();
+            WorkerPool::new(3, 4, move |batch: Vec<u64>| {
+                for j in batch {
+                    sum.fetch_add(j, Ordering::Relaxed);
+                }
+            })
+        };
+        for i in 1..=100u64 {
+            pool.submit(i);
+        }
+        pool.shutdown(); // joins after draining
+        assert_eq!(sum.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn sharded_jobs_batch_together() {
+        // One worker, jobs queued before it can drain: the batch cap
+        // bounds every delivered batch.
+        let max_seen = Arc::new(AtomicU64::new(0));
+        let pool = {
+            let max_seen = max_seen.clone();
+            WorkerPool::new(1, 8, move |batch: Vec<u64>| {
+                max_seen.fetch_max(batch.len() as u64, Ordering::Relaxed);
+                // Give the queue time to fill behind us.
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            })
+        };
+        for i in 0..64u64 {
+            pool.submit_to(0, i);
+        }
+        pool.shutdown();
+        let m = max_seen.load(Ordering::Relaxed);
+        assert!(
+            (1..=8).contains(&m),
+            "batch sizes must respect the cap, got {m}"
+        );
+    }
+
+    #[test]
+    fn panicking_handler_does_not_kill_the_shard() {
+        let processed = Arc::new(AtomicU64::new(0));
+        let pool = {
+            let processed = processed.clone();
+            WorkerPool::new(1, 1, move |batch: Vec<u64>| {
+                for j in batch {
+                    if j == 13 {
+                        panic!("unlucky job");
+                    }
+                    processed.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        };
+        for i in 0..20u64 {
+            pool.submit_to(0, i);
+        }
+        pool.shutdown();
+        // Every job except the poisoned one was still handled.
+        assert_eq!(processed.load(Ordering::Relaxed), 19);
+    }
+
+    #[test]
+    fn run_scoped_preserves_order() {
+        let inputs: Vec<usize> = (0..50).collect();
+        let jobs: Vec<_> = inputs
+            .iter()
+            .map(|&i| move || i * 2) // borrows nothing, returns in-order marker
+            .collect();
+        let out = run_scoped(4, jobs);
+        assert_eq!(out, (0..50).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_scoped_borrows_caller_state() {
+        let data = [1u64, 2, 3, 4, 5];
+        let jobs: Vec<_> = data
+            .chunks(2)
+            .map(|chunk| move || chunk.iter().sum::<u64>())
+            .collect();
+        let out = run_scoped(2, jobs);
+        assert_eq!(out, vec![3, 7, 5]);
+    }
+
+    #[test]
+    fn run_scoped_serial_fallback_matches() {
+        let jobs: Vec<_> = (0..5).map(|i| move || i + 1).collect();
+        assert_eq!(run_scoped(1, jobs), vec![1, 2, 3, 4, 5]);
+    }
+}

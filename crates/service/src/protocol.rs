@@ -1,0 +1,337 @@
+//! The line-delimited text wire protocol.
+//!
+//! One request per line, one response line per request — trivially
+//! scriptable with netcat and stable for tests. Numbers are plain ASCII;
+//! `f64` values round-trip through Rust's shortest-representation
+//! `Display`/`FromStr`.
+//!
+//! ```text
+//! client -> server                                server -> client
+//! -----------------------------------------------------------------------
+//! PING                                            PONG
+//! ESTIMATE <ds> <nv> <ne> (<src> <dst> <lbl>)*    EST <value|none> cache=<hit|miss> hits=<n> misses=<n>
+//! STATS                                           STATS requests=<n> batches=<n> hits=<n> misses=<n> datasets=<n>
+//! QUIT                                            BYE
+//! (anything malformed)                            ERR <message>
+//! ```
+//!
+//! The query encoding (`num_vars num_edges` then `src dst label` triples)
+//! matches the persisted workload format of `ceg-workload::io`, so a
+//! workload file line maps 1:1 onto an `ESTIMATE` line.
+
+use ceg_query::{QueryEdge, QueryGraph, VarId};
+
+use crate::engine::{EngineStats, EstimateOutcome};
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Counter snapshot.
+    Stats,
+    /// Estimate one query against a named dataset.
+    Estimate { dataset: String, query: QueryGraph },
+    /// Close the connection.
+    Quit,
+}
+
+impl Request {
+    /// Parse one request line.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("PING") => Ok(Request::Ping),
+            Some("STATS") => Ok(Request::Stats),
+            Some("QUIT") => Ok(Request::Quit),
+            Some("ESTIMATE") => {
+                let dataset = it.next().ok_or("ESTIMATE: missing dataset")?.to_string();
+                let nv: VarId = it
+                    .next()
+                    .ok_or("ESTIMATE: missing num_vars")?
+                    .parse()
+                    .map_err(|_| "ESTIMATE: bad num_vars")?;
+                let ne: usize = it
+                    .next()
+                    .ok_or("ESTIMATE: missing num_edges")?
+                    .parse()
+                    .map_err(|_| "ESTIMATE: bad num_edges")?;
+                if ne > 32 {
+                    return Err("ESTIMATE: queries are limited to 32 edges".into());
+                }
+                let mut edges = Vec::with_capacity(ne);
+                for _ in 0..ne {
+                    let src: VarId = it
+                        .next()
+                        .ok_or("ESTIMATE: truncated edge list")?
+                        .parse()
+                        .map_err(|_| "ESTIMATE: bad src")?;
+                    let dst: VarId = it
+                        .next()
+                        .ok_or("ESTIMATE: truncated edge list")?
+                        .parse()
+                        .map_err(|_| "ESTIMATE: bad dst")?;
+                    let label: u16 = it
+                        .next()
+                        .ok_or("ESTIMATE: truncated edge list")?
+                        .parse()
+                        .map_err(|_| "ESTIMATE: bad label")?;
+                    if src >= nv || dst >= nv {
+                        return Err(format!(
+                            "ESTIMATE: edge endpoint out of range (vars are 0..{nv})"
+                        ));
+                    }
+                    edges.push(QueryEdge::new(src, dst, label));
+                }
+                if it.next().is_some() {
+                    return Err("ESTIMATE: trailing tokens after edge list".into());
+                }
+                if edges.is_empty() {
+                    return Err("ESTIMATE: query must have at least one edge".into());
+                }
+                let query = QueryGraph::new(nv, edges);
+                // The estimators assume connected queries (paper §4.2);
+                // rejecting here keeps malformed wire input out of the
+                // worker threads.
+                if !query.is_connected() {
+                    return Err("ESTIMATE: query must be connected".into());
+                }
+                Ok(Request::Estimate { dataset, query })
+            }
+            Some(other) => Err(format!("unknown command `{other}`")),
+            None => Err("empty request".into()),
+        }
+    }
+
+    /// Render the request as one wire line (no trailing newline).
+    pub fn format(&self) -> String {
+        match self {
+            Request::Ping => "PING".into(),
+            Request::Stats => "STATS".into(),
+            Request::Quit => "QUIT".into(),
+            Request::Estimate { dataset, query } => {
+                let mut line = format!(
+                    "ESTIMATE {dataset} {} {}",
+                    query.num_vars(),
+                    query.num_edges()
+                );
+                for e in query.edges() {
+                    line.push_str(&format!(" {} {} {}", e.src, e.dst, e.label));
+                }
+                line
+            }
+        }
+    }
+}
+
+/// A parsed server response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    Pong,
+    /// Estimate plus the server-wide cache counters *after* this request.
+    Estimate {
+        outcome: EstimateOutcome,
+        hits: u64,
+        misses: u64,
+    },
+    Stats(EngineStats),
+    Error(String),
+    Bye,
+}
+
+impl Response {
+    /// Render the response as one wire line (no trailing newline).
+    pub fn format(&self) -> String {
+        match self {
+            Response::Pong => "PONG".into(),
+            Response::Bye => "BYE".into(),
+            Response::Error(msg) => format!("ERR {msg}"),
+            Response::Estimate {
+                outcome,
+                hits,
+                misses,
+            } => {
+                let value = match outcome.value {
+                    Some(v) => v.to_string(),
+                    None => "none".into(),
+                };
+                let cache = if outcome.cached { "hit" } else { "miss" };
+                format!("EST {value} cache={cache} hits={hits} misses={misses}")
+            }
+            Response::Stats(s) => format!(
+                "STATS requests={} batches={} hits={} misses={} datasets={}",
+                s.requests, s.batches, s.cache_hits, s.cache_misses, s.datasets
+            ),
+        }
+    }
+
+    /// Parse one response line.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("PONG") => Ok(Response::Pong),
+            Some("BYE") => Ok(Response::Bye),
+            Some("ERR") => {
+                let rest = line.trim_start();
+                Ok(Response::Error(
+                    rest.strip_prefix("ERR").unwrap_or(rest).trim().to_string(),
+                ))
+            }
+            Some("EST") => {
+                let value_tok = it.next().ok_or("EST: missing value")?;
+                let value = match value_tok {
+                    "none" => None,
+                    v => Some(v.parse::<f64>().map_err(|_| "EST: bad value")?),
+                };
+                let cached = match kv(it.next(), "cache")? {
+                    "hit" => true,
+                    "miss" => false,
+                    other => return Err(format!("EST: bad cache flag `{other}`")),
+                };
+                let hits = kv(it.next(), "hits")?
+                    .parse()
+                    .map_err(|_| "EST: bad hits")?;
+                let misses = kv(it.next(), "misses")?
+                    .parse()
+                    .map_err(|_| "EST: bad misses")?;
+                Ok(Response::Estimate {
+                    outcome: EstimateOutcome { value, cached },
+                    hits,
+                    misses,
+                })
+            }
+            Some("STATS") => {
+                let requests = kv(it.next(), "requests")?
+                    .parse()
+                    .map_err(|_| "STATS: bad requests")?;
+                let batches = kv(it.next(), "batches")?
+                    .parse()
+                    .map_err(|_| "STATS: bad batches")?;
+                let cache_hits = kv(it.next(), "hits")?
+                    .parse()
+                    .map_err(|_| "STATS: bad hits")?;
+                let cache_misses = kv(it.next(), "misses")?
+                    .parse()
+                    .map_err(|_| "STATS: bad misses")?;
+                let datasets = kv(it.next(), "datasets")?
+                    .parse()
+                    .map_err(|_| "STATS: bad datasets")?;
+                Ok(Response::Stats(EngineStats {
+                    requests,
+                    batches,
+                    cache_hits,
+                    cache_misses,
+                    datasets,
+                }))
+            }
+            Some(other) => Err(format!("unknown response `{other}`")),
+            None => Err("empty response".into()),
+        }
+    }
+}
+
+/// Extract the value of a `key=value` token, checking the key.
+fn kv<'a>(tok: Option<&'a str>, key: &str) -> Result<&'a str, String> {
+    let tok = tok.ok_or_else(|| format!("missing {key}=…"))?;
+    tok.strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| format!("expected {key}=…, got `{tok}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceg_query::templates;
+
+    #[test]
+    fn estimate_roundtrip() {
+        let req = Request::Estimate {
+            dataset: "imdb".into(),
+            query: templates::path(2, &[3, 4]),
+        };
+        let line = req.format();
+        assert_eq!(line, "ESTIMATE imdb 3 2 0 1 3 1 2 4");
+        assert_eq!(Request::parse(&line).unwrap(), req);
+    }
+
+    #[test]
+    fn simple_requests_roundtrip() {
+        for req in [Request::Ping, Request::Stats, Request::Quit] {
+            assert_eq!(Request::parse(&req.format()).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected() {
+        for line in [
+            "",
+            "BOGUS",
+            "ESTIMATE",
+            "ESTIMATE ds",
+            "ESTIMATE ds 3",
+            "ESTIMATE ds 3 1",
+            "ESTIMATE ds 3 1 0 1",         // truncated edge
+            "ESTIMATE ds 2 1 0 5 0",       // endpoint out of range
+            "ESTIMATE ds 3 1 0 1 0 9 9 9", // trailing tokens
+            "ESTIMATE ds 3 99 0 1 0",      // too many edges
+            "ESTIMATE ds 1 0",             // zero edges
+            "ESTIMATE ds 4 2 0 1 0 2 3 1", // disconnected
+        ] {
+            assert!(Request::parse(line).is_err(), "should reject: {line:?}");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let responses = [
+            Response::Pong,
+            Response::Bye,
+            Response::Error("unknown dataset `x`".into()),
+            Response::Estimate {
+                outcome: EstimateOutcome {
+                    value: Some(1234.5),
+                    cached: true,
+                },
+                hits: 7,
+                misses: 3,
+            },
+            Response::Estimate {
+                outcome: EstimateOutcome {
+                    value: None,
+                    cached: false,
+                },
+                hits: 0,
+                misses: 1,
+            },
+            Response::Stats(EngineStats {
+                requests: 10,
+                batches: 4,
+                cache_hits: 6,
+                cache_misses: 4,
+                datasets: 2,
+            }),
+        ];
+        for r in responses {
+            assert_eq!(Response::parse(&r.format()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn estimate_values_roundtrip_exactly() {
+        // Display/FromStr round-trips f64 exactly (shortest representation).
+        for v in [0.1, 1e300, 123456789.123456, f64::MIN_POSITIVE] {
+            let r = Response::Estimate {
+                outcome: EstimateOutcome {
+                    value: Some(v),
+                    cached: false,
+                },
+                hits: 0,
+                misses: 0,
+            };
+            match Response::parse(&r.format()).unwrap() {
+                Response::Estimate { outcome, .. } => assert_eq!(outcome.value, Some(v)),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! The dataset registry: load graphs and catalogs once, share forever.
+//!
+//! `cegcli estimate` pays the full cost of loading the graph and building
+//! the Markov catalog on every invocation. The registry is the service's
+//! fix: each dataset is loaded once into a [`DatasetEntry`] and shared
+//! across requests and worker threads via `Arc`. The graph is immutable
+//! after load; the Markov catalog sits behind an `RwLock` and **grows
+//! incrementally** — when a batch of requests mentions patterns the
+//! catalog has not seen, the missing patterns are counted once (outside
+//! any lock) and inserted, so concurrent estimators keep reading while a
+//! batch fills gaps.
+
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, RwLock};
+
+use ceg_catalog::io::load_markov;
+use ceg_catalog::MarkovTable;
+use ceg_exec::{count_constrained, VarConstraints};
+use ceg_graph::io::load_graph;
+use ceg_graph::{FxHashMap, FxHashSet, LabeledGraph};
+use ceg_query::{Pattern, QueryGraph};
+
+/// One registered dataset: the graph plus its shared, growable catalog.
+pub struct DatasetEntry {
+    name: String,
+    graph: LabeledGraph,
+    h: usize,
+    markov: RwLock<MarkovTable>,
+}
+
+impl DatasetEntry {
+    /// Wrap an already-loaded graph and catalog.
+    pub fn new(name: impl Into<String>, graph: LabeledGraph, markov: MarkovTable) -> Self {
+        DatasetEntry {
+            name: name.into(),
+            h: markov.h(),
+            graph,
+            markov: RwLock::new(markov),
+        }
+    }
+
+    /// Dataset name (the wire-protocol identifier).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The shared graph.
+    pub fn graph(&self) -> &LabeledGraph {
+        &self.graph
+    }
+
+    /// Markov hop depth `h`.
+    pub fn h(&self) -> usize {
+        self.h
+    }
+
+    /// Run `f` under a read lock on the catalog (many readers at once).
+    pub fn with_markov<R>(&self, f: impl FnOnce(&MarkovTable) -> R) -> R {
+        f(&self.markov.read().unwrap())
+    }
+
+    /// Make sure every connected sub-pattern (≤ `h` edges) of `queries` is
+    /// in the catalog, counting missing ones exactly once per batch.
+    /// Returns how many patterns were added.
+    ///
+    /// The expensive part — exact counting on the graph — runs without any
+    /// lock held: readers keep estimating while a batch fills gaps, and
+    /// two racing batches at worst count the same pattern twice (the
+    /// second insert is a no-op on an identical exact count).
+    pub fn ensure_patterns(&self, queries: &[QueryGraph]) -> usize {
+        let mut missing: Vec<Pattern> = Vec::new();
+        {
+            let table = self.markov.read().unwrap();
+            let mut seen: FxHashSet<Pattern> = FxHashSet::default();
+            for q in queries {
+                for mask in q.connected_subsets_up_to(self.h) {
+                    let pat = Pattern::of_subquery(q, mask);
+                    if table.card(&pat).is_none() && seen.insert(pat.clone()) {
+                        missing.push(pat);
+                    }
+                }
+            }
+        }
+        if missing.is_empty() {
+            return 0;
+        }
+        let counted: Vec<(Pattern, u64)> = missing
+            .into_iter()
+            .map(|pat| {
+                let pq = pat.to_query();
+                let card =
+                    count_constrained(&self.graph, &pq, &VarConstraints::none(pq.num_vars()));
+                (pat, card)
+            })
+            .collect();
+        let mut table = self.markov.write().unwrap();
+        let mut added = 0;
+        for (pat, card) in counted {
+            if table.card(&pat).is_none() {
+                table.insert(pat, card);
+                added += 1;
+            }
+        }
+        added
+    }
+
+    /// Catalog size (stored patterns) right now.
+    pub fn catalog_len(&self) -> usize {
+        self.markov.read().unwrap().len()
+    }
+}
+
+/// Name → dataset map shared by every connection and worker.
+pub struct DatasetRegistry {
+    map: RwLock<FxHashMap<String, Arc<DatasetEntry>>>,
+}
+
+impl DatasetRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        DatasetRegistry {
+            map: RwLock::new(FxHashMap::default()),
+        }
+    }
+
+    /// Register a prepared entry, replacing any previous dataset with the
+    /// same name. Returns the shared handle.
+    pub fn insert(&self, entry: DatasetEntry) -> Arc<DatasetEntry> {
+        let entry = Arc::new(entry);
+        self.map
+            .write()
+            .unwrap()
+            .insert(entry.name().to_string(), entry.clone());
+        entry
+    }
+
+    /// Register a graph with an empty hop-`h` catalog (it fills on demand).
+    pub fn insert_graph(
+        &self,
+        name: impl Into<String>,
+        graph: LabeledGraph,
+        h: usize,
+    ) -> Arc<DatasetEntry> {
+        self.insert(DatasetEntry::new(name, graph, MarkovTable::empty(h)))
+    }
+
+    /// Load a dataset from an edge-list file, with an optional persisted
+    /// Markov catalog (`cegcli stats` output). Without one, an empty
+    /// hop-`h` catalog is built on demand as requests arrive.
+    pub fn load_files(
+        &self,
+        name: impl Into<String>,
+        edges_path: impl AsRef<Path>,
+        markov_path: Option<&str>,
+        h: usize,
+    ) -> io::Result<Arc<DatasetEntry>> {
+        let graph = load_graph(edges_path)?;
+        let markov = match markov_path {
+            Some(path) => load_markov(path)?,
+            None => MarkovTable::empty(h),
+        };
+        Ok(self.insert(DatasetEntry::new(name, graph, markov)))
+    }
+
+    /// Shared handle to a dataset, if registered.
+    pub fn get(&self, name: &str) -> Option<Arc<DatasetEntry>> {
+        self.map.read().unwrap().get(name).cloned()
+    }
+
+    /// Registered dataset names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.map.read().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.map.read().unwrap().len()
+    }
+
+    /// True if no dataset is registered.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().unwrap().is_empty()
+    }
+}
+
+impl Default for DatasetRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ceg_graph::GraphBuilder;
+    use ceg_query::templates;
+
+    fn toy_graph() -> LabeledGraph {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 0);
+        b.add_edge(1, 2, 1);
+        b.add_edge(1, 3, 1);
+        b.add_edge(3, 4, 0);
+        b.build()
+    }
+
+    #[test]
+    fn ensure_patterns_fills_catalog_once() {
+        let registry = DatasetRegistry::new();
+        let entry = registry.insert_graph("toy", toy_graph(), 2);
+        let q = templates::path(2, &[0, 1]);
+        assert_eq!(entry.catalog_len(), 0);
+        let added = entry.ensure_patterns(std::slice::from_ref(&q));
+        assert!(added > 0);
+        let len = entry.catalog_len();
+        // Same queries again: nothing to add.
+        assert_eq!(entry.ensure_patterns(std::slice::from_ref(&q)), 0);
+        assert_eq!(entry.catalog_len(), len);
+        // The filled catalog answers the full query pattern.
+        let card = entry.with_markov(|t| t.card_of_subquery(&q, q.full_mask()));
+        assert_eq!(card, Some(2)); // 0->1->{2,3}
+    }
+
+    #[test]
+    fn batch_ensure_deduplicates_across_queries() {
+        let registry = DatasetRegistry::new();
+        let entry = registry.insert_graph("toy", toy_graph(), 2);
+        // Two isomorphic queries share all patterns: batch counts them once.
+        let q1 = templates::path(2, &[0, 1]);
+        let q2 = templates::path(2, &[0, 1]);
+        let added = entry.ensure_patterns(&[q1, q2]);
+        assert_eq!(added, entry.catalog_len());
+    }
+
+    #[test]
+    fn registry_lookup_and_names() {
+        let registry = DatasetRegistry::new();
+        assert!(registry.is_empty());
+        registry.insert_graph("b", toy_graph(), 2);
+        registry.insert_graph("a", toy_graph(), 2);
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.names(), vec!["a".to_string(), "b".to_string()]);
+        assert!(registry.get("a").is_some());
+        assert!(registry.get("missing").is_none());
+    }
+}

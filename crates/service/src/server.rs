@@ -1,0 +1,257 @@
+//! The TCP front end: accept loop, connection handlers, batching workers.
+//!
+//! Request lifecycle:
+//!
+//! 1. A connection handler thread reads one protocol line and parses it.
+//! 2. `ESTIMATE` requests are spread round-robin over the worker-pool
+//!    shards, carrying a reply channel. (Round-robin rather than
+//!    pin-by-dataset: the common deployment serves one dataset, which a
+//!    dataset pin would serialize onto a single worker.)
+//! 3. The shard's worker drains its queue into a batch (up to
+//!    `batch_max`), groups the batch by dataset, and runs each group
+//!    through [`Engine::estimate_batch`] — one cache pass, one catalog
+//!    fill, one estimation pass for the whole group.
+//! 4. Each reply flows back over its channel; the handler writes one
+//!    response line. `PING`/`STATS` are answered inline by the handler.
+//!
+//! Concurrency discipline: the graph is immutable, the Markov catalog is
+//! behind an `RwLock` written only by batch fills, the cache behind a
+//! `Mutex` held for lookups/stores only — never during counting or
+//! estimation.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+
+use ceg_query::QueryGraph;
+
+use crate::engine::Engine;
+use crate::pool::WorkerPool;
+use crate::protocol::{Request, Response};
+use crate::registry::DatasetRegistry;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Worker threads (= queue shards) for estimation requests.
+    pub workers: usize,
+    /// Maximum requests drained into one worker batch.
+    pub batch_max: usize,
+    /// LRU estimate-cache capacity in hash buckets (0 disables caching).
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: thread::available_parallelism()
+                .map_or(2, |n| n.get())
+                .max(2),
+            batch_max: 32,
+            cache_capacity: 4096,
+        }
+    }
+}
+
+/// One queued estimation request.
+struct EstimateJob {
+    dataset: String,
+    query: QueryGraph,
+    reply: mpsc::Sender<Response>,
+}
+
+/// A running estimation server. [`Server::shutdown`] (or dropping the
+/// server) stops accepting and joins the accept thread; the worker pool
+/// lives until the last open connection is done with it, so in-flight
+/// requests are always answered.
+pub struct Server {
+    engine: Arc<Engine>,
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    pool: Option<Arc<WorkerPool<EstimateJob>>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port) and start
+    /// serving the datasets in `registry`.
+    pub fn start(
+        registry: Arc<DatasetRegistry>,
+        addr: impl std::net::ToSocketAddrs,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let engine = Arc::new(Engine::new(registry, config.cache_capacity));
+        let pool = {
+            let engine = engine.clone();
+            Arc::new(WorkerPool::new(
+                config.workers,
+                config.batch_max,
+                move |batch| handle_batch(&engine, batch),
+            ))
+        };
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let engine = engine.clone();
+            let pool = pool.clone();
+            let stop = stop.clone();
+            thread::Builder::new()
+                .name("ceg-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let engine = engine.clone();
+                        let pool = pool.clone();
+                        let _ = thread::Builder::new()
+                            .name("ceg-conn".into())
+                            .spawn(move || {
+                                let _ = serve_connection(stream, &engine, &pool);
+                            });
+                    }
+                })?
+        };
+        Ok(Server {
+            engine,
+            addr,
+            stop,
+            accept: Some(accept),
+            pool: Some(pool),
+        })
+    }
+
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared engine (counters, registry) — handy in tests and benches.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Stop accepting new connections and join the accept thread. Worker
+    /// threads drain outstanding requests and exit once the last open
+    /// connection releases them.
+    pub fn shutdown(mut self) {
+        self.stop_threads();
+    }
+
+    fn stop_threads(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        // Release our pool handle; the pool's own Drop joins the workers
+        // once the remaining connection handlers (if any) drop theirs.
+        self.pool.take();
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_threads();
+    }
+}
+
+/// Longest accepted request line. The largest legal request (32 edges,
+/// maximal numbers, a long dataset name) is well under 1 KB; anything
+/// bigger is garbage, and without a cap a client that never sends a
+/// newline would grow the read buffer without bound.
+const MAX_LINE_BYTES: u64 = 64 * 1024;
+
+/// Per-connection loop: one request line in, one response line out.
+/// Requests are spread round-robin over the queue shards; workers regroup
+/// their drained batches by dataset, so same-dataset requests that arrive
+/// together still amortize (and one hot dataset is not pinned to one
+/// worker).
+fn serve_connection(
+    stream: TcpStream,
+    engine: &Arc<Engine>,
+    pool: &Arc<WorkerPool<EstimateJob>>,
+) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        let n = io::Read::take(&mut reader, MAX_LINE_BYTES).read_line(&mut line)?;
+        if n == 0 {
+            break; // client closed the connection
+        }
+        if n as u64 >= MAX_LINE_BYTES && !line.ends_with('\n') {
+            // Overlong line: refuse and drop the connection — the rest of
+            // the stream is the same unterminated line.
+            writeln!(
+                writer,
+                "{}",
+                Response::Error("request line too long".into()).format()
+            )?;
+            break;
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match Request::parse(&line) {
+            Err(msg) => Response::Error(msg),
+            Ok(Request::Ping) => Response::Pong,
+            Ok(Request::Stats) => Response::Stats(engine.stats()),
+            Ok(Request::Quit) => {
+                writeln!(writer, "{}", Response::Bye.format())?;
+                break;
+            }
+            Ok(Request::Estimate { dataset, query }) => {
+                let (tx, rx) = mpsc::channel();
+                pool.submit(EstimateJob {
+                    dataset,
+                    query,
+                    reply: tx,
+                });
+                rx.recv()
+                    .unwrap_or_else(|_| Response::Error("server shutting down".into()))
+            }
+        };
+        writeln!(writer, "{}", response.format())?;
+    }
+    Ok(())
+}
+
+/// Worker handler: group a drained batch by dataset and estimate each
+/// group in one engine call.
+fn handle_batch(engine: &Engine, batch: Vec<EstimateJob>) {
+    // Group while preserving arrival order within each dataset.
+    let mut groups: Vec<(String, Vec<EstimateJob>)> = Vec::new();
+    for job in batch {
+        match groups.iter_mut().find(|(ds, _)| *ds == job.dataset) {
+            Some((_, jobs)) => jobs.push(job),
+            None => groups.push((job.dataset.clone(), vec![job])),
+        }
+    }
+    for (dataset, jobs) in groups {
+        let queries: Vec<QueryGraph> = jobs.iter().map(|j| j.query.clone()).collect();
+        match engine.estimate_batch(&dataset, &queries) {
+            Ok(outcomes) => {
+                let stats = engine.stats();
+                for (job, outcome) in jobs.into_iter().zip(outcomes) {
+                    let _ = job.reply.send(Response::Estimate {
+                        outcome,
+                        hits: stats.cache_hits,
+                        misses: stats.cache_misses,
+                    });
+                }
+            }
+            Err(msg) => {
+                for job in jobs {
+                    let _ = job.reply.send(Response::Error(msg.clone()));
+                }
+            }
+        }
+    }
+}

@@ -8,9 +8,12 @@
 //! cegcli estimate <graph.edges> <queries.wl> [markov.file] [heuristic]
 //! cegcli molp     <graph.edges> <queries.wl>
 //! cegcli explain  <graph.edges> <queries.wl> <query-index>   # CEG_O as DOT
+//! cegcli serve    <addr> <graph.edges> [markov.file|-] [h]   # estimation server
+//! cegcli query    <addr> <queries.wl> [dataset]              # remote estimates
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use cegraph::catalog::io::{load_markov, save_markov};
 use cegraph::catalog::MarkovTable;
@@ -18,6 +21,7 @@ use cegraph::core::render::{ceg_o_to_dot, molp_path_to_string};
 use cegraph::core::{molp_min_path, Aggr, CegO, Heuristic, MolpInstance, PathLen};
 use cegraph::estimators::{CardinalityEstimator, OptimisticEstimator};
 use cegraph::graph::io::{load_graph, save_graph};
+use cegraph::service::{Client, DatasetRegistry, Server, ServerConfig};
 use cegraph::workload::io::{load_workload, save_workload};
 use cegraph::workload::qerror::signed_log_qerror;
 use cegraph::workload::{Dataset, Workload};
@@ -26,35 +30,89 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}");
+        Err(err) => {
+            eprintln!("error: {}", err.msg);
             eprintln!();
-            eprintln!("{}", USAGE.trim());
+            match err.cmd.and_then(usage_for) {
+                // An argument error inside a known subcommand: show just
+                // that subcommand's usage, not the full block.
+                Some(usage) => eprintln!("usage:\n  {usage}"),
+                None => eprintln!("{}", full_usage().trim_end()),
+            }
             ExitCode::FAILURE
         }
     }
 }
 
-const USAGE: &str = r#"
-usage:
-  cegcli generate <imdb|yago|dblp|watdiv|hetionet|epinions> <seed> <out.edges>
-  cegcli workload <graph.edges> <job|acyclic|cyclic|gcare-acyclic|gcare-cyclic> <per-template> <seed> <out.wl>
-  cegcli stats    <graph.edges> <queries.wl> <h> <out.markov>
-  cegcli estimate <graph.edges> <queries.wl> [markov.file] [heuristic]
-  cegcli molp     <graph.edges> <queries.wl>
-  cegcli explain  <graph.edges> <queries.wl> <query-index>
-"#;
+/// A CLI failure: the message plus (when known) which subcommand's usage
+/// to print.
+struct CliError {
+    cmd: Option<&'static str>,
+    msg: String,
+}
 
-fn run(args: &[String]) -> Result<(), String> {
-    let cmd = args.first().ok_or("missing command")?;
+/// Subcommand name → usage line. One source of truth for both the full
+/// usage block and per-subcommand errors.
+const USAGE_LINES: &[(&str, &str)] = &[
+    (
+        "generate",
+        "cegcli generate <imdb|yago|dblp|watdiv|hetionet|epinions> <seed> <out.edges>",
+    ),
+    (
+        "workload",
+        "cegcli workload <graph.edges> <job|acyclic|cyclic|gcare-acyclic|gcare-cyclic> <per-template> <seed> <out.wl>",
+    ),
+    ("stats", "cegcli stats <graph.edges> <queries.wl> <h> <out.markov>"),
+    (
+        "estimate",
+        "cegcli estimate <graph.edges> <queries.wl> [markov.file] [heuristic]",
+    ),
+    ("molp", "cegcli molp <graph.edges> <queries.wl>"),
+    ("explain", "cegcli explain <graph.edges> <queries.wl> <query-index>"),
+    (
+        "serve",
+        "cegcli serve <addr> <graph.edges> [markov.file|-] [h]",
+    ),
+    ("query", "cegcli query <addr> <queries.wl> [dataset]"),
+];
+
+fn usage_for(cmd: &str) -> Option<&'static str> {
+    USAGE_LINES
+        .iter()
+        .find(|(name, _)| *name == cmd)
+        .map(|(_, usage)| *usage)
+}
+
+fn full_usage() -> String {
+    let mut out = String::from("usage:\n");
+    for (_, line) in USAGE_LINES {
+        out.push_str("  ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let top = |msg: String| CliError { cmd: None, msg };
+    let cmd = args.first().ok_or_else(|| top("missing command".into()))?;
+    let rest = &args[1..];
+    let in_cmd = |name: &'static str, result: Result<(), String>| {
+        result.map_err(|msg| CliError {
+            cmd: Some(name),
+            msg,
+        })
+    };
     match cmd.as_str() {
-        "generate" => generate(&args[1..]),
-        "workload" => workload(&args[1..]),
-        "stats" => stats(&args[1..]),
-        "estimate" => estimate(&args[1..]),
-        "molp" => molp(&args[1..]),
-        "explain" => explain(&args[1..]),
-        other => Err(format!("unknown command `{other}`")),
+        "generate" => in_cmd("generate", generate(rest)),
+        "workload" => in_cmd("workload", workload(rest)),
+        "stats" => in_cmd("stats", stats(rest)),
+        "estimate" => in_cmd("estimate", estimate(rest)),
+        "molp" => in_cmd("molp", molp(rest)),
+        "explain" => in_cmd("explain", explain(rest)),
+        "serve" => in_cmd("serve", serve(rest)),
+        "query" => in_cmd("query", query_cmd(rest)),
+        other => Err(top(format!("unknown command `{other}`"))),
     }
 }
 
@@ -204,5 +262,89 @@ fn explain(args: &[String]) -> Result<(), String> {
     let table = MarkovTable::build_for_query(&g, &wq.query, 2);
     let ceg = CegO::build(&wq.query, &table);
     print!("{}", ceg_o_to_dot(&ceg, &wq.query));
+    Ok(())
+}
+
+/// Run the estimation server until killed. The graph (and optional
+/// persisted Markov catalog) is loaded once and registered as dataset
+/// `default`; without a catalog (omitted or `-`), statistics are counted
+/// on demand at hop depth `h` (default 2, like `cegcli stats`) as
+/// requests arrive and kept warm.
+fn serve(args: &[String]) -> Result<(), String> {
+    let addr = arg(args, 0, "listen address")?;
+    let graph_path = arg(args, 1, "graph path")?;
+    let markov_path = args.get(2).map(String::as_str).filter(|p| *p != "-");
+    let h: usize = match args.get(3) {
+        Some(s) => s.parse().map_err(|_| "bad h")?,
+        None => 2,
+    };
+    let registry = Arc::new(DatasetRegistry::new());
+    let entry = registry
+        .load_files("default", graph_path, markov_path, h)
+        .map_err(|e| e.to_string())?;
+    // A persisted catalog carries its own hop depth; refuse a
+    // contradictory explicit h instead of silently ignoring it.
+    if args.get(3).is_some() && entry.h() != h {
+        return Err(format!(
+            "markov file was built at h={}, which contradicts the requested h={h}",
+            entry.h()
+        ));
+    }
+    let config = ServerConfig::default();
+    let server = Server::start(registry, addr, config).map_err(|e| e.to_string())?;
+    println!(
+        "serving `default` ({} vertices, {} edges, {} catalog entries) on {} \
+         [{} workers, batch<={}, cache {} buckets]",
+        entry.graph().num_vertices(),
+        entry.graph().num_edges(),
+        entry.catalog_len(),
+        server.local_addr(),
+        config.workers,
+        config.batch_max,
+        config.cache_capacity,
+    );
+    // Serve until the process is killed.
+    loop {
+        std::thread::park();
+    }
+}
+
+/// Send every query of a workload file to a running server and print the
+/// estimates next to the stored ground truth.
+fn query_cmd(args: &[String]) -> Result<(), String> {
+    let addr = arg(args, 0, "server address")?;
+    let queries = load_workload(arg(args, 1, "workload path")?).map_err(|e| e.to_string())?;
+    let dataset = args.get(2).map(String::as_str).unwrap_or("default");
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    println!(
+        "{:<20} {:>14} {:>14} {:>9} {:>6}",
+        "template", "estimate", "truth", "log10-q", "cache"
+    );
+    for wq in &queries {
+        let reply = client
+            .estimate(dataset, &wq.query)
+            .map_err(|e| e.to_string())?;
+        let cache = if reply.cached { "hit" } else { "miss" };
+        match reply.value {
+            Some(e) => println!(
+                "{:<20} {:>14.1} {:>14.1} {:>9.2} {:>6}",
+                wq.template,
+                e,
+                wq.truth,
+                signed_log_qerror(e, wq.truth),
+                cache
+            ),
+            None => println!(
+                "{:<20} {:>14} {:>14.1} {:>9} {:>6}",
+                wq.template, "-", wq.truth, "-", cache
+            ),
+        }
+    }
+    let stats = client.stats().map_err(|e| e.to_string())?;
+    println!(
+        "server: {} requests in {} batches, cache {} hits / {} misses",
+        stats.requests, stats.batches, stats.cache_hits, stats.cache_misses
+    );
+    client.quit().map_err(|e| e.to_string())?;
     Ok(())
 }

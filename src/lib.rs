@@ -14,4 +14,5 @@ pub use ceg_exec as exec;
 pub use ceg_graph as graph;
 pub use ceg_planner as planner;
 pub use ceg_query as query;
+pub use ceg_service as service;
 pub use ceg_workload as workload;

@@ -1,0 +1,158 @@
+//! Integration tests for the estimation service: a real server on an
+//! ephemeral port, concurrent clients, and observable cache behavior.
+
+use std::sync::Arc;
+use std::thread;
+
+use cegraph::service::{Client, DatasetEntry, DatasetRegistry, Server, ServerConfig};
+use cegraph::workload::{Dataset, Workload, WorkloadQuery};
+
+fn start_server(workers: usize) -> (Server, Vec<WorkloadQuery>) {
+    let graph = Dataset::Hetionet.generate(4);
+    let queries = Workload::Job.build(&graph, 1, 4);
+    assert!(!queries.is_empty());
+    let registry = Arc::new(DatasetRegistry::new());
+    registry.insert(DatasetEntry::new(
+        "default",
+        graph,
+        cegraph::catalog::MarkovTable::empty(2),
+    ));
+    let config = ServerConfig {
+        workers,
+        batch_max: 16,
+        cache_capacity: 1024,
+    };
+    let server = Server::start(registry, "127.0.0.1:0", config).expect("bind ephemeral port");
+    (server, queries)
+}
+
+/// ≥ 4 concurrent client threads fire the same workload; every thread
+/// must observe identical estimates (whether computed or cache-served),
+/// and afterwards a repeated query must be a verified cache hit.
+#[test]
+fn concurrent_clients_get_identical_estimates_and_cache_hits() {
+    let (server, queries) = start_server(4);
+    let addr = server.local_addr();
+
+    const CLIENTS: usize = 5;
+    let per_thread: Vec<Vec<Option<f64>>> = thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let queries = &queries;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    queries
+                        .iter()
+                        .map(|wq| client.estimate("default", &wq.query).expect("estimate"))
+                        .map(|reply| reply.value)
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for other in &per_thread[1..] {
+        assert_eq!(&per_thread[0], other, "all clients must agree");
+    }
+    assert!(per_thread[0].iter().all(|v| v.is_some()));
+
+    // Every query has been answered at least once, so a fresh client
+    // repeating one must hit the LRU cache — observable through the
+    // protocol's cache flag and the server-wide hit counter.
+    let mut client = Client::connect(addr).expect("connect");
+    let before = client.stats().expect("stats");
+    let reply = client
+        .estimate("default", &queries[0].query)
+        .expect("estimate");
+    assert!(reply.cached, "repeated query must be served from cache");
+    assert_eq!(reply.value, per_thread[0][0]);
+    assert!(reply.hits > before.cache_hits);
+
+    // Every lookup is accounted for. Concurrent first arrivals of the
+    // same query may each miss (both compute the same deterministic
+    // value), so misses is at least — not exactly — the distinct-query
+    // count; everything else must have hit.
+    let stats = client.stats().expect("stats");
+    let total_lookups = (CLIENTS * queries.len()) as u64 + 1;
+    assert_eq!(stats.cache_hits + stats.cache_misses, total_lookups);
+    assert!(stats.cache_misses >= queries.len() as u64);
+    assert!(stats.cache_hits >= 1);
+    server.shutdown();
+}
+
+/// The cache key is the renaming-invariant canonical hash: a client
+/// sending a variable-renamed version of an already-served query gets a
+/// cache hit with the identical estimate.
+#[test]
+fn isomorphic_queries_share_cache_entries() {
+    let (server, queries) = start_server(2);
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    let wq = &queries[0];
+    let first = client.estimate("default", &wq.query).expect("estimate");
+    assert!(!first.cached);
+
+    // Reverse the variable numbering: same pattern, different labels on
+    // the variables.
+    let n = wq.query.num_vars();
+    let renamed = {
+        use cegraph::query::{QueryEdge, QueryGraph};
+        let edges = wq
+            .query
+            .edges()
+            .iter()
+            .map(|e| QueryEdge::new(n - 1 - e.src, n - 1 - e.dst, e.label))
+            .collect();
+        QueryGraph::new(n, edges)
+    };
+    assert!(renamed.is_isomorphic(&wq.query));
+    let second = client.estimate("default", &renamed).expect("estimate");
+    assert!(second.cached, "isomorphic rename must hit the cache");
+    assert_eq!(second.value, first.value);
+    server.shutdown();
+}
+
+/// Protocol-level errors (unknown dataset, malformed lines) come back as
+/// `ERR` responses without killing the connection.
+#[test]
+fn errors_are_reported_and_connection_survives() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let (server, queries) = start_server(2);
+    let addr = server.local_addr();
+
+    let mut client = Client::connect(addr).expect("connect");
+    let err = client.estimate("no-such-dataset", &queries[0].query);
+    assert!(err.is_err());
+    // Same connection still works afterwards.
+    client.ping().expect("ping after error");
+    let ok = client.estimate("default", &queries[0].query).expect("ok");
+    assert!(ok.value.is_some());
+
+    // Raw socket with a malformed line: one ERR line back, then normal
+    // service resumes on the same connection.
+    let stream = std::net::TcpStream::connect(addr).expect("connect raw");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "ESTIMATE default 3 99 0 1 0").expect("write");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read");
+    assert!(line.starts_with("ERR "), "got: {line}");
+    writeln!(writer, "PING").expect("write");
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    assert_eq!(line.trim_end(), "PONG");
+
+    // A request line with no newline cannot grow the server's buffer
+    // without bound: past the cap the server refuses and disconnects.
+    let stream = std::net::TcpStream::connect(addr).expect("connect raw");
+    let mut writer = stream.try_clone().expect("clone");
+    let mut reader = BufReader::new(stream);
+    writer.write_all(&vec![b'A'; 80 * 1024]).expect("write");
+    writer.flush().expect("flush");
+    line.clear();
+    reader.read_line(&mut line).expect("read");
+    assert_eq!(line.trim_end(), "ERR request line too long");
+    server.shutdown();
+}
