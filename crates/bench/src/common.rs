@@ -34,13 +34,15 @@ pub fn setup(ds: Dataset, wl: Workload, per_template: usize) -> (LabeledGraph, V
 }
 
 /// Build the workload-specific Markov table (Section 6: tables are built
-/// per workload, like the paper's).
+/// per workload, like the paper's), counting patterns on the machine's
+/// available cores (capped at 8 by `default_build_parallelism`) — the
+/// table is identical to a serial build.
 pub fn markov_for(graph: &LabeledGraph, queries: &[WorkloadQuery], h: usize) -> MarkovTable {
     let t0 = Instant::now();
-    let qs: Vec<_> = queries.iter().map(|q| q.query.clone()).collect();
-    let table = MarkovTable::build(graph, &qs, h);
+    let jobs = ceg_catalog::default_build_parallelism();
+    let table = ceg_workload::runner::build_markov_parallel(graph, queries, h, jobs);
     eprintln!(
-        "[setup] Markov table h={h}: {} entries, ~{:.2} KB ({:.1?})",
+        "[setup] Markov table h={h}: {} entries, ~{:.2} KB ({jobs} jobs, {:.1?})",
         table.len(),
         table.approx_bytes() as f64 / 1024.0,
         t0.elapsed()

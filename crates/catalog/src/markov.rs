@@ -30,18 +30,29 @@ impl MarkovTable {
 
     /// Build a table containing every connected sub-pattern (≤ `h` edges)
     /// of the given workload queries, with exact counts from `graph`.
+    /// Serial; see [`MarkovTable::build_parallel`] for the worker-pool
+    /// variant.
     pub fn build(graph: &LabeledGraph, queries: &[QueryGraph], h: usize) -> Self {
+        Self::build_parallel(graph, queries, h, 1)
+    }
+
+    /// Two-phase parallel construction: (1) dedupe the connected
+    /// sub-patterns (≤ `h` edges) of all workload queries into a canonical
+    /// work list, (2) count them on up to `parallelism` scoped worker
+    /// threads ([`count_patterns`]), then merge into the table. Counts are
+    /// exact, so the resulting table is identical at every `parallelism`
+    /// (a `parallelism` of 0 or 1 counts inline on the calling thread).
+    pub fn build_parallel(
+        graph: &LabeledGraph,
+        queries: &[QueryGraph],
+        h: usize,
+        parallelism: usize,
+    ) -> Self {
         assert!(h >= 2, "Markov tables need h >= 2");
+        let work = dedupe_subpatterns(queries, h);
+        let counts = count_patterns(graph, &work, parallelism);
         let mut entries: FxHashMap<Pattern, u64> = FxHashMap::default();
-        for q in queries {
-            for mask in q.connected_subsets_up_to(h) {
-                let pat = Pattern::of_subquery(q, mask);
-                entries.entry(pat).or_insert_with_key(|p| {
-                    let pq = p.to_query();
-                    count_constrained(graph, &pq, &VarConstraints::none(pq.num_vars()))
-                });
-            }
-        }
+        entries.extend(work.into_iter().zip(counts));
         MarkovTable { h, entries }
     }
 
@@ -102,6 +113,64 @@ impl MarkovTable {
             .map(|p| 24 + p.num_edges() * std::mem::size_of::<ceg_query::QueryEdge>() + 8)
             .sum()
     }
+}
+
+/// Dedupe the connected sub-patterns (≤ `max_edges` edges) of `queries`
+/// into a canonical work list, in first-appearance order (deterministic in
+/// the input).
+fn dedupe_subpatterns(queries: &[QueryGraph], max_edges: usize) -> Vec<Pattern> {
+    let mut seen: ceg_graph::FxHashSet<Pattern> = ceg_graph::FxHashSet::default();
+    let mut work: Vec<Pattern> = Vec::new();
+    for q in queries {
+        for mask in q.connected_subsets_up_to(max_edges) {
+            let pat = Pattern::of_subquery(q, mask);
+            if seen.insert(pat.clone()) {
+                work.push(pat);
+            }
+        }
+    }
+    work
+}
+
+/// Exactly count each pattern's homomorphisms in `graph`, on up to
+/// `parallelism` scoped worker threads (`std::thread::scope`; 0 or 1 runs
+/// inline). Workers claim patterns off a shared atomic cursor — cheap
+/// single-edge patterns and expensive `h`-edge ones interleave, so the
+/// partition balances itself — and write into disjoint slots, keeping
+/// `counts[i]` aligned with `patterns[i]` regardless of schedule. This is
+/// the shared parallel path under [`MarkovTable::build_parallel`] and the
+/// service registry's incremental catalog growth.
+pub fn count_patterns(graph: &LabeledGraph, patterns: &[Pattern], parallelism: usize) -> Vec<u64> {
+    let count_one = |pat: &Pattern| {
+        let pq = pat.to_query();
+        count_constrained(graph, &pq, &VarConstraints::none(pq.num_vars()))
+    };
+    if parallelism <= 1 || patterns.len() <= 1 {
+        return patterns.iter().map(count_one).collect();
+    }
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    let counts: Vec<AtomicU64> = (0..patterns.len()).map(|_| AtomicU64::new(0)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..parallelism.min(patterns.len()) {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(pat) = patterns.get(i) else { break };
+                counts[i].store(count_one(pat), Ordering::Relaxed);
+            });
+        }
+    });
+    counts.into_iter().map(AtomicU64::into_inner).collect()
+}
+
+/// Default worker count for catalog construction when the caller has no
+/// explicit `--jobs` knob: the machine's available parallelism, capped so
+/// a big server does not oversubscribe itself counting statistics.
+pub fn default_build_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8)
 }
 
 #[cfg(test)]
@@ -205,6 +274,48 @@ mod tests {
         let t = MarkovTable::build_for_query(&g, &q, 2);
         assert!(t.approx_bytes() > 0);
     }
+
+    #[test]
+    fn parallel_build_matches_serial_at_any_parallelism() {
+        let g = toy();
+        let queries = [
+            templates::path(3, &[0, 1, 2]),
+            templates::star(3, &[0, 0, 1]),
+            templates::cycle(3, &[0, 1, 2]),
+        ];
+        let serial = MarkovTable::build(&g, &queries, 3);
+        for parallelism in [0, 1, 2, 4, 16] {
+            let par = MarkovTable::build_parallel(&g, &queries, 3, parallelism);
+            assert_eq!(par.len(), serial.len(), "parallelism={parallelism}");
+            assert_eq!(par.h(), serial.h());
+            for (p, c) in serial.iter() {
+                assert_eq!(par.card(p), Some(c), "pattern {p} at {parallelism}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_patterns_aligns_counts_with_input_order() {
+        let g = toy();
+        let q = templates::path(3, &[0, 1, 2]);
+        let pats: Vec<Pattern> = q
+            .connected_subsets_up_to(2)
+            .into_iter()
+            .map(|m| Pattern::of_subquery(&q, m))
+            .collect();
+        let serial = count_patterns(&g, &pats, 1);
+        let par = count_patterns(&g, &pats, 4);
+        assert_eq!(serial, par);
+        for (pat, &c) in pats.iter().zip(&serial) {
+            assert_eq!(c, count(&g, &pat.to_query()), "pattern {pat}");
+        }
+    }
+
+    #[test]
+    fn default_parallelism_is_sane() {
+        let p = default_build_parallelism();
+        assert!((1..=8).contains(&p));
+    }
 }
 
 /// Sampled (approximate) construction — how the graph-catalogue systems
@@ -226,20 +337,14 @@ impl MarkovTable {
         assert!(h >= 2, "Markov tables need h >= 2");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut entries: FxHashMap<Pattern, u64> = FxHashMap::default();
-        for q in queries {
-            for mask in q.connected_subsets_up_to(h) {
-                let pat = Pattern::of_subquery(q, mask);
-                if entries.contains_key(&pat) {
-                    continue;
-                }
-                let pq = pat.to_query();
-                let est = if pq.num_edges() == 1 {
-                    graph.label_count(pq.edge(0).label) as f64 // exact for free
-                } else {
-                    sample_pattern_count(graph, &pq, walks, &mut rng)
-                };
-                entries.insert(pat, est.round() as u64);
-            }
+        for pat in dedupe_subpatterns(queries, h) {
+            let pq = pat.to_query();
+            let est = if pq.num_edges() == 1 {
+                graph.label_count(pq.edge(0).label) as f64 // exact for free
+            } else {
+                sample_pattern_count(graph, &pq, walks, &mut rng)
+            };
+            entries.insert(pat, est.round() as u64);
         }
         MarkovTable { h, entries }
     }

@@ -1,9 +1,25 @@
-//! The backtracking homomorphism counter.
+//! The plan-driven backtracking homomorphism counter.
+//!
+//! The kernel binds query variables one at a time in a connectivity-aware
+//! order. Which incident edges constrain a variable is fully determined by
+//! that order, so a [`CountPlan`] precomputes, once per `(query, order)`,
+//! a per-depth *extension plan*: the edges into the already-bound prefix,
+//! the self-loop checks, and — for variables with no bound neighbour — how
+//! to seed candidates. Recursion then performs **zero allocations**: the
+//! candidate set of each variable is the k-way merge/galloping
+//! intersection ([`crate::intersect`]) of the sorted CSR neighbour slices
+//! induced by its bound neighbours, written into a reusable per-depth
+//! buffer sized at plan time from the graph's cached maximum degrees.
+//!
+//! Unconstrained root variables iterate the smallest label-restricted
+//! endpoint list (`graph.sources(l)` / `targets(l)`) instead of the whole
+//! vertex domain; truly isolated variables still scan the domain.
 
-use ceg_graph::{LabeledGraph, VertexId};
+use ceg_graph::{LabelId, LabeledGraph, VertexId};
 use ceg_query::{QueryGraph, VarId};
 
 use crate::constraints::{VarConstraint, VarConstraints};
+use crate::intersect::intersect_k_into;
 use crate::order::variable_order;
 
 /// Work budget for a counting run: the maximum number of candidate
@@ -32,8 +48,7 @@ pub fn count(graph: &LabeledGraph, query: &QueryGraph) -> u64 {
 
 /// Count homomorphisms subject to per-variable constraints.
 pub fn count_constrained(graph: &LabeledGraph, query: &QueryGraph, cons: &VarConstraints) -> u64 {
-    count_with_limit(graph, query, cons, CountBudget::UNLIMITED)
-        .expect("unlimited budget cannot be exhausted")
+    CountPlan::new(graph, query, cons).count()
 }
 
 /// Count with a work budget; `None` when the budget is exhausted.
@@ -43,12 +58,7 @@ pub fn count_with_limit(
     cons: &VarConstraints,
     budget: CountBudget,
 ) -> Option<u64> {
-    let mut total = 0u64;
-    let exhausted = enumerate_inner(graph, query, cons, budget, &mut |_| {
-        total += 1;
-        true
-    });
-    exhausted.then_some(total)
+    CountPlan::new(graph, query, cons).count_with_limit(budget)
 }
 
 /// Enumerate homomorphisms, invoking `visit` with the binding indexed by
@@ -60,169 +70,518 @@ pub fn enumerate(
     cons: &VarConstraints,
     visit: &mut dyn FnMut(&[VertexId]) -> bool,
 ) -> bool {
-    enumerate_inner(graph, query, cons, CountBudget::UNLIMITED, visit)
+    CountPlan::new(graph, query, cons).enumerate(visit)
 }
 
-fn enumerate_inner(
+/// Upper bound on query edges (mirrors [`QueryGraph`]'s 32-edge cap); the
+/// per-depth neighbour-slice gather uses a stack array of this size.
+const MAX_QUERY_EDGES: usize = 32;
+
+/// An edge from the current variable into the already-bound prefix.
+struct PlannedEdge {
+    /// The bound endpoint.
+    other: VarId,
+    label: LabelId,
+    /// True when the query edge runs `other -label-> var`, i.e. candidates
+    /// come from the out-neighbours of the bound value.
+    forward: bool,
+}
+
+/// How to seed candidates for a variable with no bound neighbour.
+enum RootGen {
+    /// Not a root depth (`edges` is non-empty).
+    Bound,
+    /// The variable is pinned by a [`VarConstraint::Fixed`] constraint.
+    Fixed(VertexId),
+    /// Precomputed smallest label-restricted endpoint list (sources or
+    /// targets of an incident edge's relation).
+    List(Vec<VertexId>),
+    /// Isolated variable (no incident non-loop edge): scan the domain.
+    Scan,
+}
+
+/// The extension plan of one depth of the binding order.
+struct DepthPlan {
+    var: VarId,
+    /// Edges into the bound prefix; the candidate set is the intersection
+    /// of the neighbour lists they induce.
+    edges: Vec<PlannedEdge>,
+    /// Labels of self-loop edges at `var` (checked per candidate).
+    self_loops: Vec<LabelId>,
+    root: RootGen,
+}
+
+/// A reusable, allocation-free matcher for one `(graph, query, cons)`
+/// triple. Building the plan allocates; [`CountPlan::count`] /
+/// [`CountPlan::enumerate`] then run without touching the allocator, which
+/// `tests/alloc_guard.rs` asserts with a counting global allocator.
+pub struct CountPlan<'a> {
+    graph: &'a LabeledGraph,
+    cons: &'a VarConstraints,
+    depths: Vec<DepthPlan>,
+    /// `indep[d]` is true when every depth `e >= d` constrains only
+    /// variables bound before depth `d` (and has no self-loop or
+    /// constraint checks). The counting recursion then multiplies the
+    /// suffix's candidate-set sizes instead of enumerating bindings —
+    /// e.g. a star's leaves contribute a product of degrees in O(k).
+    /// `indep.len() == depths.len() + 1`; the final entry is trivially
+    /// true.
+    indep: Vec<bool>,
+    /// One candidate buffer per depth (left empty for depths that iterate
+    /// a single neighbour slice or a precomputed root list directly).
+    bufs: Vec<Vec<VertexId>>,
+    /// Current partial binding, indexed by variable id.
+    binding: Vec<VertexId>,
+}
+
+impl<'a> CountPlan<'a> {
+    /// Precompute the per-depth extension plans for `query` under the
+    /// [`variable_order`] heuristic.
+    pub fn new(graph: &'a LabeledGraph, query: &QueryGraph, cons: &'a VarConstraints) -> Self {
+        let order = variable_order(graph, query);
+        let num_vars = query.num_vars() as usize;
+        let mut pos = vec![usize::MAX; num_vars];
+        for (d, &v) in order.iter().enumerate() {
+            pos[v as usize] = d;
+        }
+
+        let mut depths = Vec::with_capacity(order.len());
+        let mut bufs = Vec::with_capacity(order.len());
+        for (d, &v) in order.iter().enumerate() {
+            let mut edges: Vec<PlannedEdge> = Vec::new();
+            let mut self_loops: Vec<LabelId> = Vec::new();
+            // Incident edges whose other endpoint binds later; for a root
+            // depth these restrict the seed list: (label, v-is-source).
+            let mut later: Vec<(LabelId, bool)> = Vec::new();
+            for i in query.edges_at(v) {
+                let e = query.edge(i);
+                if e.src == e.dst {
+                    self_loops.push(e.label);
+                    continue;
+                }
+                let other = e.other(v);
+                if pos[other as usize] < d {
+                    edges.push(PlannedEdge {
+                        other,
+                        label: e.label,
+                        forward: e.src == other,
+                    });
+                } else {
+                    later.push((e.label, e.src == v));
+                }
+            }
+
+            let root = if !edges.is_empty() {
+                RootGen::Bound
+            } else if let VarConstraint::Fixed(u) = cons.get(v) {
+                RootGen::Fixed(u)
+            } else if let Some(&(label, is_src)) = later.iter().min_by_key(|&&(l, s)| {
+                if s {
+                    graph.distinct_sources(l)
+                } else {
+                    graph.distinct_targets(l)
+                }
+            }) {
+                // Any binding of v must have a neighbour under this edge,
+                // so the relation's endpoint projection is a sound and
+                // complete seed set — typically far smaller than the
+                // domain.
+                let list = if is_src {
+                    graph.sources(label).collect()
+                } else {
+                    graph.targets(label).collect()
+                };
+                RootGen::List(list)
+            } else {
+                RootGen::Scan
+            };
+
+            // The intersection result cannot exceed its smallest input
+            // list, so the smallest max-degree bounds the buffer for all
+            // bindings — reserved here so recursion never reallocates.
+            let cap = if edges.len() >= 2 {
+                edges
+                    .iter()
+                    .map(|pe| {
+                        if pe.forward {
+                            graph.max_out_degree(pe.label)
+                        } else {
+                            graph.max_in_degree(pe.label)
+                        }
+                    })
+                    .min()
+                    .unwrap_or(0)
+            } else {
+                0
+            };
+            bufs.push(Vec::with_capacity(cap));
+            depths.push(DepthPlan {
+                var: v,
+                edges,
+                self_loops,
+                root,
+            });
+        }
+
+        // Independent-suffix analysis: walking from the back, track the
+        // latest binding position any suffix depth depends on and whether
+        // every suffix depth is check-free (no self-loops, no constraint).
+        let n = depths.len();
+        let mut indep = vec![false; n + 1];
+        indep[n] = true;
+        let mut suffix_ok = true;
+        let mut suffix_max_dep: isize = -1;
+        for d in (0..n).rev() {
+            let dp = &depths[d];
+            suffix_ok = suffix_ok
+                && dp.self_loops.is_empty()
+                && matches!(cons.get(dp.var), VarConstraint::Any)
+                && !matches!(dp.root, RootGen::Fixed(_));
+            for pe in &dp.edges {
+                suffix_max_dep = suffix_max_dep.max(pos[pe.other as usize] as isize);
+            }
+            indep[d] = suffix_ok && suffix_max_dep < d as isize;
+        }
+
+        CountPlan {
+            graph,
+            cons,
+            depths,
+            indep,
+            bufs,
+            binding: vec![0; num_vars],
+        }
+    }
+
+    /// Count all homomorphisms.
+    pub fn count(&mut self) -> u64 {
+        self.count_with_limit(CountBudget::UNLIMITED)
+            .expect("unlimited budget cannot be exhausted")
+    }
+
+    /// Count with a work budget; `None` when the budget is exhausted.
+    ///
+    /// Unlike [`CountPlan::enumerate`], counting never materializes the
+    /// bindings of an independent suffix: once the remaining variables
+    /// only reference the bound prefix, their contribution is the product
+    /// of candidate-set sizes (charged against the budget in one step).
+    pub fn count_with_limit(&mut self, budget: CountBudget) -> Option<u64> {
+        let mut total = 0u64;
+        let mut remaining = budget.max_expansions;
+        let complete = recurse_count(
+            self.graph,
+            self.cons,
+            &self.depths,
+            &self.indep,
+            &mut self.bufs,
+            &mut self.binding,
+            &mut remaining,
+            &mut total,
+        );
+        complete.then_some(total)
+    }
+
+    /// Enumerate homomorphisms; see [`enumerate`].
+    pub fn enumerate(&mut self, visit: &mut dyn FnMut(&[VertexId]) -> bool) -> bool {
+        self.enumerate_with_limit(CountBudget::UNLIMITED, visit)
+    }
+
+    /// Enumerate under a budget. Returns `false` when stopped early by the
+    /// budget or the visitor.
+    pub fn enumerate_with_limit(
+        &mut self,
+        budget: CountBudget,
+        visit: &mut dyn FnMut(&[VertexId]) -> bool,
+    ) -> bool {
+        let mut remaining = budget.max_expansions;
+        recurse(
+            self.graph,
+            self.cons,
+            &self.depths,
+            &mut self.bufs,
+            &mut self.binding,
+            &mut remaining,
+            visit,
+        )
+    }
+}
+
+/// One recursion step: generate the candidates of `depths[0]` and extend
+/// the binding through each. Returns `false` when stopped early.
+fn recurse(
     graph: &LabeledGraph,
-    query: &QueryGraph,
     cons: &VarConstraints,
-    budget: CountBudget,
+    depths: &[DepthPlan],
+    bufs: &mut [Vec<VertexId>],
+    binding: &mut [VertexId],
+    remaining: &mut u64,
     visit: &mut dyn FnMut(&[VertexId]) -> bool,
 ) -> bool {
-    if query.num_vars() == 0 {
-        return visit(&[]);
-    }
-    let order = variable_order(graph, query);
-    let mut binding = vec![0 as VertexId; query.num_vars() as usize];
-    let mut state = Matcher {
-        graph,
-        query,
-        cons,
-        order: &order,
-        binding: &mut binding,
-        bound: 0,
-        remaining: budget.max_expansions,
+    let Some((dp, rest_depths)) = depths.split_first() else {
+        return visit(binding);
     };
-    state.recurse(0, visit)
-}
+    let (buf, rest_bufs) = bufs.split_first_mut().expect("one buffer per depth");
 
-struct Matcher<'a> {
-    graph: &'a LabeledGraph,
-    query: &'a QueryGraph,
-    cons: &'a VarConstraints,
-    order: &'a [VarId],
-    binding: &'a mut [VertexId],
-    bound: u32,
-    remaining: u64,
-}
-
-impl Matcher<'_> {
-    /// Returns `false` when stopped early (budget or visitor).
-    fn recurse(&mut self, depth: usize, visit: &mut dyn FnMut(&[VertexId]) -> bool) -> bool {
-        if depth == self.order.len() {
-            return visit(self.binding);
+    match dp.edges.len() {
+        0 => match &dp.root {
+            RootGen::Fixed(u) => extend_all(
+                std::iter::once(*u),
+                graph,
+                cons,
+                dp,
+                rest_depths,
+                rest_bufs,
+                binding,
+                remaining,
+                visit,
+            ),
+            RootGen::List(list) => extend_all(
+                list.iter().copied(),
+                graph,
+                cons,
+                dp,
+                rest_depths,
+                rest_bufs,
+                binding,
+                remaining,
+                visit,
+            ),
+            RootGen::Scan => extend_all(
+                0..graph.num_vertices() as VertexId,
+                graph,
+                cons,
+                dp,
+                rest_depths,
+                rest_bufs,
+                binding,
+                remaining,
+                visit,
+            ),
+            RootGen::Bound => unreachable!("Bound root with no planned edges"),
+        },
+        1 => {
+            // Single bound neighbour: iterate its sorted slice directly,
+            // no copy into the buffer.
+            let list = neighbor_slice(graph, &dp.edges[0], binding);
+            extend_all(
+                list.iter().copied(),
+                graph,
+                cons,
+                dp,
+                rest_depths,
+                rest_bufs,
+                binding,
+                remaining,
+                visit,
+            )
         }
-        let v = self.order[depth];
-        let vc = self.cons.get(v);
-
-        // Split the query edges incident to v into the one used to generate
-        // candidates (smallest list) and the rest used as filters.
-        let mut gen: Option<(usize, &[VertexId])> = None;
-        let mut filters: Vec<usize> = Vec::new();
-        for i in self.query.edges_at(v) {
-            let e = self.query.edge(i);
-            if e.src == e.dst {
-                filters.push(i); // self-loop: check after binding
-                continue;
+        k => {
+            let mut lists: [&[VertexId]; MAX_QUERY_EDGES] = [&[]; MAX_QUERY_EDGES];
+            for (i, pe) in dp.edges.iter().enumerate() {
+                lists[i] = neighbor_slice(graph, pe, binding);
             }
-            let other = e.other(v);
-            if self.bound & (1 << other) == 0 {
-                continue; // other endpoint not bound yet
-            }
-            let o_val = self.binding[other as usize];
-            let list = if e.dst == v {
-                self.graph.out_neighbors(o_val, e.label)
-            } else {
-                self.graph.in_neighbors(o_val, e.label)
-            };
-            match gen {
-                Some((_, g)) if g.len() <= list.len() => filters.push(i),
-                Some((gi, _)) => {
-                    filters.push(gi);
-                    gen = Some((i, list));
-                }
-                None => gen = Some((i, list)),
-            }
-        }
-
-        match gen {
-            Some((_, candidates)) => {
-                for &c in candidates {
-                    if self.remaining == 0 {
-                        return false;
-                    }
-                    self.remaining -= 1;
-                    if !vc.admits(c) || !self.check_filters(&filters, v, c) {
-                        continue;
-                    }
-                    self.binding[v as usize] = c;
-                    self.bound |= 1 << v;
-                    let ok = self.recurse(depth + 1, visit);
-                    self.bound &= !(1 << v);
-                    if !ok {
-                        return false;
-                    }
-                }
-                true
-            }
-            None => {
-                // No bound neighbour (first variable, or a disconnected
-                // component): scan the domain, restricted when possible.
-                match vc {
-                    VarConstraint::Fixed(u) => {
-                        if self.remaining == 0 {
-                            return false;
-                        }
-                        self.remaining -= 1;
-                        if !self.check_filters(&filters, v, u) {
-                            return true;
-                        }
-                        self.binding[v as usize] = u;
-                        self.bound |= 1 << v;
-                        let ok = self.recurse(depth + 1, visit);
-                        self.bound &= !(1 << v);
-                        ok
-                    }
-                    _ => {
-                        for c in 0..self.graph.num_vertices() as VertexId {
-                            if self.remaining == 0 {
-                                return false;
-                            }
-                            self.remaining -= 1;
-                            if !vc.admits(c) || !self.check_filters(&filters, v, c) {
-                                continue;
-                            }
-                            self.binding[v as usize] = c;
-                            self.bound |= 1 << v;
-                            let ok = self.recurse(depth + 1, visit);
-                            self.bound &= !(1 << v);
-                            if !ok {
-                                return false;
-                            }
-                        }
-                        true
-                    }
-                }
-            }
+            intersect_k_into(&mut lists[..k], buf);
+            extend_all(
+                buf.iter().copied(),
+                graph,
+                cons,
+                dp,
+                rest_depths,
+                rest_bufs,
+                binding,
+                remaining,
+                visit,
+            )
         }
     }
+}
 
-    fn check_filters(&self, filters: &[usize], v: VarId, c: VertexId) -> bool {
-        for &i in filters {
-            let e = self.query.edge(i);
-            if e.src == e.dst {
-                if !self.graph.has_edge(c, c, e.label) {
+/// Counting twin of [`recurse`]: no visitor, and an independent suffix is
+/// tallied as a product of candidate-set sizes instead of being
+/// enumerated. Returns `false` when the budget stops the count.
+#[allow(clippy::too_many_arguments)]
+fn recurse_count(
+    graph: &LabeledGraph,
+    cons: &VarConstraints,
+    depths: &[DepthPlan],
+    indep: &[bool],
+    bufs: &mut [Vec<VertexId>],
+    binding: &mut [VertexId],
+    remaining: &mut u64,
+    total: &mut u64,
+) -> bool {
+    if depths.is_empty() {
+        *total += 1;
+        return true;
+    }
+    if indep[0] {
+        // On u64 overflow of the product or the running total, fall
+        // through to plain enumeration (which matches the old kernel's
+        // behaviour of grinding within the budget).
+        if let Some(prod) = suffix_product(graph, depths, bufs, binding) {
+            if let Some(t) = total.checked_add(prod) {
+                if *remaining < prod {
                     return false;
                 }
-                continue;
-            }
-            let other = e.other(v);
-            if self.bound & (1 << other) == 0 {
-                continue;
-            }
-            let o_val = self.binding[other as usize];
-            let ok = if e.dst == v {
-                self.graph.has_edge(o_val, c, e.label)
-            } else {
-                self.graph.has_edge(c, o_val, e.label)
-            };
-            if !ok {
-                return false;
+                *remaining -= prod;
+                *total = t;
+                return true;
             }
         }
-        true
     }
+    let (dp, rest_depths) = depths.split_first().expect("checked non-empty");
+    let (buf, rest_bufs) = bufs.split_first_mut().expect("one buffer per depth");
+    let rest_indep = &indep[1..];
+
+    macro_rules! extend {
+        ($candidates:expr) => {{
+            let vc = cons.get(dp.var);
+            'cand: for c in $candidates {
+                if *remaining == 0 {
+                    return false;
+                }
+                *remaining -= 1;
+                if !vc.admits(c) {
+                    continue;
+                }
+                for &l in &dp.self_loops {
+                    if !graph.has_edge(c, c, l) {
+                        continue 'cand;
+                    }
+                }
+                binding[dp.var as usize] = c;
+                if !recurse_count(
+                    graph,
+                    cons,
+                    rest_depths,
+                    rest_indep,
+                    rest_bufs,
+                    binding,
+                    remaining,
+                    total,
+                ) {
+                    return false;
+                }
+            }
+            true
+        }};
+    }
+
+    match dp.edges.len() {
+        0 => match &dp.root {
+            RootGen::Fixed(u) => extend!(std::iter::once(*u)),
+            RootGen::List(list) => extend!(list.iter().copied()),
+            RootGen::Scan => extend!(0..graph.num_vertices() as VertexId),
+            RootGen::Bound => unreachable!("Bound root with no planned edges"),
+        },
+        1 => {
+            let list = neighbor_slice(graph, &dp.edges[0], binding);
+            extend!(list.iter().copied())
+        }
+        k => {
+            let mut lists: [&[VertexId]; MAX_QUERY_EDGES] = [&[]; MAX_QUERY_EDGES];
+            for (i, pe) in dp.edges.iter().enumerate() {
+                lists[i] = neighbor_slice(graph, pe, binding);
+            }
+            intersect_k_into(&mut lists[..k], buf);
+            extend!(buf.iter().copied())
+        }
+    }
+}
+
+/// Candidate-set size product of a fully independent suffix, or `None` on
+/// u64 overflow.
+fn suffix_product(
+    graph: &LabeledGraph,
+    depths: &[DepthPlan],
+    bufs: &mut [Vec<VertexId>],
+    binding: &[VertexId],
+) -> Option<u64> {
+    let mut prod = 1u64;
+    for (dp, buf) in depths.iter().zip(bufs.iter_mut()) {
+        let len = match dp.edges.len() {
+            0 => match &dp.root {
+                RootGen::List(list) => list.len(),
+                RootGen::Scan => graph.num_vertices(),
+                // Fixed roots are excluded by the `indep` analysis;
+                // Bound contradicts `edges.is_empty()`.
+                RootGen::Fixed(_) | RootGen::Bound => unreachable!("excluded from suffixes"),
+            },
+            1 => neighbor_slice(graph, &dp.edges[0], binding).len(),
+            k => {
+                let mut lists: [&[VertexId]; MAX_QUERY_EDGES] = [&[]; MAX_QUERY_EDGES];
+                for (i, pe) in dp.edges.iter().enumerate() {
+                    lists[i] = neighbor_slice(graph, pe, binding);
+                }
+                intersect_k_into(&mut lists[..k], buf);
+                buf.len()
+            }
+        };
+        prod = prod.checked_mul(len as u64)?;
+        if prod == 0 {
+            return Some(0);
+        }
+    }
+    Some(prod)
+}
+
+/// The neighbour slice a planned edge induces under the current binding.
+#[inline]
+fn neighbor_slice<'g>(
+    graph: &'g LabeledGraph,
+    pe: &PlannedEdge,
+    binding: &[VertexId],
+) -> &'g [VertexId] {
+    let o = binding[pe.other as usize];
+    if pe.forward {
+        graph.out_neighbors(o, pe.label)
+    } else {
+        graph.in_neighbors(o, pe.label)
+    }
+}
+
+/// Try every candidate: budget, constraint and self-loop checks, then
+/// recurse. Returns `false` when stopped early.
+#[allow(clippy::too_many_arguments)]
+fn extend_all(
+    candidates: impl Iterator<Item = VertexId>,
+    graph: &LabeledGraph,
+    cons: &VarConstraints,
+    dp: &DepthPlan,
+    rest_depths: &[DepthPlan],
+    rest_bufs: &mut [Vec<VertexId>],
+    binding: &mut [VertexId],
+    remaining: &mut u64,
+    visit: &mut dyn FnMut(&[VertexId]) -> bool,
+) -> bool {
+    let vc = cons.get(dp.var);
+    'cand: for c in candidates {
+        if *remaining == 0 {
+            return false;
+        }
+        *remaining -= 1;
+        if !vc.admits(c) {
+            continue;
+        }
+        for &l in &dp.self_loops {
+            if !graph.has_edge(c, c, l) {
+                continue 'cand;
+            }
+        }
+        binding[dp.var as usize] = c;
+        if !recurse(
+            graph,
+            cons,
+            rest_depths,
+            rest_bufs,
+            binding,
+            remaining,
+            visit,
+        ) {
+            return false;
+        }
+    }
+    true
 }
 
 #[cfg(test)]
@@ -384,5 +743,60 @@ mod tests {
         let q = templates::q5f(&[0, 1, 2, 3, 4]);
         // A,B fixed; C has 2 choices; D and E one each => 2 matches
         assert_eq!(count(&g, &q), 2);
+    }
+
+    #[test]
+    fn plan_is_reusable_across_runs() {
+        let g = sample();
+        let q = templates::path(2, &[0, 0]);
+        let cons = VarConstraints::none(3);
+        let mut plan = CountPlan::new(&g, &q, &cons);
+        let first = plan.count();
+        assert_eq!(first, 2);
+        for _ in 0..3 {
+            assert_eq!(plan.count(), first);
+        }
+        assert_eq!(plan.count_with_limit(CountBudget::new(1)), None);
+        assert_eq!(plan.count(), first); // budget run leaves no residue
+    }
+
+    #[test]
+    fn parallel_query_edges_intersect() {
+        // two data edges 0->1 under labels 0 and 1, plus decoys; the query
+        // demands both labels between the same pair of variables.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0);
+        b.add_edge(0, 1, 1);
+        b.add_edge(0, 2, 0);
+        b.add_edge(0, 3, 1);
+        let g = b.build();
+        let q = QueryGraph::new(2, vec![QueryEdge::new(0, 1, 0), QueryEdge::new(0, 1, 1)]);
+        assert_eq!(count(&g, &q), 1);
+    }
+
+    #[test]
+    fn disconnected_query_root_is_label_restricted() {
+        // two independent edges: cartesian product of the relations
+        let g = sample();
+        let q = QueryGraph::new(4, vec![QueryEdge::new(0, 1, 0), QueryEdge::new(2, 3, 1)]);
+        assert_eq!(count(&g, &q), 3 * 2);
+    }
+
+    #[test]
+    fn matcher_counts_agree_with_naive_on_templates() {
+        let g = sample();
+        for q in [
+            templates::path(3, &[0, 0, 1]),
+            templates::star(3, &[0, 0, 1]),
+            templates::cycle(4, &[0, 0, 0, 1]),
+            templates::q5f(&[0, 1, 1, 0, 1]),
+        ] {
+            let cons = VarConstraints::none(q.num_vars());
+            assert_eq!(
+                count_constrained(&g, &q, &cons),
+                crate::naive::count_naive(&g, &q, &cons),
+                "mismatch on {q}"
+            );
+        }
     }
 }

@@ -1,0 +1,109 @@
+//! Multi-way intersection of sorted neighbour slices.
+//!
+//! The counting kernel generates the candidate set of a query variable as
+//! the intersection of the CSR neighbour lists induced by its already-bound
+//! neighbours. This module supplies the k-way step on top of the two-slice
+//! adaptive primitives in [`ceg_graph::intersect`] (linear merge for
+//! comparable lengths, galloping for skewed ones): the two smallest lists
+//! are merged into a reusable buffer, then each remaining list refines the
+//! buffer in place. Total cost is bounded by the smallest list — the
+//! worst-case-optimal-join access pattern — and the buffer is the only
+//! storage touched, so a warm kernel performs no allocation here.
+
+use ceg_graph::VertexId;
+
+pub use ceg_graph::intersect::{gallop, intersect_into, refine_in_place, GALLOP_RATIO};
+
+/// Intersect `lists` (each sorted and duplicate-free) into `out`.
+///
+/// `out` is cleared first; `lists` is reordered (sorted by length so the
+/// smallest pair seeds the buffer). With zero lists the result is empty —
+/// the caller owns the "no constraint" case; with one list the slice is
+/// copied verbatim (callers on the hot path iterate a single slice
+/// directly instead).
+pub fn intersect_k_into(lists: &mut [&[VertexId]], out: &mut Vec<VertexId>) {
+    out.clear();
+    match lists.len() {
+        0 => {}
+        1 => out.extend_from_slice(lists[0]),
+        _ => {
+            lists.sort_unstable_by_key(|l| l.len());
+            if lists[0].is_empty() {
+                return;
+            }
+            intersect_into(lists[0], lists[1], out);
+            for l in &lists[2..] {
+                if out.is_empty() {
+                    return;
+                }
+                refine_in_place(out, l);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kway(lists: &[&[VertexId]]) -> Vec<VertexId> {
+        let mut ls: Vec<&[VertexId]> = lists.to_vec();
+        let mut out = vec![99]; // pre-seeded: must be cleared
+        intersect_k_into(&mut ls, &mut out);
+        out
+    }
+
+    #[test]
+    fn zero_and_one_list() {
+        assert_eq!(kway(&[]), Vec::<VertexId>::new());
+        assert_eq!(kway(&[&[3, 5, 8]]), vec![3, 5, 8]);
+    }
+
+    #[test]
+    fn empty_list_short_circuits() {
+        assert_eq!(kway(&[&[1, 2, 3], &[]]), Vec::<VertexId>::new());
+        assert_eq!(kway(&[&[], &[1, 2], &[2, 3]]), Vec::<VertexId>::new());
+    }
+
+    #[test]
+    fn three_way_intersection() {
+        assert_eq!(
+            kway(&[&[1, 2, 3, 4, 5, 9], &[2, 4, 5, 9], &[0, 4, 9, 11]]),
+            vec![4, 9]
+        );
+    }
+
+    #[test]
+    fn one_element_gallop() {
+        // single-element small side against a long list: pure gallop
+        let large: Vec<VertexId> = (0..1000).map(|i| i * 2).collect();
+        assert_eq!(kway(&[&[500], &large]), vec![500]);
+        assert_eq!(kway(&[&[501], &large]), Vec::<VertexId>::new());
+        assert_eq!(kway(&[&large, &[1998]]), vec![1998]);
+    }
+
+    #[test]
+    fn duplicate_free_invariant() {
+        // duplicate-free sorted inputs → duplicate-free sorted output,
+        // even with identical lists repeated
+        let a: &[VertexId] = &[1, 4, 7, 9];
+        let got = kway(&[a, a, a]);
+        assert_eq!(got, vec![1, 4, 7, 9]);
+        let mut dedup = got.clone();
+        dedup.dedup();
+        assert_eq!(got, dedup);
+        assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn reuses_buffer_without_reallocating() {
+        let mut out = Vec::with_capacity(8);
+        let cap = out.capacity();
+        for _ in 0..10 {
+            let mut ls: Vec<&[VertexId]> = vec![&[1, 2, 3, 5], &[2, 3, 5, 8], &[3, 5]];
+            intersect_k_into(&mut ls, &mut out);
+            assert_eq!(out, vec![3, 5]);
+        }
+        assert_eq!(out.capacity(), cap);
+    }
+}

@@ -11,15 +11,23 @@
 //!
 //! The algorithm is a worst-case-optimal-style backtracking matcher: query
 //! variables are bound one at a time in a connectivity-aware order, and the
-//! candidate set for each new variable is the intersection of the
-//! neighbour lists induced by its already-bound neighbours.
+//! candidate set for each new variable is the k-way merge/galloping
+//! intersection ([`intersect`]) of the sorted CSR neighbour lists induced
+//! by its already-bound neighbours. Per-depth extension plans are
+//! precomputed once per query ([`count::CountPlan`]) so the recursion is
+//! allocation-free; [`naive::count_naive`] retains the unoptimized matcher
+//! as the reference for differential testing.
 
 pub mod constraints;
 pub mod count;
+pub mod intersect;
+pub mod naive;
 pub mod order;
 pub mod tree_count;
 
 pub use constraints::{VarConstraint, VarConstraints};
-pub use count::{count, count_constrained, count_with_limit, enumerate, CountBudget};
+pub use count::{count, count_constrained, count_with_limit, enumerate, CountBudget, CountPlan};
+pub use intersect::intersect_k_into;
+pub use naive::count_naive;
 pub use order::variable_order;
 pub use tree_count::{count_tree_dp, exact_count};

@@ -14,6 +14,11 @@ pub struct Csr {
     offsets: Vec<u32>,
     /// Concatenated, per-vertex-sorted neighbour lists.
     targets: Vec<VertexId>,
+    /// Cached maximum degree (the index is immutable after construction;
+    /// pessimistic bounds and matcher buffer sizing query this hot).
+    max_degree: u32,
+    /// Cached `|π_X R|` — number of vertices with non-zero degree.
+    num_active: u32,
 }
 
 impl Csr {
@@ -37,12 +42,23 @@ impl Csr {
             targets[*c as usize] = t;
             *c += 1;
         }
-        // Sort each neighbour list for binary-search membership tests.
+        // Sort each neighbour list for binary-search membership tests and
+        // merge/gallop intersection; cache the degree aggregates.
+        let mut max_degree = 0u32;
+        let mut num_active = 0u32;
         for v in 0..num_vertices {
             let (s, e) = (offsets[v] as usize, offsets[v + 1] as usize);
             targets[s..e].sort_unstable();
+            let d = (e - s) as u32;
+            max_degree = max_degree.max(d);
+            num_active += (d > 0) as u32;
         }
-        Csr { offsets, targets }
+        Csr {
+            offsets,
+            targets,
+            max_degree,
+            num_active,
+        }
     }
 
     /// Number of vertices in the domain.
@@ -79,19 +95,39 @@ impl Csr {
         self.neighbors(v).binary_search(&t).is_ok()
     }
 
-    /// Maximum degree over all vertices (0 for an empty index).
+    /// Maximum degree over all vertices (0 for an empty index). O(1):
+    /// cached at construction.
+    #[inline]
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices())
-            .map(|v| self.degree(v as VertexId))
-            .max()
-            .unwrap_or(0)
+        self.max_degree as usize
     }
 
     /// Number of vertices with non-zero degree (`|π_X R|` for this side).
+    /// O(1): cached at construction.
+    #[inline]
     pub fn num_active(&self) -> usize {
+        self.num_active as usize
+    }
+
+    /// Iterate the vertices with non-zero degree, in increasing id order.
+    /// The matcher seeds unconstrained root variables from this list
+    /// instead of scanning the whole domain.
+    pub fn active_vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
         (0..self.num_vertices())
-            .filter(|&v| self.degree(v as VertexId) > 0)
-            .count()
+            .filter(move |&v| self.offsets[v] < self.offsets[v + 1])
+            .map(|v| v as VertexId)
+    }
+
+    /// Append the common neighbours of `u` and `v` (in this direction) to
+    /// `out` — a slice-level building block for multi-way intersection.
+    pub fn intersect_neighbors_into(&self, u: VertexId, v: VertexId, out: &mut Vec<VertexId>) {
+        crate::intersect::intersect_into(self.neighbors(u), self.neighbors(v), out);
+    }
+
+    /// Append the intersection of `v`'s neighbour list with an arbitrary
+    /// sorted duplicate-free slice to `out`.
+    pub fn intersect_with_into(&self, v: VertexId, other: &[VertexId], out: &mut Vec<VertexId>) {
+        crate::intersect::intersect_into(self.neighbors(v), other, out);
     }
 
     /// Iterate `(from, to)` pairs in vertex order.
@@ -157,5 +193,26 @@ mod tests {
         assert_eq!(c.num_edges(), 0);
         assert_eq!(c.max_degree(), 0);
         assert_eq!(c.num_vertices(), 0);
+    }
+
+    #[test]
+    fn active_vertices_in_order() {
+        let c = sample();
+        let active: Vec<_> = c.active_vertices().collect();
+        assert_eq!(active, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn neighbor_intersection_helpers() {
+        let c = Csr::from_pairs(6, &[(0, 1), (0, 3), (0, 5), (2, 3), (2, 4), (2, 5)]);
+        let mut out = Vec::new();
+        c.intersect_neighbors_into(0, 2, &mut out);
+        assert_eq!(out, vec![3, 5]);
+        out.clear();
+        c.intersect_with_into(0, &[1, 2, 5], &mut out);
+        assert_eq!(out, vec![1, 5]);
+        out.clear();
+        c.intersect_neighbors_into(1, 2, &mut out); // vertex 1 has no edges
+        assert!(out.is_empty());
     }
 }

@@ -109,6 +109,24 @@ impl LabeledGraph {
         self.bwd.get(l as usize).map_or(0, Csr::num_active)
     }
 
+    /// Iterate the distinct sources of label `l` (vertices with at least
+    /// one out-edge under `l`), in increasing id order.
+    pub fn sources(&self, l: LabelId) -> impl Iterator<Item = VertexId> + '_ {
+        self.fwd
+            .get(l as usize)
+            .into_iter()
+            .flat_map(Csr::active_vertices)
+    }
+
+    /// Iterate the distinct destinations of label `l`, in increasing id
+    /// order.
+    pub fn targets(&self, l: LabelId) -> impl Iterator<Item = VertexId> + '_ {
+        self.bwd
+            .get(l as usize)
+            .into_iter()
+            .flat_map(Csr::active_vertices)
+    }
+
     /// Iterate the edges of one relation.
     pub fn edges(&self, l: LabelId) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         self.fwd
@@ -191,6 +209,9 @@ mod tests {
         let g = sample();
         assert_eq!(g.distinct_sources(0), 2); // 0 and 1
         assert_eq!(g.distinct_targets(0), 2); // 1 and 2
+        assert_eq!(g.sources(0).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(g.targets(0).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(g.sources(9).count(), 0);
     }
 
     #[test]

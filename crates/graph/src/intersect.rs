@@ -1,0 +1,210 @@
+//! Sorted-slice intersection primitives.
+//!
+//! CSR neighbour lists are sorted and duplicate-free, so candidate
+//! generation during matching reduces to intersecting a handful of sorted
+//! slices. Two regimes matter in practice:
+//!
+//! * **comparable lengths** — a linear two-pointer merge touches every
+//!   element once and wins on memory locality;
+//! * **skewed lengths** — galloping (exponential probing) through the
+//!   longer slice visits O(small · log(large / small)) elements, the
+//!   classic worst-case-optimal-join access pattern.
+//!
+//! [`intersect_into`] and [`refine_in_place`] switch between the two on a
+//! length-ratio crossover ([`GALLOP_RATIO`]). Inputs must be sorted and
+//! duplicate-free; outputs then are too.
+
+use crate::VertexId;
+
+/// Length ratio beyond which galloping through the longer slice beats a
+/// linear merge. 16 keeps the merge for same-order-of-magnitude slices
+/// (where its branch-predictable loop wins) and switches for the skewed
+/// hub-vs-leaf intersections where galloping is asymptotically better.
+pub const GALLOP_RATIO: usize = 16;
+
+/// First index `i` in sorted `a` with `a[i] >= target` (i.e. the lower
+/// bound), found by exponential probing from the front. O(log i).
+#[inline]
+pub fn gallop(a: &[VertexId], target: VertexId) -> usize {
+    if a.is_empty() || a[0] >= target {
+        return 0;
+    }
+    // Invariant: a[lo] < target. Double `step` until a[lo + step] >= target
+    // or the slice ends, then binary-search the bracketed window.
+    let mut lo = 0usize;
+    let mut step = 1usize;
+    while lo + step < a.len() && a[lo + step] < target {
+        lo += step;
+        step <<= 1;
+    }
+    let hi = (lo + step + 1).min(a.len());
+    lo + 1
+        + match a[lo + 1..hi].binary_search(&target) {
+            Ok(i) | Err(i) => i,
+        }
+}
+
+/// Append the intersection of sorted duplicate-free `a` and `b` to `out`.
+/// Adaptive: linear merge for comparable lengths, galloping when one side
+/// is more than [`GALLOP_RATIO`] times longer.
+pub fn intersect_into(a: &[VertexId], b: &[VertexId], out: &mut Vec<VertexId>) {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    if small.is_empty() {
+        return;
+    }
+    if large.len() / small.len() >= GALLOP_RATIO {
+        // Gallop the small slice through the large one; the cursor only
+        // moves forward, so the whole pass is O(|small| · log(|large|)).
+        let mut rest = large;
+        for &x in small {
+            let i = gallop(rest, x);
+            if i == rest.len() {
+                return;
+            }
+            if rest[i] == x {
+                out.push(x);
+            }
+            rest = &rest[i..];
+        }
+        return;
+    }
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < small.len() && j < large.len() {
+        let (x, y) = (small[i], large[j]);
+        match x.cmp(&y) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(x);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+}
+
+/// Retain only the elements of `buf` that also occur in sorted
+/// duplicate-free `other`, in place and allocation-free. `buf` must be
+/// sorted and duplicate-free (as produced by [`intersect_into`]).
+pub fn refine_in_place(buf: &mut Vec<VertexId>, other: &[VertexId]) {
+    if buf.is_empty() {
+        return;
+    }
+    if other.is_empty() {
+        buf.clear();
+        return;
+    }
+    let mut write = 0usize;
+    if other.len() / buf.len() >= GALLOP_RATIO {
+        let mut from = 0usize; // cursor into `other`, monotone
+        for read in 0..buf.len() {
+            let x = buf[read];
+            let i = gallop(&other[from..], x);
+            if from + i == other.len() {
+                break;
+            }
+            if other[from + i] == x {
+                buf[write] = x;
+                write += 1;
+            }
+            from += i;
+        }
+    } else {
+        let mut j = 0usize;
+        for read in 0..buf.len() {
+            let x = buf[read];
+            while j < other.len() && other[j] < x {
+                j += 1;
+            }
+            if j == other.len() {
+                break;
+            }
+            if other[j] == x {
+                buf[write] = x;
+                write += 1;
+                j += 1;
+            }
+        }
+    }
+    buf.truncate(write);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn isect(a: &[VertexId], b: &[VertexId]) -> Vec<VertexId> {
+        let mut out = Vec::new();
+        intersect_into(a, b, &mut out);
+        out
+    }
+
+    #[test]
+    fn gallop_finds_lower_bound() {
+        let a = [2, 4, 6, 8, 10];
+        assert_eq!(gallop(&a, 0), 0);
+        assert_eq!(gallop(&a, 2), 0);
+        assert_eq!(gallop(&a, 3), 1);
+        assert_eq!(gallop(&a, 10), 4);
+        assert_eq!(gallop(&a, 11), 5);
+        assert_eq!(gallop(&[], 5), 0);
+    }
+
+    #[test]
+    fn gallop_one_element() {
+        assert_eq!(gallop(&[7], 6), 0);
+        assert_eq!(gallop(&[7], 7), 0);
+        assert_eq!(gallop(&[7], 8), 1);
+    }
+
+    #[test]
+    fn merge_and_gallop_regimes_agree() {
+        // comparable lengths → merge path
+        assert_eq!(isect(&[1, 3, 5, 7], &[2, 3, 4, 7, 9]), vec![3, 7]);
+        // skewed lengths → gallop path (ratio ≥ GALLOP_RATIO)
+        let large: Vec<VertexId> = (0..200).map(|i| i * 2).collect();
+        assert_eq!(isect(&[5, 40, 41, 398], &large), vec![40, 398]);
+        assert_eq!(isect(&large, &[5, 40, 41, 398]), vec![40, 398]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(isect(&[], &[1, 2, 3]), Vec::<VertexId>::new());
+        assert_eq!(isect(&[1, 2, 3], &[]), Vec::<VertexId>::new());
+        assert_eq!(isect(&[], &[]), Vec::<VertexId>::new());
+    }
+
+    #[test]
+    fn refine_keeps_common_elements() {
+        let mut buf = vec![1, 4, 6, 9, 12];
+        refine_in_place(&mut buf, &[0, 4, 5, 9, 13]);
+        assert_eq!(buf, vec![4, 9]);
+        refine_in_place(&mut buf, &[]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn refine_gallop_regime() {
+        let other: Vec<VertexId> = (0..500).map(|i| i * 3).collect();
+        let mut buf = vec![3, 4, 299, 300, 1497];
+        refine_in_place(&mut buf, &other);
+        assert_eq!(buf, vec![3, 300, 1497]);
+    }
+
+    #[test]
+    fn output_is_sorted_and_duplicate_free() {
+        // exhaustive over small subsets of 0..8
+        for am in 0u16..256 {
+            for bm in 0u16..256 {
+                let a: Vec<VertexId> = (0..8).filter(|i| am & (1 << i) != 0).collect();
+                let b: Vec<VertexId> = (0..8).filter(|i| bm & (1 << i) != 0).collect();
+                let got = isect(&a, &b);
+                let want: Vec<VertexId> = a.iter().copied().filter(|x| b.contains(x)).collect();
+                assert_eq!(got, want, "a={a:?} b={b:?}");
+                let mut refined = a.clone();
+                refine_in_place(&mut refined, &b);
+                assert_eq!(refined, want, "refine a={a:?} b={b:?}");
+            }
+        }
+    }
+}

@@ -37,6 +37,7 @@ pub mod builder;
 pub mod csr;
 pub mod graph;
 pub mod hash;
+pub mod intersect;
 pub mod io;
 pub mod stats;
 
@@ -44,6 +45,7 @@ pub use builder::GraphBuilder;
 pub use csr::Csr;
 pub use graph::{Edge, LabeledGraph};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
+pub use intersect::{gallop, intersect_into, refine_in_place};
 pub use stats::LabelStats;
 
 /// Identifier of a data vertex. Kept at 32 bits: the paper's largest dataset

@@ -15,8 +15,7 @@ use std::path::Path;
 use std::sync::{Arc, RwLock};
 
 use ceg_catalog::io::load_markov;
-use ceg_catalog::MarkovTable;
-use ceg_exec::{count_constrained, VarConstraints};
+use ceg_catalog::{count_patterns, MarkovTable};
 use ceg_graph::io::load_graph;
 use ceg_graph::{FxHashMap, FxHashSet, LabeledGraph};
 use ceg_query::{Pattern, QueryGraph};
@@ -26,18 +25,34 @@ pub struct DatasetEntry {
     name: String,
     graph: LabeledGraph,
     h: usize,
+    /// Worker threads used when a batch has to count missing patterns.
+    jobs: usize,
     markov: RwLock<MarkovTable>,
 }
 
 impl DatasetEntry {
-    /// Wrap an already-loaded graph and catalog.
+    /// Wrap an already-loaded graph and catalog. Catalog gaps are counted
+    /// serially; see [`DatasetEntry::with_jobs`].
     pub fn new(name: impl Into<String>, graph: LabeledGraph, markov: MarkovTable) -> Self {
         DatasetEntry {
             name: name.into(),
             h: markov.h(),
+            jobs: 1,
             graph,
             markov: RwLock::new(markov),
         }
+    }
+
+    /// Set the number of worker threads used to count missing patterns
+    /// when the catalog grows (`cegcli serve --jobs` lands here).
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs.max(1);
+        self
+    }
+
+    /// Worker threads used for catalog growth.
+    pub fn jobs(&self) -> usize {
+        self.jobs
     }
 
     /// Dataset name (the wire-protocol identifier).
@@ -65,9 +80,11 @@ impl DatasetEntry {
     /// Returns how many patterns were added.
     ///
     /// The expensive part — exact counting on the graph — runs without any
-    /// lock held: readers keep estimating while a batch fills gaps, and
-    /// two racing batches at worst count the same pattern twice (the
-    /// second insert is a no-op on an identical exact count).
+    /// lock held, on up to [`DatasetEntry::jobs`] scoped worker threads
+    /// ([`ceg_catalog::count_patterns`]): readers keep estimating while a
+    /// batch fills gaps, and two racing batches at worst count the same
+    /// pattern twice (the second insert is a no-op on an identical exact
+    /// count).
     pub fn ensure_patterns(&self, queries: &[QueryGraph]) -> usize {
         let mut missing: Vec<Pattern> = Vec::new();
         {
@@ -85,18 +102,10 @@ impl DatasetEntry {
         if missing.is_empty() {
             return 0;
         }
-        let counted: Vec<(Pattern, u64)> = missing
-            .into_iter()
-            .map(|pat| {
-                let pq = pat.to_query();
-                let card =
-                    count_constrained(&self.graph, &pq, &VarConstraints::none(pq.num_vars()));
-                (pat, card)
-            })
-            .collect();
+        let counts = count_patterns(&self.graph, &missing, self.jobs);
         let mut table = self.markov.write().unwrap();
         let mut added = 0;
-        for (pat, card) in counted {
+        for (pat, card) in missing.into_iter().zip(counts) {
             if table.card(&pat).is_none() {
                 table.insert(pat, card);
                 added += 1;
@@ -114,14 +123,29 @@ impl DatasetEntry {
 /// Name → dataset map shared by every connection and worker.
 pub struct DatasetRegistry {
     map: RwLock<FxHashMap<String, Arc<DatasetEntry>>>,
+    /// Catalog-growth worker threads handed to entries registered through
+    /// [`DatasetRegistry::insert_graph`] / [`DatasetRegistry::load_files`].
+    default_jobs: usize,
 }
 
 impl DatasetRegistry {
-    /// An empty registry.
+    /// An empty registry whose datasets count missing patterns serially.
     pub fn new() -> Self {
+        Self::with_jobs(1)
+    }
+
+    /// An empty registry whose datasets grow their catalogs on up to
+    /// `jobs` worker threads.
+    pub fn with_jobs(jobs: usize) -> Self {
         DatasetRegistry {
             map: RwLock::new(FxHashMap::default()),
+            default_jobs: jobs.max(1),
         }
+    }
+
+    /// Catalog-growth worker threads applied to registered datasets.
+    pub fn default_jobs(&self) -> usize {
+        self.default_jobs
     }
 
     /// Register a prepared entry, replacing any previous dataset with the
@@ -142,7 +166,9 @@ impl DatasetRegistry {
         graph: LabeledGraph,
         h: usize,
     ) -> Arc<DatasetEntry> {
-        self.insert(DatasetEntry::new(name, graph, MarkovTable::empty(h)))
+        self.insert(
+            DatasetEntry::new(name, graph, MarkovTable::empty(h)).with_jobs(self.default_jobs),
+        )
     }
 
     /// Load a dataset from an edge-list file, with an optional persisted
@@ -160,7 +186,7 @@ impl DatasetRegistry {
             Some(path) => load_markov(path)?,
             None => MarkovTable::empty(h),
         };
-        Ok(self.insert(DatasetEntry::new(name, graph, markov)))
+        Ok(self.insert(DatasetEntry::new(name, graph, markov).with_jobs(self.default_jobs)))
     }
 
     /// Shared handle to a dataset, if registered.
@@ -233,6 +259,27 @@ mod tests {
         let q2 = templates::path(2, &[0, 1]);
         let added = entry.ensure_patterns(&[q1, q2]);
         assert_eq!(added, entry.catalog_len());
+    }
+
+    #[test]
+    fn parallel_growth_matches_serial_catalog() {
+        let serial = DatasetRegistry::new();
+        let parallel = DatasetRegistry::with_jobs(4);
+        assert_eq!(serial.default_jobs(), 1);
+        assert_eq!(parallel.default_jobs(), 4);
+        let es = serial.insert_graph("toy", toy_graph(), 2);
+        let ep = parallel.insert_graph("toy", toy_graph(), 2);
+        assert_eq!(ep.jobs(), 4);
+        let queries = [templates::path(2, &[0, 1]), templates::star(2, &[1, 1])];
+        assert_eq!(es.ensure_patterns(&queries), ep.ensure_patterns(&queries));
+        es.with_markov(|ts| {
+            ep.with_markov(|tp| {
+                assert_eq!(ts.len(), tp.len());
+                for (p, c) in ts.iter() {
+                    assert_eq!(tp.card(p), Some(c), "pattern {p}");
+                }
+            })
+        });
     }
 
     #[test]

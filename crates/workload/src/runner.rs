@@ -3,10 +3,27 @@
 
 use std::time::Instant;
 
+use ceg_catalog::MarkovTable;
 use ceg_estimators::CardinalityEstimator;
+use ceg_graph::LabeledGraph;
 
 use crate::qerror::{signed_log_qerror, QErrorSummary};
 use crate::workloads::WorkloadQuery;
+
+/// Build the workload-specific Markov table (the paper builds statistics
+/// per workload, Section 6) on up to `parallelism` worker threads via the
+/// two-phase [`MarkovTable::build_parallel`]: sub-patterns are deduped
+/// across the whole workload first, then counted in parallel. The
+/// resulting table is identical at every `parallelism`.
+pub fn build_markov_parallel(
+    graph: &LabeledGraph,
+    workload: &[WorkloadQuery],
+    h: usize,
+    parallelism: usize,
+) -> MarkovTable {
+    let qs: Vec<_> = workload.iter().map(|q| q.query.clone()).collect();
+    MarkovTable::build_parallel(graph, &qs, h, parallelism)
+}
 
 /// Result of one estimator over one workload.
 #[derive(Debug, Clone)]
@@ -179,6 +196,37 @@ pub fn render_table(title: &str, reports: &[EstimatorReport]) -> String {
         ));
     }
     out
+}
+
+#[cfg(test)]
+mod markov_tests {
+    use super::*;
+    use ceg_graph::GraphBuilder;
+    use ceg_query::templates;
+
+    #[test]
+    fn workload_markov_build_is_parallelism_invariant() {
+        let mut b = GraphBuilder::new(8);
+        for i in 0..6 {
+            b.add_edge(i, i + 1, (i % 2) as u16);
+        }
+        let g = b.build();
+        let wq = |q: ceg_query::QueryGraph| WorkloadQuery {
+            query: q,
+            template: "t".into(),
+            truth: 1.0,
+        };
+        let w = vec![
+            wq(templates::path(2, &[0, 1])),
+            wq(templates::path(3, &[0, 1, 0])),
+        ];
+        let serial = build_markov_parallel(&g, &w, 2, 1);
+        let parallel = build_markov_parallel(&g, &w, 2, 4);
+        assert_eq!(serial.len(), parallel.len());
+        for (p, c) in serial.iter() {
+            assert_eq!(parallel.card(p), Some(c));
+        }
+    }
 }
 
 #[cfg(test)]

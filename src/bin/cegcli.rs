@@ -24,6 +24,7 @@ use cegraph::graph::io::{load_graph, save_graph};
 use cegraph::service::{Client, DatasetRegistry, Server, ServerConfig};
 use cegraph::workload::io::{load_workload, save_workload};
 use cegraph::workload::qerror::signed_log_qerror;
+use cegraph::workload::runner::build_markov_parallel;
 use cegraph::workload::{Dataset, Workload};
 
 fn main() -> ExitCode {
@@ -62,16 +63,19 @@ const USAGE_LINES: &[(&str, &str)] = &[
         "workload",
         "cegcli workload <graph.edges> <job|acyclic|cyclic|gcare-acyclic|gcare-cyclic> <per-template> <seed> <out.wl>",
     ),
-    ("stats", "cegcli stats <graph.edges> <queries.wl> <h> <out.markov>"),
+    (
+        "stats",
+        "cegcli stats <graph.edges> <queries.wl> <h> <out.markov> [--jobs N]",
+    ),
     (
         "estimate",
-        "cegcli estimate <graph.edges> <queries.wl> [markov.file] [heuristic]",
+        "cegcli estimate <graph.edges> <queries.wl> [markov.file] [heuristic] [--jobs N]",
     ),
     ("molp", "cegcli molp <graph.edges> <queries.wl>"),
     ("explain", "cegcli explain <graph.edges> <queries.wl> <query-index>"),
     (
         "serve",
-        "cegcli serve <addr> <graph.edges> [markov.file|-] [h]",
+        "cegcli serve <addr> <graph.edges> [markov.file|-] [h] [--jobs N]",
     ),
     ("query", "cegcli query <addr> <queries.wl> [dataset]"),
 ];
@@ -154,6 +158,34 @@ fn arg<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> 
         .ok_or_else(|| format!("missing {what}"))
 }
 
+/// Strip a `--jobs N` flag (anywhere in the argument list) and return the
+/// remaining positional arguments plus the worker count. `--jobs 0` means
+/// "use every available core"; without the flag the count is 1 (serial,
+/// the pre-flag behaviour).
+fn take_jobs(args: &[String]) -> Result<(Vec<String>, usize), String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut jobs = 1usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--jobs" {
+            let n = it.next().ok_or("missing value after --jobs")?;
+            jobs = n.parse().map_err(|_| format!("bad --jobs value `{n}`"))?;
+        } else if let Some(n) = a.strip_prefix("--jobs=") {
+            jobs = n.parse().map_err(|_| format!("bad --jobs value `{n}`"))?;
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    if jobs == 0 {
+        // Explicit "all cores": uncapped, unlike the conservative
+        // default_build_parallelism() used by implicit callers.
+        jobs = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+    }
+    Ok((rest, jobs))
+}
+
 fn generate(args: &[String]) -> Result<(), String> {
     let ds = parse_dataset(arg(args, 0, "dataset")?)?;
     let seed: u64 = arg(args, 1, "seed")?.parse().map_err(|_| "bad seed")?;
@@ -185,15 +217,15 @@ fn workload(args: &[String]) -> Result<(), String> {
 }
 
 fn stats(args: &[String]) -> Result<(), String> {
-    let g = load_graph(arg(args, 0, "graph path")?).map_err(|e| e.to_string())?;
-    let queries = load_workload(arg(args, 1, "workload path")?).map_err(|e| e.to_string())?;
-    let h: usize = arg(args, 2, "h")?.parse().map_err(|_| "bad h")?;
-    let out = arg(args, 3, "output path")?;
-    let qs: Vec<_> = queries.iter().map(|q| q.query.clone()).collect();
-    let table = MarkovTable::build(&g, &qs, h);
+    let (args, jobs) = take_jobs(args)?;
+    let g = load_graph(arg(&args, 0, "graph path")?).map_err(|e| e.to_string())?;
+    let queries = load_workload(arg(&args, 1, "workload path")?).map_err(|e| e.to_string())?;
+    let h: usize = arg(&args, 2, "h")?.parse().map_err(|_| "bad h")?;
+    let out = arg(&args, 3, "output path")?;
+    let table = build_markov_parallel(&g, &queries, h, jobs);
     save_markov(&table, out).map_err(|e| e.to_string())?;
     println!(
-        "markov table h={h}: {} entries (~{:.1} KB) -> {out}",
+        "markov table h={h}: {} entries (~{:.1} KB, {jobs} jobs) -> {out}",
         table.len(),
         table.approx_bytes() as f64 / 1024.0
     );
@@ -201,14 +233,13 @@ fn stats(args: &[String]) -> Result<(), String> {
 }
 
 fn estimate(args: &[String]) -> Result<(), String> {
+    let (args, jobs) = take_jobs(args)?;
+    let args = &args[..];
     let g = load_graph(arg(args, 0, "graph path")?).map_err(|e| e.to_string())?;
     let queries = load_workload(arg(args, 1, "workload path")?).map_err(|e| e.to_string())?;
     let table = match args.get(2) {
         Some(path) => load_markov(path).map_err(|e| e.to_string())?,
-        None => {
-            let qs: Vec<_> = queries.iter().map(|q| q.query.clone()).collect();
-            MarkovTable::build(&g, &qs, 2)
-        }
+        None => build_markov_parallel(&g, &queries, 2, jobs),
     };
     let heuristic = match args.get(3) {
         Some(name) => parse_heuristic(name)?,
@@ -269,8 +300,11 @@ fn explain(args: &[String]) -> Result<(), String> {
 /// persisted Markov catalog) is loaded once and registered as dataset
 /// `default`; without a catalog (omitted or `-`), statistics are counted
 /// on demand at hop depth `h` (default 2, like `cegcli stats`) as
-/// requests arrive and kept warm.
+/// requests arrive and kept warm. `--jobs N` counts missing patterns on
+/// up to `N` worker threads (`--jobs 0` = all cores).
 fn serve(args: &[String]) -> Result<(), String> {
+    let (args, jobs) = take_jobs(args)?;
+    let args = &args[..];
     let addr = arg(args, 0, "listen address")?;
     let graph_path = arg(args, 1, "graph path")?;
     let markov_path = args.get(2).map(String::as_str).filter(|p| *p != "-");
@@ -278,7 +312,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         Some(s) => s.parse().map_err(|_| "bad h")?,
         None => 2,
     };
-    let registry = Arc::new(DatasetRegistry::new());
+    let registry = Arc::new(DatasetRegistry::with_jobs(jobs));
     let entry = registry
         .load_files("default", graph_path, markov_path, h)
         .map_err(|e| e.to_string())?;
@@ -294,7 +328,7 @@ fn serve(args: &[String]) -> Result<(), String> {
     let server = Server::start(registry, addr, config).map_err(|e| e.to_string())?;
     println!(
         "serving `default` ({} vertices, {} edges, {} catalog entries) on {} \
-         [{} workers, batch<={}, cache {} buckets]",
+         [{} workers, batch<={}, cache {} buckets, {} catalog jobs]",
         entry.graph().num_vertices(),
         entry.graph().num_edges(),
         entry.catalog_len(),
@@ -302,6 +336,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         config.workers,
         config.batch_max,
         config.cache_capacity,
+        entry.jobs(),
     );
     // Serve until the process is killed.
     loop {

@@ -95,6 +95,31 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, sample_size: usize, mut f: 
         format_time(mean),
         b.iters
     );
+    append_json_record(name, mean, b.iters);
+}
+
+/// When `CRITERION_JSON` names a file, append one JSON line per benchmark
+/// (`{"name": …, "mean_secs": …, "iters": …}`) so CI steps and snapshot
+/// files (`BENCH_*.json`) can consume the means without scraping stdout.
+fn append_json_record(name: &str, mean_secs: f64, iters: usize) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    use std::io::Write;
+    let line = format!(
+        "{{\"name\":\"{}\",\"mean_secs\":{mean_secs:.9},\"iters\":{iters}}}\n",
+        name.replace('"', "'")
+    );
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = f.write_all(line.as_bytes());
+    }
 }
 
 fn format_time(secs: f64) -> String {
