@@ -7,7 +7,7 @@
 //! a fraction of a megabyte.
 
 use ceg_exec::{count_constrained, VarConstraints};
-use ceg_graph::{FxHashMap, LabeledGraph};
+use ceg_graph::{FxHashMap, GraphView, LabelId, LabeledGraph};
 use ceg_query::{EdgeMask, Pattern, QueryGraph};
 
 /// Cardinalities of connected patterns with at most `h` edges.
@@ -32,7 +32,7 @@ impl MarkovTable {
     /// of the given workload queries, with exact counts from `graph`.
     /// Serial; see [`MarkovTable::build_parallel`] for the worker-pool
     /// variant.
-    pub fn build(graph: &LabeledGraph, queries: &[QueryGraph], h: usize) -> Self {
+    pub fn build(graph: &(impl GraphView + Sync), queries: &[QueryGraph], h: usize) -> Self {
         Self::build_parallel(graph, queries, h, 1)
     }
 
@@ -43,7 +43,7 @@ impl MarkovTable {
     /// exact, so the resulting table is identical at every `parallelism`
     /// (a `parallelism` of 0 or 1 counts inline on the calling thread).
     pub fn build_parallel(
-        graph: &LabeledGraph,
+        graph: &(impl GraphView + Sync),
         queries: &[QueryGraph],
         h: usize,
         parallelism: usize,
@@ -57,8 +57,46 @@ impl MarkovTable {
     }
 
     /// Build a table for a single query (convenience for examples/tests).
-    pub fn build_for_query(graph: &LabeledGraph, query: &QueryGraph, h: usize) -> Self {
+    pub fn build_for_query(graph: &(impl GraphView + Sync), query: &QueryGraph, h: usize) -> Self {
         Self::build(graph, std::slice::from_ref(query), h)
+    }
+
+    /// Incrementally maintain the table after a graph change: recount
+    /// only the entries whose label set intersects `touched` (the labels
+    /// a [`ceg_graph::GraphDelta`] inserted or deleted edges under) on
+    /// the *post-change* graph; every other entry's count cannot have
+    /// moved and carries over untouched. Returns how many entries were
+    /// recounted.
+    ///
+    /// Sound because a pattern's homomorphism count depends only on the
+    /// relations its labels name: a delta that never touches those
+    /// relations cannot change the count. The invariant is pinned by a
+    /// differential test against a from-scratch rebuild on the rebased
+    /// graph (`markov::tests::incremental_refresh_matches_rebuild` and
+    /// `tests/updates.rs`).
+    pub fn refresh_touched(
+        &mut self,
+        graph: &(impl GraphView + Sync),
+        touched: &[LabelId],
+        parallelism: usize,
+    ) -> usize {
+        if touched.is_empty() || self.entries.is_empty() {
+            return 0;
+        }
+        let mut affected: Vec<Pattern> = self
+            .entries
+            .keys()
+            .filter(|p| p.edges().iter().any(|e| touched.contains(&e.label)))
+            .cloned()
+            .collect();
+        // Deterministic work order (the map iterates in hash order).
+        affected.sort_unstable();
+        let counts = count_patterns(graph, &affected, parallelism);
+        let recounted = affected.len();
+        for (pat, card) in affected.into_iter().zip(counts) {
+            self.entries.insert(pat, card);
+        }
+        recounted
     }
 
     /// The table size parameter `h`.
@@ -140,7 +178,11 @@ fn dedupe_subpatterns(queries: &[QueryGraph], max_edges: usize) -> Vec<Pattern> 
 /// `counts[i]` aligned with `patterns[i]` regardless of schedule. This is
 /// the shared parallel path under [`MarkovTable::build_parallel`] and the
 /// service registry's incremental catalog growth.
-pub fn count_patterns(graph: &LabeledGraph, patterns: &[Pattern], parallelism: usize) -> Vec<u64> {
+pub fn count_patterns(
+    graph: &(impl GraphView + Sync),
+    patterns: &[Pattern],
+    parallelism: usize,
+) -> Vec<u64> {
     let count_one = |pat: &Pattern| {
         let pq = pat.to_query();
         count_constrained(graph, &pq, &VarConstraints::none(pq.num_vars()))
@@ -315,6 +357,71 @@ mod tests {
     fn default_parallelism_is_sane() {
         let p = default_build_parallelism();
         assert!((1..=8).contains(&p));
+    }
+
+    /// Serialize a table to its canonical persisted form (sorted entry
+    /// lines), the strictest equality available for two tables.
+    fn bytes_of(t: &MarkovTable) -> Vec<u8> {
+        let mut buf = Vec::new();
+        crate::io::write_markov(t, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn incremental_refresh_matches_rebuild() {
+        use ceg_graph::GraphDelta;
+        let g = toy();
+        let queries = [
+            templates::path(3, &[0, 1, 2]),
+            templates::star(3, &[0, 0, 1]),
+            templates::cycle(3, &[0, 1, 2]),
+        ];
+        let mut table = MarkovTable::build(&g, &queries, 3);
+        // Touch labels 0 and 2, leave label 1 alone.
+        let mut d = GraphDelta::new();
+        d.add_edge(1, 4, 0);
+        d.del_edge(6, 9, 2);
+        d.add_edge(5, 6, 2);
+        let rebased = g.rebase(&d);
+        let recounted = table.refresh_touched(&rebased, &d.touched_labels(), 1);
+        assert!(recounted > 0);
+        let rebuilt = MarkovTable::build(&rebased, &queries, 3);
+        assert_eq!(bytes_of(&table), bytes_of(&rebuilt));
+    }
+
+    #[test]
+    fn refresh_skips_untouched_labels() {
+        let g = toy();
+        let q = templates::path(3, &[0, 1, 2]);
+        let mut table = MarkovTable::build_for_query(&g, &q, 2);
+        // patterns: A, B, C, A->B, B->C; only label 1 (B) is touched, so
+        // B, A->B and B->C are recounted but A and C carry over.
+        let recounted = table.refresh_touched(&g, &[1], 1);
+        assert_eq!(recounted, 3);
+        assert_eq!(table.refresh_touched(&g, &[], 1), 0);
+        assert_eq!(table.refresh_touched(&g, &[7], 1), 0);
+    }
+
+    #[test]
+    fn refresh_on_overlay_matches_refresh_on_rebased() {
+        use ceg_graph::{GraphDelta, OverlayGraph};
+        let g = toy();
+        let queries = [templates::path(3, &[0, 1, 2]), templates::star(2, &[1, 2])];
+        let base_table = MarkovTable::build(&g, &queries, 3);
+        let mut d = GraphDelta::new();
+        d.add_edge(2, 7, 1);
+        d.del_edge(4, 7, 1);
+        d.add_edge(7, 9, 2);
+        let rebased = g.rebase(&d);
+        let mut via_rebase = base_table.clone();
+        via_rebase.refresh_touched(&rebased, &d.touched_labels(), 1);
+        let mut via_overlay = base_table.clone();
+        via_overlay.refresh_touched(&OverlayGraph::new(&g, &d), &d.touched_labels(), 2);
+        assert_eq!(bytes_of(&via_rebase), bytes_of(&via_overlay));
+        assert_eq!(
+            bytes_of(&via_rebase),
+            bytes_of(&MarkovTable::build(&rebased, &queries, 3))
+        );
     }
 }
 

@@ -45,29 +45,29 @@ impl<'a> WanderJoinEstimator<'a> {
     }
 
     /// Walk order: start edge first, then edges adjacent to bound vars.
-    fn walk_order(&self, query: &QueryGraph) -> Vec<usize> {
-        let start = (0..query.num_edges())
-            .min_by_key(|&i| self.graph.label_count(query.edge(i).label))
-            .expect("non-empty query");
+    /// `None` on degenerate queries — no edges to start from, or a
+    /// disconnected query no walk can cover — so [`Self::estimate`]
+    /// reports "cannot answer" instead of panicking.
+    fn walk_order(&self, query: &QueryGraph) -> Option<Vec<usize>> {
+        let start =
+            (0..query.num_edges()).min_by_key(|&i| self.graph.label_count(query.edge(i).label))?;
         let mut order = vec![start];
         let e0 = query.edge(start);
         let mut bound: u32 = (1 << e0.src) | (1 << e0.dst);
         let mut used = 1u32 << start;
         while order.len() < query.num_edges() {
-            let next = (0..query.num_edges())
-                .find(|&i| {
-                    used & (1 << i) == 0 && {
-                        let e = query.edge(i);
-                        bound & ((1 << e.src) | (1 << e.dst)) != 0
-                    }
-                })
-                .expect("query must be connected");
+            let next = (0..query.num_edges()).find(|&i| {
+                used & (1 << i) == 0 && {
+                    let e = query.edge(i);
+                    bound & ((1 << e.src) | (1 << e.dst)) != 0
+                }
+            })?;
             let e = query.edge(next);
             bound |= (1 << e.src) | (1 << e.dst);
             used |= 1 << next;
             order.push(next);
         }
-        order
+        Some(order)
     }
 
     /// One random walk; the HT per-sample estimate (0 on a failed walk).
@@ -142,10 +142,12 @@ impl CardinalityEstimator for WanderJoinEstimator<'_> {
     }
 
     fn estimate(&mut self, query: &QueryGraph) -> Option<f64> {
-        if query.num_edges() == 0 {
-            return Some(1.0);
-        }
-        let order = self.walk_order(query);
+        // Degenerate queries — empty or disconnected — are unanswerable
+        // by a single random walk: report `None` like any other query the
+        // estimator cannot handle. (The service rejects these at parse
+        // time; this guards direct library callers, which previously hit
+        // a panic on disconnected input.)
+        let order = self.walk_order(query)?;
         let start_count = self.graph.label_count(query.edge(order[0]).label);
         if start_count == 0 {
             return Some(0.0);
@@ -240,5 +242,27 @@ mod tests {
         let g = toy();
         let wj = WanderJoinEstimator::new(&g, 0.25, 0);
         assert_eq!(wj.name(), "WJ(25%)");
+    }
+
+    #[test]
+    fn wj_returns_none_on_empty_query() {
+        let g = toy();
+        let mut wj = WanderJoinEstimator::new(&g, 0.5, 1);
+        let empty = ceg_query::QueryGraph::new(2, vec![]);
+        assert_eq!(wj.estimate(&empty), None);
+    }
+
+    #[test]
+    fn wj_returns_none_on_disconnected_query() {
+        use ceg_query::{QueryEdge, QueryGraph};
+        let g = toy();
+        let mut wj = WanderJoinEstimator::new(&g, 0.5, 1);
+        // Two components: {a0 -0-> a1} and {a2 -1-> a3}. A single walk
+        // cannot cover both; this used to panic on an internal expect.
+        let q = QueryGraph::new(4, vec![QueryEdge::new(0, 1, 0), QueryEdge::new(2, 3, 1)]);
+        assert!(!q.is_connected());
+        assert_eq!(wj.estimate(&q), None);
+        // The estimator is still usable afterwards.
+        assert!(wj.estimate(&templates::path(2, &[0, 1])).is_some());
     }
 }

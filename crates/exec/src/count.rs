@@ -15,7 +15,7 @@
 //! endpoint list (`graph.sources(l)` / `targets(l)`) instead of the whole
 //! vertex domain; truly isolated variables still scan the domain.
 
-use ceg_graph::{LabelId, LabeledGraph, VertexId};
+use ceg_graph::{GraphView, LabelId, VertexId};
 use ceg_query::{QueryGraph, VarId};
 
 use crate::constraints::{VarConstraint, VarConstraints};
@@ -42,18 +42,26 @@ impl CountBudget {
 
 /// Count the homomorphisms of `query` in `graph` (join semantics: distinct
 /// variables may map to the same vertex).
-pub fn count(graph: &LabeledGraph, query: &QueryGraph) -> u64 {
+///
+/// Generic over [`GraphView`]: the same kernel counts on an immutable
+/// [`ceg_graph::LabeledGraph`] or on a base-plus-delta
+/// [`ceg_graph::OverlayGraph`] while updates are pending.
+pub fn count<G: GraphView>(graph: &G, query: &QueryGraph) -> u64 {
     count_constrained(graph, query, &VarConstraints::none(query.num_vars()))
 }
 
 /// Count homomorphisms subject to per-variable constraints.
-pub fn count_constrained(graph: &LabeledGraph, query: &QueryGraph, cons: &VarConstraints) -> u64 {
+pub fn count_constrained<G: GraphView>(
+    graph: &G,
+    query: &QueryGraph,
+    cons: &VarConstraints,
+) -> u64 {
     CountPlan::new(graph, query, cons).count()
 }
 
 /// Count with a work budget; `None` when the budget is exhausted.
-pub fn count_with_limit(
-    graph: &LabeledGraph,
+pub fn count_with_limit<G: GraphView>(
+    graph: &G,
     query: &QueryGraph,
     cons: &VarConstraints,
     budget: CountBudget,
@@ -64,8 +72,8 @@ pub fn count_with_limit(
 /// Enumerate homomorphisms, invoking `visit` with the binding indexed by
 /// variable id; `visit` returns `false` to stop early. Returns `false` if
 /// enumeration was stopped (by the visitor or the budget).
-pub fn enumerate(
-    graph: &LabeledGraph,
+pub fn enumerate<G: GraphView>(
+    graph: &G,
     query: &QueryGraph,
     cons: &VarConstraints,
     visit: &mut dyn FnMut(&[VertexId]) -> bool,
@@ -115,8 +123,8 @@ struct DepthPlan {
 /// triple. Building the plan allocates; [`CountPlan::count`] /
 /// [`CountPlan::enumerate`] then run without touching the allocator, which
 /// `tests/alloc_guard.rs` asserts with a counting global allocator.
-pub struct CountPlan<'a> {
-    graph: &'a LabeledGraph,
+pub struct CountPlan<'a, G: GraphView> {
+    graph: &'a G,
     cons: &'a VarConstraints,
     depths: Vec<DepthPlan>,
     /// `indep[d]` is true when every depth `e >= d` constrains only
@@ -134,10 +142,10 @@ pub struct CountPlan<'a> {
     binding: Vec<VertexId>,
 }
 
-impl<'a> CountPlan<'a> {
+impl<'a, G: GraphView> CountPlan<'a, G> {
     /// Precompute the per-depth extension plans for `query` under the
     /// [`variable_order`] heuristic.
-    pub fn new(graph: &'a LabeledGraph, query: &QueryGraph, cons: &'a VarConstraints) -> Self {
+    pub fn new(graph: &'a G, query: &QueryGraph, cons: &'a VarConstraints) -> Self {
         let order = variable_order(graph, query);
         let num_vars = query.num_vars() as usize;
         let mut pos = vec![usize::MAX; num_vars];
@@ -186,11 +194,12 @@ impl<'a> CountPlan<'a> {
                 // so the relation's endpoint projection is a sound and
                 // complete seed set — typically far smaller than the
                 // domain.
-                let list = if is_src {
-                    graph.sources(label).collect()
+                let mut list = Vec::new();
+                if is_src {
+                    graph.sources_into(label, &mut list);
                 } else {
-                    graph.targets(label).collect()
-                };
+                    graph.targets_into(label, &mut list);
+                }
                 RootGen::List(list)
             } else {
                 RootGen::Scan
@@ -308,8 +317,8 @@ impl<'a> CountPlan<'a> {
 
 /// One recursion step: generate the candidates of `depths[0]` and extend
 /// the binding through each. Returns `false` when stopped early.
-fn recurse(
-    graph: &LabeledGraph,
+fn recurse<G: GraphView>(
+    graph: &G,
     cons: &VarConstraints,
     depths: &[DepthPlan],
     bufs: &mut [Vec<VertexId>],
@@ -400,8 +409,8 @@ fn recurse(
 /// tallied as a product of candidate-set sizes instead of being
 /// enumerated. Returns `false` when the budget stops the count.
 #[allow(clippy::too_many_arguments)]
-fn recurse_count(
-    graph: &LabeledGraph,
+fn recurse_count<G: GraphView>(
+    graph: &G,
     cons: &VarConstraints,
     depths: &[DepthPlan],
     indep: &[bool],
@@ -491,8 +500,8 @@ fn recurse_count(
 
 /// Candidate-set size product of a fully independent suffix, or `None` on
 /// u64 overflow.
-fn suffix_product(
-    graph: &LabeledGraph,
+fn suffix_product<G: GraphView>(
+    graph: &G,
     depths: &[DepthPlan],
     bufs: &mut [Vec<VertexId>],
     binding: &[VertexId],
@@ -527,8 +536,8 @@ fn suffix_product(
 
 /// The neighbour slice a planned edge induces under the current binding.
 #[inline]
-fn neighbor_slice<'g>(
-    graph: &'g LabeledGraph,
+fn neighbor_slice<'g, G: GraphView>(
+    graph: &'g G,
     pe: &PlannedEdge,
     binding: &[VertexId],
 ) -> &'g [VertexId] {
@@ -543,9 +552,9 @@ fn neighbor_slice<'g>(
 /// Try every candidate: budget, constraint and self-loop checks, then
 /// recurse. Returns `false` when stopped early.
 #[allow(clippy::too_many_arguments)]
-fn extend_all(
+fn extend_all<G: GraphView>(
     candidates: impl Iterator<Item = VertexId>,
-    graph: &LabeledGraph,
+    graph: &G,
     cons: &VarConstraints,
     dp: &DepthPlan,
     rest_depths: &[DepthPlan],
@@ -587,7 +596,7 @@ fn extend_all(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ceg_graph::GraphBuilder;
+    use ceg_graph::{GraphBuilder, LabeledGraph};
     use ceg_query::{templates, QueryEdge};
 
     /// Graph: label 0 = path edges 0->1->2->3; label 1 = 1->3, 3->3 (loop).

@@ -130,6 +130,61 @@ impl Csr {
         crate::intersect::intersect_into(self.neighbors(v), other, out);
     }
 
+    /// Fold a delta into a fresh CSR over a (possibly larger) domain of
+    /// `num_vertices`: one merge walk per vertex over the base neighbour
+    /// list, the insertions and the deletions — O(|base| + |delta|), no
+    /// per-vertex sort.
+    ///
+    /// `adds` and `dels` are `(from, to)` pairs, sorted lexicographically
+    /// and duplicate-free, and normalized against this CSR: every add is
+    /// absent from the base, every del is present (see
+    /// [`crate::GraphDelta::effective`]); the two sets are disjoint.
+    pub fn rebase(
+        &self,
+        num_vertices: usize,
+        adds: &[(VertexId, VertexId)],
+        dels: &[(VertexId, VertexId)],
+    ) -> Csr {
+        debug_assert!(adds.is_sorted() && dels.is_sorted());
+        debug_assert!(num_vertices >= self.num_vertices());
+        let mut offsets = vec![0u32; num_vertices + 1];
+        let mut targets =
+            Vec::with_capacity((self.num_edges() + adds.len()).saturating_sub(dels.len()));
+        let mut max_degree = 0u32;
+        let mut num_active = 0u32;
+        let (mut ai, mut di) = (0usize, 0usize);
+        let (mut scratch_a, mut scratch_d) = (Vec::new(), Vec::new());
+        for v in 0..num_vertices {
+            let row_start = targets.len();
+            let base = self.neighbors(v as VertexId);
+            let a0 = ai;
+            while ai < adds.len() && adds[ai].0 == v as VertexId {
+                ai += 1;
+            }
+            let d0 = di;
+            while di < dels.len() && dels[di].0 == v as VertexId {
+                di += 1;
+            }
+            scratch_a.clear();
+            scratch_a.extend(adds[a0..ai].iter().map(|p| p.1));
+            scratch_d.clear();
+            scratch_d.extend(dels[d0..di].iter().map(|p| p.1));
+            merge_row_into(base, &scratch_a, &scratch_d, &mut targets);
+            offsets[v + 1] = targets.len() as u32;
+            let d = (targets.len() - row_start) as u32;
+            max_degree = max_degree.max(d);
+            num_active += (d > 0) as u32;
+        }
+        debug_assert_eq!(ai, adds.len(), "adds must stay within the domain");
+        debug_assert_eq!(di, dels.len(), "dels must stay within the domain");
+        Csr {
+            offsets,
+            targets,
+            max_degree,
+            num_active,
+        }
+    }
+
     /// Iterate `(from, to)` pairs in vertex order.
     pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         (0..self.num_vertices()).flat_map(move |v| {
@@ -137,6 +192,42 @@ impl Csr {
                 .iter()
                 .map(move |&t| (v as VertexId, t))
         })
+    }
+}
+
+/// Append `base ∪ adds ∖ dels` to `out` — the canonical sorted-row merge
+/// shared by [`Csr::rebase`] and [`crate::OverlayGraph`]'s patched
+/// lists, so the subtle tie/advance invariants live in exactly one
+/// place.
+///
+/// Preconditions (upheld by [`crate::GraphDelta::effective`] /
+/// [`crate::GraphDelta::effective_by_label`]): all three inputs sorted
+/// and duplicate-free, `adds` disjoint from `base`, `dels ⊆ base`, and
+/// `adds` disjoint from `dels`.
+pub(crate) fn merge_row_into(
+    base: &[VertexId],
+    adds: &[VertexId],
+    dels: &[VertexId],
+    out: &mut Vec<VertexId>,
+) {
+    let (mut bi, mut ai, mut di) = (0usize, 0usize, 0usize);
+    while bi < base.len() || ai < adds.len() {
+        let take_base = ai >= adds.len() || (bi < base.len() && base[bi] <= adds[ai]);
+        if take_base {
+            let t = base[bi];
+            bi += 1;
+            while di < dels.len() && dels[di] < t {
+                di += 1;
+            }
+            if di < dels.len() && dels[di] == t {
+                di += 1;
+                continue; // deleted
+            }
+            out.push(t);
+        } else {
+            out.push(adds[ai]);
+            ai += 1;
+        }
     }
 }
 
@@ -200,6 +291,60 @@ mod tests {
         let c = sample();
         let active: Vec<_> = c.active_vertices().collect();
         assert_eq!(active, vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn rebase_merges_adds_and_dels() {
+        let c = sample(); // 0->{1,2}, 2->{3,4}, 4->{0}
+        let adds = [(0, 3), (1, 1), (4, 2)];
+        let dels = [(2, 3), (4, 0)];
+        let r = c.rebase(5, &adds, &dels);
+        assert_eq!(r.neighbors(0), &[1, 2, 3]);
+        assert_eq!(r.neighbors(1), &[1]);
+        assert_eq!(r.neighbors(2), &[4]);
+        assert_eq!(r.neighbors(4), &[2]);
+        assert_eq!(r.num_edges(), 6);
+        assert_eq!(r.max_degree(), 3);
+        assert_eq!(r.num_active(), 4);
+    }
+
+    #[test]
+    fn rebase_grows_the_domain() {
+        let c = sample();
+        let r = c.rebase(8, &[(6, 7)], &[]);
+        assert_eq!(r.num_vertices(), 8);
+        assert_eq!(r.neighbors(6), &[7]);
+        assert_eq!(r.neighbors(0), c.neighbors(0));
+        assert_eq!(r.num_edges(), c.num_edges() + 1);
+    }
+
+    #[test]
+    fn rebase_empty_delta_is_identity() {
+        let c = sample();
+        let r = c.rebase(5, &[], &[]);
+        for v in 0..5 {
+            assert_eq!(r.neighbors(v), c.neighbors(v));
+        }
+        assert_eq!(r.max_degree(), c.max_degree());
+        assert_eq!(r.num_active(), c.num_active());
+    }
+
+    #[test]
+    fn rebase_can_delete_everything() {
+        let c = Csr::from_pairs(3, &[(0, 1), (0, 2), (1, 2)]);
+        let r = c.rebase(3, &[], &[(0, 1), (0, 2), (1, 2)]);
+        assert_eq!(r.num_edges(), 0);
+        assert_eq!(r.max_degree(), 0);
+        assert_eq!(r.num_active(), 0);
+    }
+
+    #[test]
+    fn rebase_from_empty_base() {
+        let c = Csr::default();
+        let r = c.rebase(3, &[(0, 2), (2, 1)], &[]);
+        assert_eq!(r.neighbors(0), &[2]);
+        assert_eq!(r.neighbors(2), &[1]);
+        assert_eq!(r.num_edges(), 2);
     }
 
     #[test]

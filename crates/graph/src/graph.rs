@@ -1,6 +1,9 @@
 //! The edge-labeled directed graph: a set of binary relations.
 
+use std::sync::Arc;
+
 use crate::csr::Csr;
+use crate::delta::GraphDelta;
 use crate::{LabelId, VertexId};
 
 /// A single labeled edge.
@@ -16,11 +19,15 @@ pub struct Edge {
 /// Conceptually this is the database `{R_0, …, R_{L-1}}` where relation
 /// `R_l(src, dst)` holds the edges with label `l` (Section 2). Each relation
 /// is indexed both forward (`src → dst`) and backward (`dst → src`).
+///
+/// Relations are held behind `Arc` so that [`LabeledGraph::rebase`] can
+/// produce a successor graph rebuilding only the relations a delta
+/// touches, sharing the untouched indexes byte-for-byte.
 #[derive(Debug, Clone, Default)]
 pub struct LabeledGraph {
     num_vertices: usize,
-    fwd: Vec<Csr>,
-    bwd: Vec<Csr>,
+    fwd: Vec<Arc<Csr>>,
+    bwd: Vec<Arc<Csr>>,
 }
 
 impl LabeledGraph {
@@ -28,8 +35,8 @@ impl LabeledGraph {
         debug_assert_eq!(fwd.len(), bwd.len());
         LabeledGraph {
             num_vertices,
-            fwd,
-            bwd,
+            fwd: fwd.into_iter().map(Arc::new).collect(),
+            bwd: bwd.into_iter().map(Arc::new).collect(),
         }
     }
 
@@ -47,13 +54,13 @@ impl LabeledGraph {
 
     /// Total number of edges across all labels.
     pub fn num_edges(&self) -> usize {
-        self.fwd.iter().map(Csr::num_edges).sum()
+        self.fwd.iter().map(|c| c.num_edges()).sum()
     }
 
     /// Cardinality `|R_l|` of one relation.
     #[inline]
     pub fn label_count(&self, l: LabelId) -> usize {
-        self.fwd.get(l as usize).map_or(0, Csr::num_edges)
+        self.fwd.get(l as usize).map_or(0, |c| c.num_edges())
     }
 
     /// Out-neighbours of `v` through label `l`, sorted.
@@ -91,22 +98,22 @@ impl LabeledGraph {
     /// Maximum out-degree over all vertices: `deg(src, R_l)` (maximum number
     /// of `dst` values per `src`), used by pessimistic bounds.
     pub fn max_out_degree(&self, l: LabelId) -> usize {
-        self.fwd.get(l as usize).map_or(0, Csr::max_degree)
+        self.fwd.get(l as usize).map_or(0, |c| c.max_degree())
     }
 
     /// Maximum in-degree over all vertices: `deg(dst, R_l)`.
     pub fn max_in_degree(&self, l: LabelId) -> usize {
-        self.bwd.get(l as usize).map_or(0, Csr::max_degree)
+        self.bwd.get(l as usize).map_or(0, |c| c.max_degree())
     }
 
     /// `|π_src R_l|` — number of distinct sources of label `l`.
     pub fn distinct_sources(&self, l: LabelId) -> usize {
-        self.fwd.get(l as usize).map_or(0, Csr::num_active)
+        self.fwd.get(l as usize).map_or(0, |c| c.num_active())
     }
 
     /// `|π_dst R_l|` — number of distinct destinations of label `l`.
     pub fn distinct_targets(&self, l: LabelId) -> usize {
-        self.bwd.get(l as usize).map_or(0, Csr::num_active)
+        self.bwd.get(l as usize).map_or(0, |c| c.num_active())
     }
 
     /// Iterate the distinct sources of label `l` (vertices with at least
@@ -115,7 +122,7 @@ impl LabeledGraph {
         self.fwd
             .get(l as usize)
             .into_iter()
-            .flat_map(Csr::active_vertices)
+            .flat_map(|c| c.active_vertices())
     }
 
     /// Iterate the distinct destinations of label `l`, in increasing id
@@ -124,7 +131,7 @@ impl LabeledGraph {
         self.bwd
             .get(l as usize)
             .into_iter()
-            .flat_map(Csr::active_vertices)
+            .flat_map(|c| c.active_vertices())
     }
 
     /// Iterate the edges of one relation.
@@ -132,7 +139,7 @@ impl LabeledGraph {
         self.fwd
             .get(l as usize)
             .into_iter()
-            .flat_map(Csr::iter_edges)
+            .flat_map(|c| c.iter_edges())
     }
 
     /// Iterate every edge in the graph.
@@ -158,6 +165,44 @@ impl LabeledGraph {
             }
         }
         b.build()
+    }
+
+    /// Fold `delta` into a fresh graph. Only the relations the delta
+    /// touches are rebuilt ([`Csr::rebase`], one O(|R_l| + |delta_l|)
+    /// merge walk per direction); every other relation is shared with
+    /// `self` via `Arc`, so rebasing a small delta over a large graph
+    /// costs only the touched relations. The domain grows to cover any
+    /// new vertex or label ids the delta mentions.
+    pub fn rebase(&self, delta: &GraphDelta) -> LabeledGraph {
+        let num_vertices = self
+            .num_vertices
+            .max(delta.max_vertex().map_or(0, |v| v as usize + 1));
+        let num_labels = self
+            .num_labels()
+            .max(delta.max_label().map_or(0, |l| l as usize + 1));
+        let mut fwd = self.fwd.clone();
+        let mut bwd = self.bwd.clone();
+        fwd.resize_with(num_labels, Default::default);
+        bwd.resize_with(num_labels, Default::default);
+        // One pass groups the effective delta per label (O(|delta| log),
+        // not O(touched_labels × |delta|)); each forward group inherits
+        // its (src, dst) order from the delta's (src, dst, label)
+        // iteration order.
+        for (l, (adds, dels)) in delta.effective_by_label(self) {
+            let li = l as usize;
+            fwd[li] = Arc::new(fwd[li].rebase(num_vertices, &adds, &dels));
+            let rev = |ps: &[(VertexId, VertexId)]| {
+                let mut r: Vec<(VertexId, VertexId)> = ps.iter().map(|&(s, d)| (d, s)).collect();
+                r.sort_unstable();
+                r
+            };
+            bwd[li] = Arc::new(bwd[li].rebase(num_vertices, &rev(&adds), &rev(&dels)));
+        }
+        LabeledGraph {
+            num_vertices,
+            fwd,
+            bwd,
+        }
     }
 }
 
@@ -239,6 +284,59 @@ mod tests {
         es.sort();
         assert_eq!(es.len(), 4);
         assert_eq!(es.last().unwrap().label, 1);
+    }
+
+    #[test]
+    fn rebase_applies_delta_and_shares_untouched_relations() {
+        let g = sample();
+        let mut d = GraphDelta::new();
+        d.add_edge(2, 1, 0);
+        d.del_edge(0, 1, 0);
+        let r = g.rebase(&d);
+        assert!(r.has_edge(2, 1, 0));
+        assert!(!r.has_edge(0, 1, 0));
+        assert_eq!(r.num_edges(), g.num_edges());
+        // label 1 untouched: the CSR is the same allocation.
+        assert!(Arc::ptr_eq(&g.fwd[1], &r.fwd[1]));
+        assert!(!Arc::ptr_eq(&g.fwd[0], &r.fwd[0]));
+        // forward and backward indexes stay consistent.
+        assert_eq!(r.in_neighbors(1, 0), &[2]);
+        assert_eq!(r.out_neighbors(0, 0), &[2]);
+    }
+
+    #[test]
+    fn rebase_grows_domain_and_labels() {
+        let g = sample();
+        let mut d = GraphDelta::new();
+        d.add_edge(5, 6, 4);
+        let r = g.rebase(&d);
+        assert_eq!(r.num_vertices(), 7);
+        assert_eq!(r.num_labels(), 5);
+        assert!(r.has_edge(5, 6, 4));
+        assert_eq!(r.label_count(0), g.label_count(0));
+        assert_eq!(r.in_neighbors(6, 4), &[5]);
+    }
+
+    #[test]
+    fn rebase_matches_rebuild_from_edge_list() {
+        let g = sample();
+        let mut d = GraphDelta::new();
+        d.del_edge(1, 2, 0);
+        d.add_edge(1, 0, 1);
+        d.add_edge(0, 1, 0); // no-op: already present
+        let r = g.rebase(&d);
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0);
+        b.add_edge(0, 2, 0);
+        b.add_edge(2, 0, 1);
+        b.add_edge(1, 0, 1);
+        let want = b.build();
+        assert_eq!(r.num_edges(), want.num_edges());
+        for e in want.all_edges() {
+            assert!(r.has_edge(e.src, e.dst, e.label), "{e:?}");
+        }
+        assert_eq!(r.distinct_sources(1), want.distinct_sources(1));
+        assert_eq!(r.max_in_degree(0), want.max_in_degree(0));
     }
 
     #[test]

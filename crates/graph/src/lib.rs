@@ -11,6 +11,11 @@
 //!
 //! The crate also provides:
 //! * [`GraphBuilder`] — incremental construction with duplicate removal,
+//! * [`GraphDelta`] / [`OverlayGraph`] / [`LabeledGraph::rebase`] — the
+//!   live-update layer: batched edge insertions/deletions overlaid on the
+//!   immutable CSR, folded into a fresh graph once a delta grows large,
+//! * [`GraphView`] — the read-access trait the counting kernel is generic
+//!   over, implemented by both the CSR graph and the overlay,
 //! * [`hash`] — a small FxHash-style hasher used throughout the workspace,
 //! * [`io`] — plain-text edge-list persistence,
 //! * [`stats`] — per-label summary statistics used by estimators.
@@ -35,18 +40,24 @@
 
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod graph;
 pub mod hash;
 pub mod intersect;
 pub mod io;
+pub mod overlay;
 pub mod stats;
+pub mod view;
 
 pub use builder::GraphBuilder;
 pub use csr::Csr;
+pub use delta::GraphDelta;
 pub use graph::{Edge, LabeledGraph};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use intersect::{gallop, intersect_into, refine_in_place};
+pub use overlay::OverlayGraph;
 pub use stats::LabelStats;
+pub use view::GraphView;
 
 /// Identifier of a data vertex. Kept at 32 bits: the paper's largest dataset
 /// has 45M vertices and our simulated stand-ins are far smaller.

@@ -119,18 +119,27 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
 }
 
 /// One cached estimate: the dataset it belongs to, the query it answers
-/// (kept for exact verification), and the estimator's result — `None` is
-/// cached too, so a query the estimator cannot answer does not hammer the
-/// catalog on every retry.
+/// (kept for exact verification), the dataset **epoch** the estimate was
+/// computed against, and the estimator's result — `None` is cached too,
+/// so a query the estimator cannot answer does not hammer the catalog on
+/// every retry.
 struct CachedEstimate {
     dataset: String,
     query: QueryGraph,
+    epoch: u64,
     value: Option<f64>,
 }
 
 /// The service's estimate cache: LRU over canonical-hash buckets with
 /// exact isomorphism verification and hit/miss counters (exposed through
 /// the wire protocol so cache behavior is observable end to end).
+///
+/// Entries are tagged with the dataset epoch they were computed at; a
+/// lookup presents the *current* epoch and an entry from an older epoch
+/// **misses instead of lying** — committing a graph update invalidates
+/// every prior estimate for that dataset without the cache having to
+/// enumerate them. Stale entries are replaced in place on the next store
+/// and otherwise age out of the LRU.
 pub struct EstimateCache {
     lru: LruCache<u64, Vec<CachedEstimate>>,
     hits: u64,
@@ -154,12 +163,14 @@ impl EstimateCache {
         }
     }
 
-    /// Look up an estimate for `query` on `dataset`. `Some(value)` is a
-    /// verified hit (the cached query is isomorphic, so the estimate is
-    /// exactly what the estimator would recompute); `None` is a miss.
-    /// Counters are updated either way.
-    pub fn lookup(&mut self, dataset: &str, query: &QueryGraph) -> Option<Option<f64>> {
-        self.lookup_hashed(dataset, query, query.canonical_hash())
+    /// Look up an estimate for `query` on `dataset` at the dataset's
+    /// current `epoch`. `Some(value)` is a verified hit (the cached query
+    /// is isomorphic **and** the cached epoch matches, so the estimate is
+    /// exactly what the estimator would recompute); `None` is a miss —
+    /// including the case of an entry stranded at an older epoch by a
+    /// committed graph update. Counters are updated either way.
+    pub fn lookup(&mut self, dataset: &str, query: &QueryGraph, epoch: u64) -> Option<Option<f64>> {
+        self.lookup_hashed(dataset, query, query.canonical_hash(), epoch)
     }
 
     /// [`EstimateCache::lookup`] with the query's canonical hash already
@@ -170,11 +181,15 @@ impl EstimateCache {
         dataset: &str,
         query: &QueryGraph,
         canonical_hash: u64,
+        epoch: u64,
     ) -> Option<Option<f64>> {
         let key = bucket_key(dataset, canonical_hash);
         if let Some(bucket) = self.lru.get(&key) {
             for entry in bucket {
-                if entry.dataset == dataset && entry.query.is_isomorphic(query) {
+                if entry.dataset == dataset
+                    && entry.epoch == epoch
+                    && entry.query.is_isomorphic(query)
+                {
                     let value = entry.value;
                     self.hits += 1;
                     return Some(value);
@@ -185,31 +200,41 @@ impl EstimateCache {
         None
     }
 
-    /// Store an estimate. Collision buckets stay tiny (WL collisions need
-    /// deliberately adversarial regular graphs), so the inner scan is a
-    /// formality.
-    pub fn store(&mut self, dataset: &str, query: &QueryGraph, value: Option<f64>) {
-        self.store_hashed(dataset, query, query.canonical_hash(), value)
+    /// Store an estimate computed at `epoch`. Collision buckets stay tiny
+    /// (WL collisions need deliberately adversarial regular graphs), so
+    /// the inner scan is a formality.
+    pub fn store(&mut self, dataset: &str, query: &QueryGraph, epoch: u64, value: Option<f64>) {
+        self.store_hashed(dataset, query, query.canonical_hash(), epoch, value)
     }
 
-    /// [`EstimateCache::store`] with a precomputed canonical hash.
+    /// [`EstimateCache::store`] with a precomputed canonical hash. An
+    /// existing entry for an isomorphic query is replaced in place —
+    /// including a stale-epoch entry, which is how invalidated estimates
+    /// get refreshed rather than duplicated.
     pub fn store_hashed(
         &mut self,
         dataset: &str,
         query: &QueryGraph,
         canonical_hash: u64,
+        epoch: u64,
         value: Option<f64>,
     ) {
         let key = bucket_key(dataset, canonical_hash);
         let entry = CachedEstimate {
             dataset: dataset.to_string(),
             query: query.clone(),
+            epoch,
             value,
         };
         if let Some(bucket) = self.lru.get_mut(&key) {
             for existing in bucket.iter_mut() {
                 if existing.dataset == dataset && existing.query.is_isomorphic(query) {
-                    existing.value = value;
+                    // A racing slow computation from a pre-commit epoch
+                    // must not downgrade a fresher entry.
+                    if epoch >= existing.epoch {
+                        existing.epoch = epoch;
+                        existing.value = value;
+                    }
                     return;
                 }
             }
@@ -294,10 +319,10 @@ mod tests {
     fn estimate_cache_hits_isomorphic_queries() {
         let mut cache = EstimateCache::new(16);
         let q = templates::path(3, &[0, 1, 0]);
-        assert_eq!(cache.lookup("ds", &q), None);
-        cache.store("ds", &q, Some(42.0));
+        assert_eq!(cache.lookup("ds", &q, 0), None);
+        cache.store("ds", &q, 0, Some(42.0));
         // Same query: hit.
-        assert_eq!(cache.lookup("ds", &q), Some(Some(42.0)));
+        assert_eq!(cache.lookup("ds", &q, 0), Some(Some(42.0)));
         // Renamed (isomorphic) query: still a hit.
         let renamed = {
             use ceg_query::{QueryEdge, QueryGraph};
@@ -308,7 +333,7 @@ mod tests {
                 .collect();
             QueryGraph::new(4, edges)
         };
-        assert_eq!(cache.lookup("ds", &renamed), Some(Some(42.0)));
+        assert_eq!(cache.lookup("ds", &renamed, 0), Some(Some(42.0)));
         assert_eq!(cache.hits(), 2);
         assert_eq!(cache.misses(), 1);
     }
@@ -317,17 +342,45 @@ mod tests {
     fn estimate_cache_separates_datasets() {
         let mut cache = EstimateCache::new(16);
         let q = templates::path(2, &[0, 1]);
-        cache.store("a", &q, Some(1.0));
-        assert_eq!(cache.lookup("b", &q), None);
-        assert_eq!(cache.lookup("a", &q), Some(Some(1.0)));
+        cache.store("a", &q, 0, Some(1.0));
+        assert_eq!(cache.lookup("b", &q, 0), None);
+        assert_eq!(cache.lookup("a", &q, 0), Some(Some(1.0)));
     }
 
     #[test]
     fn estimate_cache_caches_failures() {
         let mut cache = EstimateCache::new(16);
         let q = templates::path(2, &[0, 1]);
-        cache.store("ds", &q, None);
-        assert_eq!(cache.lookup("ds", &q), Some(None));
+        cache.store("ds", &q, 0, None);
+        assert_eq!(cache.lookup("ds", &q, 0), Some(None));
         assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn stale_epoch_misses_instead_of_lying() {
+        let mut cache = EstimateCache::new(16);
+        let q = templates::path(2, &[0, 1]);
+        cache.store("ds", &q, 0, Some(7.0));
+        assert_eq!(cache.lookup("ds", &q, 0), Some(Some(7.0)));
+        // The dataset committed an update: epoch 1 probes must miss.
+        assert_eq!(cache.lookup("ds", &q, 1), None);
+        assert_eq!(cache.misses(), 1); // the stale probe is a counted miss
+                                       // Recomputing at epoch 1 replaces the entry in place.
+        cache.store("ds", &q, 1, Some(9.0));
+        assert_eq!(cache.lookup("ds", &q, 1), Some(Some(9.0)));
+        assert_eq!(cache.len(), 1, "replaced, not duplicated");
+        // And the old epoch can no longer hit either.
+        assert_eq!(cache.lookup("ds", &q, 0), None);
+    }
+
+    #[test]
+    fn late_store_from_old_epoch_cannot_downgrade() {
+        let mut cache = EstimateCache::new(16);
+        let q = templates::path(2, &[0, 1]);
+        cache.store("ds", &q, 2, Some(5.0));
+        // A straggler that computed against epoch 1 finishes late.
+        cache.store("ds", &q, 1, Some(4.0));
+        assert_eq!(cache.lookup("ds", &q, 2), Some(Some(5.0)));
+        assert_eq!(cache.lookup("ds", &q, 1), None);
     }
 }

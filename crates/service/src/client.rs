@@ -7,10 +7,12 @@
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
+use ceg_graph::{LabelId, VertexId};
 use ceg_query::QueryGraph;
 
-use crate::engine::EngineStats;
+use crate::engine::{EngineStats, UpdateAck};
 use crate::protocol::{Request, Response};
+use crate::registry::CommitOutcome;
 
 /// The answer to one `ESTIMATE` request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -89,6 +91,59 @@ impl Client {
                 hits,
                 misses,
             }),
+            other => Err(Self::protocol_error(other)),
+        }
+    }
+
+    /// Buffer an edge insertion on the named dataset (invisible to
+    /// estimates until [`Client::commit`]).
+    pub fn add_edge(
+        &mut self,
+        dataset: &str,
+        src: VertexId,
+        dst: VertexId,
+        label: LabelId,
+    ) -> io::Result<UpdateAck> {
+        let request = Request::AddEdge {
+            dataset: dataset.to_string(),
+            src,
+            dst,
+            label,
+        };
+        match self.roundtrip(&request)? {
+            Response::Updated(ack) => Ok(ack),
+            other => Err(Self::protocol_error(other)),
+        }
+    }
+
+    /// Buffer an edge deletion on the named dataset.
+    pub fn del_edge(
+        &mut self,
+        dataset: &str,
+        src: VertexId,
+        dst: VertexId,
+        label: LabelId,
+    ) -> io::Result<UpdateAck> {
+        let request = Request::DelEdge {
+            dataset: dataset.to_string(),
+            src,
+            dst,
+            label,
+        };
+        match self.roundtrip(&request)? {
+            Response::Updated(ack) => Ok(ack),
+            other => Err(Self::protocol_error(other)),
+        }
+    }
+
+    /// Commit the dataset's pending updates, bumping its epoch and
+    /// invalidating cached estimates computed before the commit.
+    pub fn commit(&mut self, dataset: &str) -> io::Result<CommitOutcome> {
+        let request = Request::Commit {
+            dataset: dataset.to_string(),
+        };
+        match self.roundtrip(&request)? {
+            Response::Committed(outcome) => Ok(outcome),
             other => Err(Self::protocol_error(other)),
         }
     }

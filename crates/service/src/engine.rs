@@ -12,10 +12,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use ceg_estimators::{CardinalityEstimator, OptimisticEstimator};
+use ceg_graph::{LabelId, VertexId};
 use ceg_query::QueryGraph;
 
 use crate::cache::EstimateCache;
-use crate::registry::DatasetRegistry;
+use crate::registry::{CommitOutcome, DatasetRegistry};
 
 /// One estimate with its cache provenance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -24,6 +25,15 @@ pub struct EstimateOutcome {
     pub value: Option<f64>,
     /// True if served from the LRU cache.
     pub cached: bool,
+}
+
+/// Acknowledgement of one buffered `ADD_EDGE`/`DEL_EDGE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UpdateAck {
+    /// Current committed epoch (updates do not bump it; commits do).
+    pub epoch: u64,
+    /// Buffered operations awaiting `COMMIT`, after this one.
+    pub pending: usize,
 }
 
 /// Counter snapshot reported over the wire by `STATS`.
@@ -86,6 +96,9 @@ impl Engine {
             .fetch_add(queries.len() as u64, Ordering::Relaxed);
         self.batches.fetch_add(1, Ordering::Relaxed);
 
+        // The cache is epoch-aware: entries stored before the dataset's
+        // last committed update are tagged with an older epoch and miss.
+        let epoch = entry.epoch();
         // The WL canonical hash is the expensive part of a cache probe;
         // compute it outside the cache lock so concurrent workers only
         // serialize on the map operations themselves.
@@ -95,7 +108,7 @@ impl Engine {
         {
             let mut cache = self.cache.lock().unwrap();
             for (i, q) in queries.iter().enumerate() {
-                match cache.lookup_hashed(dataset, q, hashes[i]) {
+                match cache.lookup_hashed(dataset, q, hashes[i], epoch) {
                     Some(value) => {
                         outcomes[i] = Some(EstimateOutcome {
                             value,
@@ -129,7 +142,7 @@ impl Engine {
             });
             let mut cache = self.cache.lock().unwrap();
             for (&i, value) in miss_indices.iter().zip(&values) {
-                cache.store_hashed(dataset, &queries[i], hashes[i], *value);
+                cache.store_hashed(dataset, &queries[i], hashes[i], epoch, *value);
                 outcomes[i] = Some(EstimateOutcome {
                     value: *value,
                     cached: false,
@@ -137,6 +150,49 @@ impl Engine {
             }
         }
         Ok(outcomes.into_iter().map(|o| o.unwrap()).collect())
+    }
+
+    /// Buffer an edge insertion on a dataset (visible after `COMMIT`).
+    pub fn add_edge(
+        &self,
+        dataset: &str,
+        src: VertexId,
+        dst: VertexId,
+        label: LabelId,
+    ) -> Result<UpdateAck, String> {
+        let entry = self
+            .registry
+            .get(dataset)
+            .ok_or_else(|| format!("unknown dataset `{dataset}`"))?;
+        let (epoch, pending) = entry.add_edge(src, dst, label)?;
+        Ok(UpdateAck { epoch, pending })
+    }
+
+    /// Buffer an edge deletion on a dataset (visible after `COMMIT`).
+    pub fn del_edge(
+        &self,
+        dataset: &str,
+        src: VertexId,
+        dst: VertexId,
+        label: LabelId,
+    ) -> Result<UpdateAck, String> {
+        let entry = self
+            .registry
+            .get(dataset)
+            .ok_or_else(|| format!("unknown dataset `{dataset}`"))?;
+        let (epoch, pending) = entry.del_edge(src, dst, label)?;
+        Ok(UpdateAck { epoch, pending })
+    }
+
+    /// Commit a dataset's pending updates: apply the delta, incrementally
+    /// maintain the catalog and bump the epoch (which invalidates the
+    /// dataset's cached estimates).
+    pub fn commit(&self, dataset: &str) -> Result<CommitOutcome, String> {
+        let entry = self
+            .registry
+            .get(dataset)
+            .ok_or_else(|| format!("unknown dataset `{dataset}`"))?;
+        Ok(entry.commit())
     }
 
     /// Snapshot of the engine counters.
@@ -201,6 +257,32 @@ mod tests {
         let engine = engine();
         let q = templates::path(2, &[0, 1]);
         assert!(engine.estimate("nope", &q).is_err());
+    }
+
+    #[test]
+    fn commit_invalidates_cached_estimates() {
+        let engine = engine();
+        let q = templates::path(2, &[0, 1]);
+        assert_eq!(engine.estimate("toy", &q).unwrap().value, Some(2.0));
+        assert!(engine.estimate("toy", &q).unwrap().cached);
+
+        // Buffered updates change nothing: still a (valid) cache hit.
+        let ack = engine.add_edge("toy", 4, 0, 1).unwrap();
+        assert_eq!((ack.epoch, ack.pending), (0, 1));
+        assert!(engine.estimate("toy", &q).unwrap().cached);
+
+        // Commit: epoch bumps, the pre-update entry must miss, and the
+        // recomputed estimate reflects the new graph (3->4 now extends).
+        let outcome = engine.commit("toy").unwrap();
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(outcome.added, 1);
+        let after = engine.estimate("toy", &q).unwrap();
+        assert!(!after.cached, "stale cache entry must miss after commit");
+        assert_eq!(after.value, Some(3.0));
+        // And the fresh value is cached again at the new epoch.
+        assert!(engine.estimate("toy", &q).unwrap().cached);
+        assert!(engine.add_edge("nope", 0, 1, 0).is_err());
+        assert!(engine.commit("nope").is_err());
     }
 
     #[test]

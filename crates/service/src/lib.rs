@@ -8,7 +8,12 @@
 //!
 //! * [`registry`] — a [`DatasetRegistry`] loads each graph once, builds or
 //!   loads its Markov catalog once, and shares both across requests via
-//!   `Arc`; catalogs grow incrementally as unseen query patterns arrive,
+//!   `Arc`; catalogs grow incrementally as unseen query patterns arrive.
+//!   Datasets are **live**: `ADD_EDGE`/`DEL_EDGE` buffer into a pending
+//!   [`ceg_graph::GraphDelta`], `COMMIT` applies it under an
+//!   epoch-versioned base+overlay layering with incremental catalog
+//!   maintenance (only touched-label entries recount) and folds the
+//!   overlay into a fresh CSR past a rebase threshold,
 //! * [`pool`] — a hand-rolled `std::thread` [`WorkerPool`] (the build
 //!   environment has no crates-registry access, so no rayon/tokio): one
 //!   mpsc shard per worker, requests routed by dataset so each worker can
@@ -17,7 +22,9 @@
 //! * [`cache`] — an [`EstimateCache`] (LRU) keyed by the renaming-invariant
 //!   [`canonical hash`](ceg_query::canon) from `ceg-query`, verified by
 //!   exact isomorphism so hash collisions can never return a wrong
-//!   estimate; hit/miss counters are exposed through the wire protocol,
+//!   estimate; entries are epoch-tagged so estimates cached before a
+//!   committed update miss instead of lying; hit/miss counters are
+//!   exposed through the wire protocol,
 //! * [`engine`] — the transport-independent core: cache lookup → batched
 //!   catalog fill → estimate → cache store,
 //! * [`protocol`] / [`server`] / [`client`] — a line-delimited text
@@ -59,8 +66,11 @@ pub mod server;
 
 pub use cache::{EstimateCache, LruCache};
 pub use client::{Client, EstimateReply};
-pub use engine::{Engine, EngineStats, EstimateOutcome};
+pub use engine::{Engine, EngineStats, EstimateOutcome, UpdateAck};
 pub use pool::{run_scoped, WorkerPool};
 pub use protocol::{Request, Response};
-pub use registry::{DatasetEntry, DatasetRegistry};
+pub use registry::{
+    CommitOutcome, DatasetEntry, DatasetRegistry, MAX_PENDING_OPS, MAX_UPDATE_LABEL,
+    MAX_UPDATE_VERTEX,
+};
 pub use server::{Server, ServerConfig};

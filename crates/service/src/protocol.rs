@@ -10,6 +10,9 @@
 //! -----------------------------------------------------------------------
 //! PING                                            PONG
 //! ESTIMATE <ds> <nv> <ne> (<src> <dst> <lbl>)*    EST <value|none> cache=<hit|miss> hits=<n> misses=<n>
+//! ADD_EDGE <ds> <src> <dst> <lbl>                 OK epoch=<n> pending=<n>
+//! DEL_EDGE <ds> <src> <dst> <lbl>                 OK epoch=<n> pending=<n>
+//! COMMIT <ds>                                     COMMITTED epoch=<n> added=<n> deleted=<n> recounted=<n> rebased=<0|1>
 //! STATS                                           STATS requests=<n> batches=<n> hits=<n> misses=<n> datasets=<n>
 //! QUIT                                            BYE
 //! (anything malformed)                            ERR <message>
@@ -18,10 +21,20 @@
 //! The query encoding (`num_vars num_edges` then `src dst label` triples)
 //! matches the persisted workload format of `ceg-workload::io`, so a
 //! workload file line maps 1:1 onto an `ESTIMATE` line.
+//!
+//! `ADD_EDGE`/`DEL_EDGE` buffer into the dataset's pending delta and are
+//! invisible to `ESTIMATE` until a `COMMIT` applies them — which bumps
+//! the dataset epoch and thereby invalidates every cached estimate
+//! computed before it. The wire layer only checks syntax; the registry
+//! validates ids against the dataset's domain plus a bounded growth
+//! allowance ([`crate::registry::MAX_UPDATE_VERTEX`]) and enforces the
+//! pending-buffer cap, answering violations with `ERR`.
 
+use ceg_graph::{LabelId, VertexId};
 use ceg_query::{QueryEdge, QueryGraph, VarId};
 
-use crate::engine::{EngineStats, EstimateOutcome};
+use crate::engine::{EngineStats, EstimateOutcome, UpdateAck};
+use crate::registry::CommitOutcome;
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -32,8 +45,55 @@ pub enum Request {
     Stats,
     /// Estimate one query against a named dataset.
     Estimate { dataset: String, query: QueryGraph },
+    /// Buffer an edge insertion into the dataset's pending delta.
+    AddEdge {
+        dataset: String,
+        src: VertexId,
+        dst: VertexId,
+        label: LabelId,
+    },
+    /// Buffer an edge deletion into the dataset's pending delta.
+    DelEdge {
+        dataset: String,
+        src: VertexId,
+        dst: VertexId,
+        label: LabelId,
+    },
+    /// Apply the dataset's pending delta and bump its epoch.
+    Commit { dataset: String },
     /// Close the connection.
     Quit,
+}
+
+/// Parse the tail of an `ADD_EDGE`/`DEL_EDGE` line: `<ds> <src> <dst>
+/// <label>` (syntax only; domain/growth bounds are the registry's job).
+fn parse_update<'a>(
+    cmd: &str,
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<(String, VertexId, VertexId, LabelId), String> {
+    let dataset = it
+        .next()
+        .ok_or(format!("{cmd}: missing dataset"))?
+        .to_string();
+    let src: VertexId = it
+        .next()
+        .ok_or(format!("{cmd}: missing src"))?
+        .parse()
+        .map_err(|_| format!("{cmd}: bad src"))?;
+    let dst: VertexId = it
+        .next()
+        .ok_or(format!("{cmd}: missing dst"))?
+        .parse()
+        .map_err(|_| format!("{cmd}: bad dst"))?;
+    let label: LabelId = it
+        .next()
+        .ok_or(format!("{cmd}: missing label"))?
+        .parse()
+        .map_err(|_| format!("{cmd}: bad label"))?;
+    if it.next().is_some() {
+        return Err(format!("{cmd}: trailing tokens"));
+    }
+    Ok((dataset, src, dst, label))
 }
 
 impl Request {
@@ -44,6 +104,31 @@ impl Request {
             Some("PING") => Ok(Request::Ping),
             Some("STATS") => Ok(Request::Stats),
             Some("QUIT") => Ok(Request::Quit),
+            Some("ADD_EDGE") => {
+                let (dataset, src, dst, label) = parse_update("ADD_EDGE", &mut it)?;
+                Ok(Request::AddEdge {
+                    dataset,
+                    src,
+                    dst,
+                    label,
+                })
+            }
+            Some("DEL_EDGE") => {
+                let (dataset, src, dst, label) = parse_update("DEL_EDGE", &mut it)?;
+                Ok(Request::DelEdge {
+                    dataset,
+                    src,
+                    dst,
+                    label,
+                })
+            }
+            Some("COMMIT") => {
+                let dataset = it.next().ok_or("COMMIT: missing dataset")?.to_string();
+                if it.next().is_some() {
+                    return Err("COMMIT: trailing tokens".into());
+                }
+                Ok(Request::Commit { dataset })
+            }
             Some("ESTIMATE") => {
                 let dataset = it.next().ok_or("ESTIMATE: missing dataset")?.to_string();
                 let nv: VarId = it
@@ -109,6 +194,19 @@ impl Request {
             Request::Ping => "PING".into(),
             Request::Stats => "STATS".into(),
             Request::Quit => "QUIT".into(),
+            Request::AddEdge {
+                dataset,
+                src,
+                dst,
+                label,
+            } => format!("ADD_EDGE {dataset} {src} {dst} {label}"),
+            Request::DelEdge {
+                dataset,
+                src,
+                dst,
+                label,
+            } => format!("DEL_EDGE {dataset} {src} {dst} {label}"),
+            Request::Commit { dataset } => format!("COMMIT {dataset}"),
             Request::Estimate { dataset, query } => {
                 let mut line = format!(
                     "ESTIMATE {dataset} {} {}",
@@ -135,6 +233,10 @@ pub enum Response {
         misses: u64,
     },
     Stats(EngineStats),
+    /// Acknowledgement of a buffered `ADD_EDGE`/`DEL_EDGE`.
+    Updated(UpdateAck),
+    /// Result of a `COMMIT`.
+    Committed(CommitOutcome),
     Error(String),
     Bye,
 }
@@ -161,6 +263,13 @@ impl Response {
             Response::Stats(s) => format!(
                 "STATS requests={} batches={} hits={} misses={} datasets={}",
                 s.requests, s.batches, s.cache_hits, s.cache_misses, s.datasets
+            ),
+            Response::Updated(ack) => {
+                format!("OK epoch={} pending={}", ack.epoch, ack.pending)
+            }
+            Response::Committed(c) => format!(
+                "COMMITTED epoch={} added={} deleted={} recounted={} rebased={}",
+                c.epoch, c.added, c.deleted, c.recounted, c.rebased as u8
             ),
         }
     }
@@ -199,6 +308,41 @@ impl Response {
                     hits,
                     misses,
                 })
+            }
+            Some("OK") => {
+                let epoch = kv(it.next(), "epoch")?
+                    .parse()
+                    .map_err(|_| "OK: bad epoch")?;
+                let pending = kv(it.next(), "pending")?
+                    .parse()
+                    .map_err(|_| "OK: bad pending")?;
+                Ok(Response::Updated(UpdateAck { epoch, pending }))
+            }
+            Some("COMMITTED") => {
+                let epoch = kv(it.next(), "epoch")?
+                    .parse()
+                    .map_err(|_| "COMMITTED: bad epoch")?;
+                let added = kv(it.next(), "added")?
+                    .parse()
+                    .map_err(|_| "COMMITTED: bad added")?;
+                let deleted = kv(it.next(), "deleted")?
+                    .parse()
+                    .map_err(|_| "COMMITTED: bad deleted")?;
+                let recounted = kv(it.next(), "recounted")?
+                    .parse()
+                    .map_err(|_| "COMMITTED: bad recounted")?;
+                let rebased = match kv(it.next(), "rebased")? {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(format!("COMMITTED: bad rebased flag `{other}`")),
+                };
+                Ok(Response::Committed(CommitOutcome {
+                    epoch,
+                    added,
+                    deleted,
+                    recounted,
+                    rebased,
+                }))
             }
             Some("STATS") => {
                 let requests = kv(it.next(), "requests")?
@@ -278,6 +422,80 @@ mod tests {
             "ESTIMATE ds 4 2 0 1 0 2 3 1", // disconnected
         ] {
             assert!(Request::parse(line).is_err(), "should reject: {line:?}");
+        }
+    }
+
+    #[test]
+    fn update_requests_roundtrip() {
+        let add = Request::AddEdge {
+            dataset: "imdb".into(),
+            src: 17,
+            dst: 4,
+            label: 2,
+        };
+        assert_eq!(add.format(), "ADD_EDGE imdb 17 4 2");
+        assert_eq!(Request::parse(&add.format()).unwrap(), add);
+        let del = Request::DelEdge {
+            dataset: "imdb".into(),
+            src: 4,
+            dst: 17,
+            label: 0,
+        };
+        assert_eq!(del.format(), "DEL_EDGE imdb 4 17 0");
+        assert_eq!(Request::parse(&del.format()).unwrap(), del);
+        let commit = Request::Commit {
+            dataset: "imdb".into(),
+        };
+        assert_eq!(commit.format(), "COMMIT imdb");
+        assert_eq!(Request::parse(&commit.format()).unwrap(), commit);
+    }
+
+    #[test]
+    fn malformed_update_requests_are_rejected() {
+        for line in [
+            "ADD_EDGE",
+            "ADD_EDGE ds",
+            "ADD_EDGE ds 1",
+            "ADD_EDGE ds 1 2",
+            "ADD_EDGE ds 1 2 x",
+            "ADD_EDGE ds 1 2 3 4",         // trailing token
+            "ADD_EDGE ds 99999999999 0 0", // src wider than a VertexId
+            "ADD_EDGE ds 0 0 99999",       // label wider than a LabelId
+            "DEL_EDGE ds -1 0 0",          // negative id
+            "COMMIT",
+            "COMMIT ds extra",
+        ] {
+            assert!(Request::parse(line).is_err(), "should reject: {line:?}");
+        }
+        // Any id that fits the wire types parses; domain/growth bounds
+        // are the registry's job, answered with ERR.
+        assert!(Request::parse("ADD_EDGE ds 4294967295 0 65535").is_ok());
+    }
+
+    #[test]
+    fn update_responses_roundtrip() {
+        let responses = [
+            Response::Updated(UpdateAck {
+                epoch: 3,
+                pending: 17,
+            }),
+            Response::Committed(CommitOutcome {
+                epoch: 4,
+                added: 2,
+                deleted: 1,
+                recounted: 9,
+                rebased: true,
+            }),
+            Response::Committed(CommitOutcome {
+                epoch: 4,
+                added: 0,
+                deleted: 0,
+                recounted: 0,
+                rebased: false,
+            }),
+        ];
+        for r in responses {
+            assert_eq!(Response::parse(&r.format()).unwrap(), r);
         }
     }
 

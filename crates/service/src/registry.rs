@@ -1,45 +1,146 @@
-//! The dataset registry: load graphs and catalogs once, share forever.
+//! The dataset registry: load graphs and catalogs once, share forever —
+//! and, since the live-update work, mutate them safely while serving.
 //!
 //! `cegcli estimate` pays the full cost of loading the graph and building
 //! the Markov catalog on every invocation. The registry is the service's
 //! fix: each dataset is loaded once into a [`DatasetEntry`] and shared
-//! across requests and worker threads via `Arc`. The graph is immutable
-//! after load; the Markov catalog sits behind an `RwLock` and **grows
-//! incrementally** — when a batch of requests mentions patterns the
-//! catalog has not seen, the missing patterns are counted once (outside
-//! any lock) and inserted, so concurrent estimators keep reading while a
-//! batch fills gaps.
+//! across requests and worker threads via `Arc`.
+//!
+//! # Live updates
+//!
+//! A dataset's committed state is an **epoch-versioned layering**: an
+//! immutable CSR base graph plus a committed [`GraphDelta`] overlay, with
+//! the Markov catalog kept consistent with the pair. Edge updates buffer
+//! in a *pending* delta ([`DatasetEntry::add_edge`] /
+//! [`DatasetEntry::del_edge`]) that readers never see; a
+//! [`DatasetEntry::commit`] folds it in under the state write lock:
+//!
+//! 1. the pending delta is normalized against the committed view (adds
+//!    of present edges and dels of absent ones are no-ops); an
+//!    effectively empty commit returns without bumping the epoch,
+//! 2. the effective delta merges into the committed overlay; once the
+//!    overlay exceeds the **rebase threshold** it is folded into a fresh
+//!    base CSR ([`ceg_graph::LabeledGraph::rebase`] — only touched
+//!    relations are rebuilt, the rest are `Arc`-shared),
+//! 3. the catalog is **incrementally maintained**
+//!    ([`MarkovTable::refresh_touched`]): only entries naming a touched
+//!    label are recounted, on the overlay or the rebased base,
+//! 4. the epoch is bumped, which invalidates every cached estimate tagged
+//!    with an older epoch (see [`crate::cache::EstimateCache`]).
+//!
+//! Invariant: **the catalog always describes the committed graph of the
+//! current epoch** — commit holds the write lock across steps 2–4, so an
+//! estimator can never observe a new graph with stale statistics (at the
+//! price of estimates blocking for the touched-label recount, which is
+//! the explicit cost of `COMMIT`, not of `ESTIMATE`).
 
 use std::io;
 use std::path::Path;
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 
 use ceg_catalog::io::load_markov;
 use ceg_catalog::{count_patterns, MarkovTable};
 use ceg_graph::io::load_graph;
-use ceg_graph::{FxHashMap, FxHashSet, LabeledGraph};
+use ceg_graph::{FxHashMap, FxHashSet, GraphDelta, LabelId, LabeledGraph, OverlayGraph, VertexId};
 use ceg_query::{Pattern, QueryGraph};
 
-/// One registered dataset: the graph plus its shared, growable catalog.
+/// What one [`DatasetEntry::commit`] did, echoed over the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommitOutcome {
+    /// Epoch after the commit (unchanged if the commit was a no-op).
+    pub epoch: u64,
+    /// Edges actually inserted (pending adds the graph lacked).
+    pub added: usize,
+    /// Edges actually deleted (pending dels the graph had).
+    pub deleted: usize,
+    /// Catalog entries recounted by incremental maintenance.
+    pub recounted: usize,
+    /// True if the overlay was folded into a fresh base CSR.
+    pub rebased: bool,
+}
+
+/// Committed, epoch-versioned dataset state — everything an estimate
+/// reads, behind one `RwLock` so graph and catalog can never disagree.
+struct DatasetState {
+    base: Arc<LabeledGraph>,
+    /// Committed delta not yet folded into `base` (kept normalized
+    /// against it, and below the rebase threshold).
+    overlay: GraphDelta,
+    epoch: u64,
+    markov: MarkovTable,
+}
+
+impl DatasetState {
+    /// Edge presence in the committed view (overlay over base).
+    fn has_edge(&self, src: VertexId, dst: VertexId, label: LabelId) -> bool {
+        self.overlay
+            .edge_override(src, dst, label)
+            .unwrap_or_else(|| self.base.has_edge(src, dst, label))
+    }
+}
+
+/// One registered dataset: the epoch-versioned graph state plus its
+/// shared, growable catalog and the pending (uncommitted) update buffer.
 pub struct DatasetEntry {
     name: String,
-    graph: LabeledGraph,
     h: usize,
-    /// Worker threads used when a batch has to count missing patterns.
+    /// Worker threads used when counting patterns (catalog growth and
+    /// commit-time recounts).
     jobs: usize,
-    markov: RwLock<MarkovTable>,
+    /// Fold the committed overlay into a fresh base CSR once it holds at
+    /// least this many edge operations.
+    rebase_threshold: usize,
+    /// Refuse to buffer more than this many uncommitted operations.
+    pending_cap: usize,
+    /// Mirror of `state.epoch` for lock-free reads on the estimate path.
+    epoch: AtomicU64,
+    state: RwLock<DatasetState>,
+    pending: Mutex<GraphDelta>,
 }
+
+/// Default overlay size at which a commit folds into a fresh CSR: scale
+/// with the base so small datasets rebase eagerly (cheap anyway) and big
+/// ones amortize.
+fn default_rebase_threshold(num_edges: usize) -> usize {
+    (num_edges / 8).max(256)
+}
+
+/// Largest vertex id an update may introduce **beyond** the dataset's
+/// current domain. Vertices the graph already has are always updatable
+/// (a 45M-vertex dataset accepts updates across its whole domain); this
+/// bound only stops a hostile id from forcing a giant domain allocation
+/// at rebase time.
+pub const MAX_UPDATE_VERTEX: VertexId = (1 << 24) - 1;
+
+/// Largest label an update may introduce beyond the dataset's current
+/// label set (one relation pair of CSRs exists per label).
+pub const MAX_UPDATE_LABEL: LabelId = 4095;
+
+/// Default cap on buffered (uncommitted) operations per dataset: a
+/// client that streams updates without ever committing is refused
+/// instead of growing server memory without bound.
+pub const MAX_PENDING_OPS: usize = 1 << 20;
 
 impl DatasetEntry {
     /// Wrap an already-loaded graph and catalog. Catalog gaps are counted
     /// serially; see [`DatasetEntry::with_jobs`].
     pub fn new(name: impl Into<String>, graph: LabeledGraph, markov: MarkovTable) -> Self {
+        let rebase_threshold = default_rebase_threshold(graph.num_edges());
         DatasetEntry {
             name: name.into(),
             h: markov.h(),
             jobs: 1,
-            graph,
-            markov: RwLock::new(markov),
+            rebase_threshold,
+            pending_cap: MAX_PENDING_OPS,
+            epoch: AtomicU64::new(0),
+            state: RwLock::new(DatasetState {
+                base: Arc::new(graph),
+                overlay: GraphDelta::new(),
+                epoch: 0,
+                markov,
+            }),
+            pending: Mutex::new(GraphDelta::new()),
         }
     }
 
@@ -50,9 +151,28 @@ impl DatasetEntry {
         self
     }
 
+    /// Override the overlay size at which a commit folds the committed
+    /// delta into a fresh base CSR (tests use tiny values to exercise
+    /// both layering regimes).
+    pub fn with_rebase_threshold(mut self, threshold: usize) -> Self {
+        self.rebase_threshold = threshold.max(1);
+        self
+    }
+
+    /// Override the pending-operation cap (tests use tiny values).
+    pub fn with_pending_cap(mut self, cap: usize) -> Self {
+        self.pending_cap = cap.max(1);
+        self
+    }
+
     /// Worker threads used for catalog growth.
     pub fn jobs(&self) -> usize {
         self.jobs
+    }
+
+    /// Overlay size at which commits rebase.
+    pub fn rebase_threshold(&self) -> usize {
+        self.rebase_threshold
     }
 
     /// Dataset name (the wire-protocol identifier).
@@ -60,19 +180,197 @@ impl DatasetEntry {
         &self.name
     }
 
-    /// The shared graph.
-    pub fn graph(&self) -> &LabeledGraph {
-        &self.graph
-    }
-
     /// Markov hop depth `h`.
     pub fn h(&self) -> usize {
         self.h
     }
 
+    /// Current committed epoch (0 until the first effective commit).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Buffered (uncommitted) edge operations.
+    pub fn pending_len(&self) -> usize {
+        self.pending.lock().unwrap().len()
+    }
+
+    /// Committed edge operations not yet folded into the base CSR.
+    pub fn overlay_len(&self) -> usize {
+        self.state.read().unwrap().overlay.len()
+    }
+
+    /// `(num_vertices, num_edges)` of the committed graph.
+    pub fn graph_summary(&self) -> (usize, usize) {
+        let st = self.state.read().unwrap();
+        if st.overlay.is_empty() {
+            (st.base.num_vertices(), st.base.num_edges())
+        } else {
+            let ov = OverlayGraph::new(&st.base, &st.overlay);
+            (ceg_graph::GraphView::num_vertices(&ov), ov.num_edges())
+        }
+    }
+
+    /// Materialize the committed graph as a standalone CSR graph (shares
+    /// untouched relations with the base). Tests use this to compare a
+    /// live server against a cold one loaded with the final graph.
+    pub fn materialized_graph(&self) -> LabeledGraph {
+        let st = self.state.read().unwrap();
+        st.base.rebase(&st.overlay)
+    }
+
+    /// Validate one update op against the committed domain plus the
+    /// growth allowance ([`MAX_UPDATE_VERTEX`] / [`MAX_UPDATE_LABEL`]):
+    /// ids the graph already covers are always legal, growth beyond it
+    /// is bounded.
+    fn check_update(&self, src: VertexId, dst: VertexId, label: LabelId) -> Result<(), String> {
+        let (num_vertices, num_labels) = {
+            let st = self.state.read().unwrap();
+            let base = &st.base;
+            (
+                base.num_vertices()
+                    .max(st.overlay.max_vertex().map_or(0, |v| v as usize + 1)),
+                base.num_labels()
+                    .max(st.overlay.max_label().map_or(0, |l| l as usize + 1)),
+            )
+        };
+        let vertex_bound = num_vertices.max(MAX_UPDATE_VERTEX as usize + 1);
+        if (src as usize) >= vertex_bound || (dst as usize) >= vertex_bound {
+            return Err(format!(
+                "vertex id out of range (dataset domain is 0..{num_vertices}, \
+                 new vertices are limited to {MAX_UPDATE_VERTEX})"
+            ));
+        }
+        let label_bound = num_labels.max(MAX_UPDATE_LABEL as usize + 1);
+        if (label as usize) >= label_bound {
+            return Err(format!(
+                "label out of range (dataset has {num_labels} labels, \
+                 new labels are limited to {MAX_UPDATE_LABEL})"
+            ));
+        }
+        Ok(())
+    }
+
+    /// Record one bounds-checked op into the pending buffer, enforcing
+    /// the pending cap.
+    fn buffer_update(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+        label: LabelId,
+        del: bool,
+    ) -> Result<(u64, usize), String> {
+        self.check_update(src, dst, label)?;
+        let mut pending = self.pending.lock().unwrap();
+        // Replacing an already-buffered op never grows the buffer, so it
+        // is allowed even at the cap.
+        if pending.len() >= self.pending_cap && pending.edge_override(src, dst, label).is_none() {
+            return Err(format!(
+                "pending update buffer full ({} ops) — COMMIT before buffering more",
+                pending.len()
+            ));
+        }
+        if del {
+            pending.del_edge(src, dst, label);
+        } else {
+            pending.add_edge(src, dst, label);
+        }
+        Ok((self.epoch(), pending.len()))
+    }
+
+    /// Buffer an edge insertion; invisible to estimates until
+    /// [`DatasetEntry::commit`]. Returns `(current epoch, pending ops)`,
+    /// or an error if the op is out of bounds or the pending buffer is
+    /// at its cap.
+    pub fn add_edge(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+        label: LabelId,
+    ) -> Result<(u64, usize), String> {
+        self.buffer_update(src, dst, label, false)
+    }
+
+    /// Buffer an edge deletion; see [`DatasetEntry::add_edge`].
+    pub fn del_edge(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+        label: LabelId,
+    ) -> Result<(u64, usize), String> {
+        self.buffer_update(src, dst, label, true)
+    }
+
+    /// Apply the pending delta: merge it into the committed state, fold
+    /// the overlay into a fresh CSR past the rebase threshold,
+    /// incrementally recount the touched catalog entries and bump the
+    /// epoch. A commit with no effective change (empty pending buffer, or
+    /// only no-ops) keeps the epoch — cached estimates stay valid.
+    pub fn commit(&self) -> CommitOutcome {
+        let delta = std::mem::take(&mut *self.pending.lock().unwrap());
+        let mut st = self.state.write().unwrap();
+        let mut effective = GraphDelta::new();
+        for e in delta.adds() {
+            if !st.has_edge(e.src, e.dst, e.label) {
+                effective.add_edge(e.src, e.dst, e.label);
+            }
+        }
+        for e in delta.dels() {
+            if st.has_edge(e.src, e.dst, e.label) {
+                effective.del_edge(e.src, e.dst, e.label);
+            }
+        }
+        if effective.is_empty() {
+            return CommitOutcome {
+                epoch: st.epoch,
+                added: 0,
+                deleted: 0,
+                recounted: 0,
+                rebased: false,
+            };
+        }
+        let added = effective.adds().count();
+        let deleted = effective.dels().count();
+        let touched = effective.touched_labels();
+        st.overlay.merge(&effective);
+        // Keep the overlay normalized against the base so its length
+        // measures real divergence (an add later deleted collapses away).
+        {
+            let base = st.base.clone();
+            st.overlay.normalize(&base);
+        }
+        let rebased = st.overlay.len() >= self.rebase_threshold;
+        if rebased {
+            st.base = Arc::new(st.base.rebase(&st.overlay));
+            st.overlay.clear();
+        }
+        let recounted = {
+            let DatasetState {
+                base,
+                overlay,
+                markov,
+                ..
+            } = &mut *st;
+            if overlay.is_empty() {
+                markov.refresh_touched(&**base, &touched, self.jobs)
+            } else {
+                markov.refresh_touched(&OverlayGraph::new(base, overlay), &touched, self.jobs)
+            }
+        };
+        st.epoch += 1;
+        self.epoch.store(st.epoch, Ordering::Release);
+        CommitOutcome {
+            epoch: st.epoch,
+            added,
+            deleted,
+            recounted,
+            rebased,
+        }
+    }
+
     /// Run `f` under a read lock on the catalog (many readers at once).
     pub fn with_markov<R>(&self, f: impl FnOnce(&MarkovTable) -> R) -> R {
-        f(&self.markov.read().unwrap())
+        f(&self.state.read().unwrap().markov)
     }
 
     /// Make sure every connected sub-pattern (≤ `h` edges) of `queries` is
@@ -82,41 +380,52 @@ impl DatasetEntry {
     /// The expensive part — exact counting on the graph — runs without any
     /// lock held, on up to [`DatasetEntry::jobs`] scoped worker threads
     /// ([`ceg_catalog::count_patterns`]): readers keep estimating while a
-    /// batch fills gaps, and two racing batches at worst count the same
-    /// pattern twice (the second insert is a no-op on an identical exact
-    /// count).
+    /// batch fills gaps. Counting races with commits are resolved by
+    /// epoch validation: counts taken against an epoch that changed
+    /// before the insert are discarded and recounted, so a stale count
+    /// can never enter a newer epoch's catalog.
     pub fn ensure_patterns(&self, queries: &[QueryGraph]) -> usize {
-        let mut missing: Vec<Pattern> = Vec::new();
-        {
-            let table = self.markov.read().unwrap();
-            let mut seen: FxHashSet<Pattern> = FxHashSet::default();
-            for q in queries {
-                for mask in q.connected_subsets_up_to(self.h) {
-                    let pat = Pattern::of_subquery(q, mask);
-                    if table.card(&pat).is_none() && seen.insert(pat.clone()) {
-                        missing.push(pat);
+        loop {
+            let (missing, base, overlay, epoch) = {
+                let st = self.state.read().unwrap();
+                let mut missing: Vec<Pattern> = Vec::new();
+                let mut seen: FxHashSet<Pattern> = FxHashSet::default();
+                for q in queries {
+                    for mask in q.connected_subsets_up_to(self.h) {
+                        let pat = Pattern::of_subquery(q, mask);
+                        if st.markov.card(&pat).is_none() && seen.insert(pat.clone()) {
+                            missing.push(pat);
+                        }
                     }
                 }
+                if missing.is_empty() {
+                    return 0;
+                }
+                (missing, st.base.clone(), st.overlay.clone(), st.epoch)
+            };
+            let counts = if overlay.is_empty() {
+                count_patterns(&*base, &missing, self.jobs)
+            } else {
+                count_patterns(&OverlayGraph::new(&base, &overlay), &missing, self.jobs)
+            };
+            let mut st = self.state.write().unwrap();
+            if st.epoch != epoch {
+                continue; // a commit landed mid-count: the counts may be stale
             }
-        }
-        if missing.is_empty() {
-            return 0;
-        }
-        let counts = count_patterns(&self.graph, &missing, self.jobs);
-        let mut table = self.markov.write().unwrap();
-        let mut added = 0;
-        for (pat, card) in missing.into_iter().zip(counts) {
-            if table.card(&pat).is_none() {
-                table.insert(pat, card);
-                added += 1;
+            let mut added = 0;
+            for (pat, card) in missing.into_iter().zip(counts) {
+                if st.markov.card(&pat).is_none() {
+                    st.markov.insert(pat, card);
+                    added += 1;
+                }
             }
+            return added;
         }
-        added
     }
 
     /// Catalog size (stored patterns) right now.
     pub fn catalog_len(&self) -> usize {
-        self.markov.read().unwrap().len()
+        self.state.read().unwrap().markov.len()
     }
 }
 
@@ -292,5 +601,155 @@ mod tests {
         assert_eq!(registry.names(), vec!["a".to_string(), "b".to_string()]);
         assert!(registry.get("a").is_some());
         assert!(registry.get("missing").is_none());
+    }
+
+    #[test]
+    fn updates_are_invisible_until_commit() {
+        let registry = DatasetRegistry::new();
+        let entry = registry.insert_graph("toy", toy_graph(), 2);
+        let q = templates::path(2, &[0, 1]);
+        entry.ensure_patterns(std::slice::from_ref(&q));
+        let before = entry.with_markov(|t| t.card_of_subquery(&q, q.full_mask()));
+        assert_eq!(before, Some(2));
+
+        let (epoch, pending) = entry.add_edge(0, 3, 0).unwrap(); // 0 -0-> 3 -1-> nothing... feeds 3->4? label mismatch
+        assert_eq!(epoch, 0);
+        assert_eq!(pending, 1);
+        // Nothing changed yet.
+        assert_eq!(
+            entry.with_markov(|t| t.card_of_subquery(&q, q.full_mask())),
+            Some(2)
+        );
+        assert_eq!(entry.epoch(), 0);
+
+        let outcome = entry.commit();
+        assert_eq!(outcome.epoch, 1);
+        assert_eq!(outcome.added, 1);
+        assert_eq!(outcome.deleted, 0);
+        assert!(outcome.recounted > 0);
+        assert_eq!(entry.epoch(), 1);
+        assert_eq!(entry.pending_len(), 0);
+        // 0->{1,3} under label 0, then label 1 out of 1 (2 ways) and 3 (0).
+        assert_eq!(
+            entry.with_markov(|t| t.card_of_subquery(&q, q.full_mask())),
+            Some(2)
+        );
+        // A structural change that feeds the path: 4 -1-> 0 extends 3->4.
+        entry.add_edge(4, 0, 1).unwrap();
+        let outcome = entry.commit();
+        assert_eq!(outcome.epoch, 2);
+        assert_eq!(
+            entry.with_markov(|t| t.card_of_subquery(&q, q.full_mask())),
+            Some(3)
+        );
+    }
+
+    #[test]
+    fn pending_buffer_is_capped() {
+        let entry =
+            DatasetEntry::new("toy", toy_graph(), MarkovTable::empty(2)).with_pending_cap(2);
+        entry.add_edge(0, 2, 0).unwrap();
+        entry.add_edge(0, 3, 0).unwrap();
+        let err = entry.add_edge(0, 4, 0).unwrap_err();
+        assert!(err.contains("pending update buffer full"), "{err}");
+        // Replacing an already-buffered op does not grow the buffer, so
+        // it is allowed even at the cap.
+        entry.del_edge(0, 2, 0).unwrap();
+        assert_eq!(entry.pending_len(), 2);
+        // COMMIT drains the buffer and new updates flow again.
+        entry.commit();
+        entry.add_edge(0, 4, 0).unwrap();
+    }
+
+    #[test]
+    fn updates_are_bounds_checked_against_domain_plus_growth() {
+        let entry = DatasetEntry::new("toy", toy_graph(), MarkovTable::empty(2));
+        // Growth within the allowance is fine even beyond the domain (5).
+        entry
+            .add_edge(MAX_UPDATE_VERTEX, 0, MAX_UPDATE_LABEL)
+            .unwrap();
+        // Beyond the allowance (and the 5-vertex domain): refused.
+        let err = entry.add_edge(MAX_UPDATE_VERTEX + 1, 0, 0).unwrap_err();
+        assert!(err.contains("vertex id out of range"), "{err}");
+        let err = entry.del_edge(0, 1, MAX_UPDATE_LABEL + 1).unwrap_err();
+        assert!(err.contains("label out of range"), "{err}");
+        // The bound is max(domain, allowance): after the commit grows the
+        // committed domain, ids inside it stay updatable — a dataset
+        // larger than the allowance is never locked out of its own
+        // vertices.
+        entry.commit();
+        assert!(entry.add_edge(MAX_UPDATE_VERTEX, 1, 0).is_ok());
+    }
+
+    #[test]
+    fn noop_commit_keeps_epoch() {
+        let registry = DatasetRegistry::new();
+        let entry = registry.insert_graph("toy", toy_graph(), 2);
+        assert_eq!(entry.commit().epoch, 0); // empty pending buffer
+        entry.add_edge(0, 1, 0).unwrap(); // already present
+        entry.del_edge(2, 0, 1).unwrap(); // absent
+        let outcome = entry.commit();
+        assert_eq!(outcome.epoch, 0);
+        assert_eq!((outcome.added, outcome.deleted), (0, 0));
+        assert_eq!(entry.epoch(), 0);
+    }
+
+    #[test]
+    fn add_then_del_in_one_batch_collapses() {
+        let registry = DatasetRegistry::new();
+        let entry = registry.insert_graph("toy", toy_graph(), 2);
+        entry.add_edge(2, 4, 0).unwrap();
+        entry.del_edge(2, 4, 0).unwrap();
+        let outcome = entry.commit();
+        assert_eq!(outcome.epoch, 0, "last-writer-wins: net no-op");
+        entry.del_edge(0, 1, 0).unwrap();
+        entry.add_edge(0, 1, 0).unwrap();
+        assert_eq!(entry.commit().epoch, 0);
+    }
+
+    #[test]
+    fn overlay_and_rebase_regimes_agree() {
+        // Same update stream against a rebase-eager and a rebase-never
+        // entry: identical epochs, catalogs and materialized graphs.
+        let eager =
+            DatasetEntry::new("e", toy_graph(), MarkovTable::empty(2)).with_rebase_threshold(1);
+        let lazy = DatasetEntry::new("l", toy_graph(), MarkovTable::empty(2))
+            .with_rebase_threshold(usize::MAX);
+        let q = templates::path(2, &[0, 1]);
+        for entry in [&eager, &lazy] {
+            entry.ensure_patterns(std::slice::from_ref(&q));
+        }
+        for (src, dst, label, add) in [
+            (0u32, 3u32, 0u16, true),
+            (4, 0, 1, true),
+            (1, 2, 1, false),
+            (2, 2, 0, true),
+        ] {
+            for entry in [&eager, &lazy] {
+                if add {
+                    entry.add_edge(src, dst, label).unwrap();
+                } else {
+                    entry.del_edge(src, dst, label).unwrap();
+                }
+                entry.commit();
+            }
+        }
+        assert_eq!(eager.epoch(), lazy.epoch());
+        assert_eq!(eager.overlay_len(), 0);
+        assert!(lazy.overlay_len() > 0);
+        assert_eq!(eager.graph_summary(), lazy.graph_summary());
+        eager.with_markov(|te| {
+            lazy.with_markov(|tl| {
+                assert_eq!(te.len(), tl.len());
+                for (p, c) in te.iter() {
+                    assert_eq!(tl.card(p), Some(c), "pattern {p}");
+                }
+            })
+        });
+        let (ge, gl) = (eager.materialized_graph(), lazy.materialized_graph());
+        assert_eq!(ge.num_edges(), gl.num_edges());
+        for e in ge.all_edges() {
+            assert!(gl.has_edge(e.src, e.dst, e.label), "{e:?}");
+        }
     }
 }

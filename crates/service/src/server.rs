@@ -207,6 +207,32 @@ fn serve_connection(
                 writeln!(writer, "{}", Response::Bye.format())?;
                 break;
             }
+            // Updates are answered inline by the handler: buffering an
+            // edge is a cheap mutex push, and COMMIT is the explicitly
+            // heavy call whose latency the client opted into — neither
+            // benefits from the estimate batching shards.
+            Ok(Request::AddEdge {
+                dataset,
+                src,
+                dst,
+                label,
+            }) => match engine.add_edge(&dataset, src, dst, label) {
+                Ok(ack) => Response::Updated(ack),
+                Err(msg) => Response::Error(msg),
+            },
+            Ok(Request::DelEdge {
+                dataset,
+                src,
+                dst,
+                label,
+            }) => match engine.del_edge(&dataset, src, dst, label) {
+                Ok(ack) => Response::Updated(ack),
+                Err(msg) => Response::Error(msg),
+            },
+            Ok(Request::Commit { dataset }) => match engine.commit(&dataset) {
+                Ok(outcome) => Response::Committed(outcome),
+                Err(msg) => Response::Error(msg),
+            },
             Ok(Request::Estimate { dataset, query }) => {
                 let (tx, rx) = mpsc::channel();
                 pool.submit(EstimateJob {

@@ -13,15 +13,20 @@
 //!   paper's box plots report,
 //! * [`runner`] — drives a set of estimators over a workload (serially or
 //!   across a worker pool via a `parallelism` knob) and renders the
-//!   result tables.
+//!   result tables,
+//! * [`updates`] — scripted update streams (seeded add/del/commit
+//!   generators plus the `.upd` text format) for exercising the
+//!   service's live-update path.
 
 pub mod datasets;
 pub mod io;
 pub mod qerror;
 pub mod runner;
+pub mod updates;
 pub mod workloads;
 
 pub use datasets::{Dataset, DatasetSpec};
 pub use qerror::{signed_log_qerror, QErrorSummary};
 pub use runner::{run_estimators, run_estimators_parallel, EstimatorReport};
+pub use updates::{generate_update_stream, UpdateOp};
 pub use workloads::{Workload, WorkloadQuery};

@@ -10,6 +10,7 @@
 //! cegcli explain  <graph.edges> <queries.wl> <query-index>   # CEG_O as DOT
 //! cegcli serve    <addr> <graph.edges> [markov.file|-] [h]   # estimation server
 //! cegcli query    <addr> <queries.wl> [dataset]              # remote estimates
+//! cegcli update   <addr> <updates.upd> [dataset]             # live graph updates
 //! ```
 
 use std::process::ExitCode;
@@ -78,6 +79,7 @@ const USAGE_LINES: &[(&str, &str)] = &[
         "cegcli serve <addr> <graph.edges> [markov.file|-] [h] [--jobs N]",
     ),
     ("query", "cegcli query <addr> <queries.wl> [dataset]"),
+    ("update", "cegcli update <addr> <updates.upd> [dataset]"),
 ];
 
 fn usage_for(cmd: &str) -> Option<&'static str> {
@@ -116,6 +118,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "explain" => in_cmd("explain", explain(rest)),
         "serve" => in_cmd("serve", serve(rest)),
         "query" => in_cmd("query", query_cmd(rest)),
+        "update" => in_cmd("update", update_cmd(rest)),
         other => Err(top(format!("unknown command `{other}`"))),
     }
 }
@@ -158,24 +161,44 @@ fn arg<'a>(args: &'a [String], i: usize, what: &str) -> Result<&'a str, String> 
         .ok_or_else(|| format!("missing {what}"))
 }
 
-/// Strip a `--jobs N` flag (anywhere in the argument list) and return the
+/// Strip a `--jobs N` flag from the argument list and return the
 /// remaining positional arguments plus the worker count. `--jobs 0` means
 /// "use every available core"; without the flag the count is 1 (serial,
-/// the pre-flag behaviour).
+/// the pre-flag behaviour). A repeated `--jobs` is an error (a silent
+/// last-one-wins hides typos in scripts), and a flag-shaped token after
+/// `--jobs` is rejected explicitly so `--jobs --foo` reports the missing
+/// value instead of a confusing parse failure.
 fn take_jobs(args: &[String]) -> Result<(Vec<String>, usize), String> {
     let mut rest = Vec::with_capacity(args.len());
-    let mut jobs = 1usize;
+    let mut jobs: Option<usize> = None;
+    let mut set = |n: usize| -> Result<(), String> {
+        if jobs.replace(n).is_some() {
+            return Err("duplicate --jobs flag".into());
+        }
+        Ok(())
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--jobs" {
             let n = it.next().ok_or("missing value after --jobs")?;
-            jobs = n.parse().map_err(|_| format!("bad --jobs value `{n}`"))?;
+            if n.starts_with('-') {
+                return Err(format!(
+                    "--jobs needs a worker count, got the flag-like token `{n}`"
+                ));
+            }
+            set(n.parse().map_err(|_| format!("bad --jobs value `{n}`"))?)?;
         } else if let Some(n) = a.strip_prefix("--jobs=") {
-            jobs = n.parse().map_err(|_| format!("bad --jobs value `{n}`"))?;
+            if n.starts_with('-') {
+                return Err(format!(
+                    "--jobs needs a worker count, got the flag-like token `{n}`"
+                ));
+            }
+            set(n.parse().map_err(|_| format!("bad --jobs value `{n}`"))?)?;
         } else {
             rest.push(a.clone());
         }
     }
+    let mut jobs = jobs.unwrap_or(1);
     if jobs == 0 {
         // Explicit "all cores": uncapped, unlike the conservative
         // default_build_parallelism() used by implicit callers.
@@ -326,11 +349,12 @@ fn serve(args: &[String]) -> Result<(), String> {
     }
     let config = ServerConfig::default();
     let server = Server::start(registry, addr, config).map_err(|e| e.to_string())?;
+    let (num_vertices, num_edges) = entry.graph_summary();
     println!(
         "serving `default` ({} vertices, {} edges, {} catalog entries) on {} \
          [{} workers, batch<={}, cache {} buckets, {} catalog jobs]",
-        entry.graph().num_vertices(),
-        entry.graph().num_edges(),
+        num_vertices,
+        num_edges,
         entry.catalog_len(),
         server.local_addr(),
         config.workers,
@@ -382,4 +406,99 @@ fn query_cmd(args: &[String]) -> Result<(), String> {
     );
     client.quit().map_err(|e| e.to_string())?;
     Ok(())
+}
+
+/// Stream a scripted `.upd` update file to a running server: `add`/`del`
+/// lines buffer into the dataset's pending delta, each `commit` applies
+/// the batch and prints what it did (epoch, effective adds/dels, catalog
+/// entries recounted, whether the overlay was folded into a fresh CSR).
+fn update_cmd(args: &[String]) -> Result<(), String> {
+    use cegraph::workload::updates::{load_updates, UpdateOp};
+    let addr = arg(args, 0, "server address")?;
+    let stream = load_updates(arg(args, 1, "updates path")?).map_err(|e| e.to_string())?;
+    let dataset = args.get(2).map(String::as_str).unwrap_or("default");
+    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let (mut adds, mut dels, mut commits) = (0usize, 0usize, 0usize);
+    for op in &stream {
+        match *op {
+            UpdateOp::Add { src, dst, label } => {
+                client
+                    .add_edge(dataset, src, dst, label)
+                    .map_err(|e| e.to_string())?;
+                adds += 1;
+            }
+            UpdateOp::Del { src, dst, label } => {
+                client
+                    .del_edge(dataset, src, dst, label)
+                    .map_err(|e| e.to_string())?;
+                dels += 1;
+            }
+            UpdateOp::Commit => {
+                let c = client.commit(dataset).map_err(|e| e.to_string())?;
+                commits += 1;
+                println!(
+                    "commit #{commits}: epoch={} added={} deleted={} recounted={} rebased={}",
+                    c.epoch, c.added, c.deleted, c.recounted, c.rebased
+                );
+            }
+        }
+    }
+    println!(
+        "streamed {} operations ({adds} adds, {dels} dels, {commits} commits) to `{dataset}`",
+        stream.len()
+    );
+    client.quit().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::take_jobs;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn take_jobs_default_is_serial() {
+        let (rest, jobs) = take_jobs(&strs(&["a", "b"])).unwrap();
+        assert_eq!(rest, strs(&["a", "b"]));
+        assert_eq!(jobs, 1);
+    }
+
+    #[test]
+    fn take_jobs_accepts_both_spellings() {
+        let (rest, jobs) = take_jobs(&strs(&["a", "--jobs", "3", "b"])).unwrap();
+        assert_eq!(rest, strs(&["a", "b"]));
+        assert_eq!(jobs, 3);
+        let (rest, jobs) = take_jobs(&strs(&["--jobs=5", "x"])).unwrap();
+        assert_eq!(rest, strs(&["x"]));
+        assert_eq!(jobs, 5);
+    }
+
+    #[test]
+    fn take_jobs_zero_means_all_cores() {
+        let (_, jobs) = take_jobs(&strs(&["--jobs", "0"])).unwrap();
+        assert!(jobs >= 1);
+    }
+
+    #[test]
+    fn take_jobs_rejects_duplicates() {
+        let err = take_jobs(&strs(&["--jobs", "2", "--jobs", "3"])).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        let err = take_jobs(&strs(&["--jobs=2", "--jobs", "2"])).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+        let err = take_jobs(&strs(&["--jobs=2", "--jobs=4"])).unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn take_jobs_rejects_flag_shaped_values() {
+        let err = take_jobs(&strs(&["--jobs", "--verbose"])).unwrap_err();
+        assert!(err.contains("flag-like"), "{err}");
+        let err = take_jobs(&strs(&["--jobs=-2"])).unwrap_err();
+        assert!(err.contains("flag-like"), "{err}");
+        assert!(take_jobs(&strs(&["--jobs"])).is_err());
+        assert!(take_jobs(&strs(&["--jobs", "x"])).is_err());
+    }
 }
