@@ -1,0 +1,109 @@
+//! Durability & batching benchmarks: what a restart and a round-trip
+//! actually cost.
+//!
+//! * `cold_start/hetionet` — the boot path a server pays today: parse
+//!   the text edge list, then build the workload's Markov catalog from
+//!   scratch by counting patterns in the graph.
+//! * `restore/hetionet` — the same state back from a binary `.cegsnap`
+//!   snapshot (raw CSR arrays + catalog + epoch, checksummed). The
+//!   acceptance bar is ≥ 5× faster than `cold_start`.
+//! * `write/hetionet` — producing the snapshot file, for completeness.
+//! * `estimate_single_64/job` — 64 warmed estimates, one wire
+//!   round-trip each, against a live server.
+//! * `estimate_batch_64/job` — the same 64 queries as one
+//!   `ESTIMATE_BATCH`: one round-trip, pool-level fan-out.
+//!
+//! Set `CEG_BENCH_SMOKE=1` for tiny sample counts (CI) and
+//! `CRITERION_JSON=<path>` to capture the means (`BENCH_snapshot.json`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+
+use ceg_bench::common;
+use ceg_catalog::MarkovTable;
+use ceg_graph::io::{load_graph, save_graph};
+use ceg_query::QueryGraph;
+use ceg_service::{Client, DatasetEntry, DatasetRegistry, Server, ServerConfig};
+use ceg_workload::{Dataset, Workload};
+
+fn scratch(stem: &str, ext: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("ceg-bench-{stem}-{}.{ext}", std::process::id()))
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let smoke = std::env::var("CEG_BENCH_SMOKE").is_ok();
+    let (graph, workload) = common::setup(Dataset::Hetionet, Workload::Job, 2);
+    let queries: Vec<QueryGraph> = workload.iter().map(|q| q.query.clone()).collect();
+
+    // The state a server would have built at boot: graph + warm h=3
+    // catalog (the depth the paper's better estimators want; its build
+    // dominates a real cold start).
+    let markov = MarkovTable::build(&graph, &queries, 3);
+    let edges_path = scratch("coldstart", "edges");
+    save_graph(&graph, &edges_path).unwrap();
+    let snap_path = scratch("restore", "cegsnap");
+    ceg_catalog::io::write_snapshot(&snap_path, &graph, &markov, 7).unwrap();
+    eprintln!(
+        "[setup] snapshot: {} bytes, text edge list: {} bytes, catalog {} entries",
+        std::fs::metadata(&snap_path).unwrap().len(),
+        std::fs::metadata(&edges_path).unwrap().len(),
+        markov.len(),
+    );
+
+    let mut group = c.benchmark_group("snapshot");
+    group.sample_size(if smoke { 2 } else { 10 });
+
+    // Cold start: text parse + from-scratch catalog build.
+    group.bench_function("cold_start/hetionet", |b| {
+        b.iter(|| {
+            let g = load_graph(black_box(&edges_path)).unwrap();
+            let t = MarkovTable::build(&g, black_box(&queries), 3);
+            black_box((g.num_edges(), t.len()))
+        });
+    });
+
+    // Restore: one binary read, no parsing, no counting.
+    group.bench_function("restore/hetionet", |b| {
+        b.iter(|| {
+            let snap = ceg_catalog::io::read_snapshot(black_box(&snap_path)).unwrap();
+            black_box((snap.graph.num_edges(), snap.markov.len(), snap.epoch))
+        });
+    });
+
+    group.bench_function("write/hetionet", |b| {
+        b.iter(|| {
+            ceg_catalog::io::write_snapshot(black_box(&snap_path), &graph, &markov, 7).unwrap()
+        });
+    });
+
+    // Wire-level: 64 single round-trips vs one batched round-trip, on a
+    // warm cache — the contrast isolates per-request wire overhead.
+    let registry = Arc::new(DatasetRegistry::new());
+    registry.insert(DatasetEntry::new("bench", graph.clone(), markov.clone()));
+    let server = Server::start(registry, "127.0.0.1:0", ServerConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let batch64: Vec<QueryGraph> = queries.iter().cycle().take(64).cloned().collect();
+    client.estimate_batch("bench", &batch64).unwrap(); // warm the cache
+
+    group.bench_function("estimate_single_64/job", |b| {
+        b.iter(|| {
+            for q in &batch64 {
+                black_box(client.estimate("bench", q).unwrap());
+            }
+        });
+    });
+
+    group.bench_function("estimate_batch_64/job", |b| {
+        b.iter(|| black_box(client.estimate_batch("bench", black_box(&batch64)).unwrap()));
+    });
+
+    group.finish();
+    drop(client);
+    server.shutdown();
+    std::fs::remove_file(&edges_path).ok();
+    std::fs::remove_file(&snap_path).ok();
+}
+
+criterion_group!(benches, bench_snapshot);
+criterion_main!(benches);

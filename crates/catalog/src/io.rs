@@ -84,6 +84,163 @@ pub fn load_markov(path: impl AsRef<Path>) -> io::Result<MarkovTable> {
     read_markov(io::BufReader::new(std::fs::File::open(path)?))
 }
 
+// ---------------------------------------------------------------------------
+// Binary snapshots: graph + catalog + epoch in one `.cegsnap` file.
+// ---------------------------------------------------------------------------
+
+use ceg_graph::snapshot::{
+    decode_epoch, decode_graph, encode_epoch, encode_graph, put_u16, put_u64, PayloadReader,
+    SnapshotReader, SnapshotWriter, TAG_EPOCH, TAG_GRAPH, TAG_MARKOV,
+};
+use ceg_graph::LabeledGraph;
+
+/// Everything a service dataset needs to come back after a restart.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The committed graph (overlay already folded in by the writer).
+    pub graph: LabeledGraph,
+    /// The Markov catalog, byte-identical to the persisted original.
+    pub markov: MarkovTable,
+    /// The dataset epoch at snapshot time.
+    pub epoch: u64,
+}
+
+/// Encode a Markov table as a `MRKV` payload, entries sorted by pattern
+/// so the encoding (like [`write_markov`]) is canonical:
+///
+/// ```text
+/// u64 h, u64 count
+/// per entry: u64 cardinality, u16 num_edges,
+///            per edge: u8 src, u8 dst, u16 label
+/// ```
+pub fn encode_markov(table: &MarkovTable) -> Vec<u8> {
+    let mut entries: Vec<(&Pattern, u64)> = table.iter().collect();
+    entries.sort_by(|a, b| a.0.cmp(b.0));
+    let mut buf = Vec::new();
+    put_u64(&mut buf, table.h() as u64);
+    put_u64(&mut buf, entries.len() as u64);
+    for (p, c) in entries {
+        put_u64(&mut buf, c);
+        put_u16(&mut buf, p.num_edges() as u16);
+        for e in p.edges() {
+            buf.push(e.src);
+            buf.push(e.dst);
+            put_u16(&mut buf, e.label);
+        }
+    }
+    buf
+}
+
+fn bad_snap(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Decode a `MRKV` payload. Patterns are re-canonicalized on the way in,
+/// so even a hand-edited payload cannot plant a non-canonical key; every
+/// structural violation is an error, never a panic.
+///
+/// Acceptance mirrors what [`encode_markov`] can produce: any `h ≥ 2`
+/// (the [`MarkovTable::empty`] precondition — there is no upper bound at
+/// write time, so none at read time either) and any per-entry edge
+/// count the payload actually holds; the one hard structural cap is the
+/// 8-variable canonicalization ceiling, which would otherwise panic.
+pub fn decode_markov(payload: &[u8]) -> io::Result<MarkovTable> {
+    let mut r = PayloadReader::new(payload);
+    let h = r.u64("markov h")?;
+    if h < 2 {
+        return Err(bad_snap(format!("markov h={h} out of range (h >= 2)")));
+    }
+    let count = r.count("markov entry count", payload.len())?;
+    let mut table = MarkovTable::empty(h.min(usize::MAX as u64) as usize);
+    for i in 0..count {
+        let card = r.u64("entry cardinality")?;
+        let m = r.u16("entry edge count")? as usize;
+        if m == 0 {
+            return Err(bad_snap(format!("markov entry {i}: zero-edge pattern")));
+        }
+        let mut edges = Vec::with_capacity(m);
+        let mut vars: Vec<u8> = Vec::new();
+        for _ in 0..m {
+            let src = r.u8("edge src")?;
+            let dst = r.u8("edge dst")?;
+            let label = r.u16("edge label")?;
+            for v in [src, dst] {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+            edges.push(QueryEdge::new(src, dst, label));
+        }
+        // `Pattern::canonical` asserts on > 8 variables; turn that into
+        // a decode error up front.
+        if vars.len() > 8 {
+            return Err(bad_snap(format!(
+                "markov entry {i}: pattern has {} variables (limit 8)",
+                vars.len()
+            )));
+        }
+        table.insert(Pattern::canonical(&edges), card);
+    }
+    if !r.is_exhausted() {
+        return Err(bad_snap(format!(
+            "markov payload has {} trailing bytes",
+            r.remaining()
+        )));
+    }
+    Ok(table)
+}
+
+/// Write a full `.cegsnap` service snapshot: epoch, graph (raw CSR
+/// relations) and Markov catalog, each as a checksummed section of the
+/// versioned container (`ceg_graph::snapshot`). Restoring with
+/// [`read_snapshot`] skips text parsing and catalog construction — the
+/// cold-start cost a server pays today.
+///
+/// The write is **atomic**: bytes go to a unique temp file next to the
+/// target, are synced to disk, and are renamed over `path` only once
+/// complete — a crash, disk-full, or concurrent snapshot can never
+/// leave a truncated or interleaved file where a good snapshot used to
+/// be ([`ceg_graph::snapshot::atomic_write`]).
+pub fn write_snapshot(
+    path: impl AsRef<Path>,
+    graph: &LabeledGraph,
+    table: &MarkovTable,
+    epoch: u64,
+) -> io::Result<()> {
+    ceg_graph::snapshot::atomic_write(path.as_ref(), |f| {
+        let mut w = SnapshotWriter::new(io::BufWriter::new(f))?;
+        w.write_section(TAG_EPOCH, &encode_epoch(epoch))?;
+        w.write_section(TAG_GRAPH, &encode_graph(graph))?;
+        w.write_section(TAG_MARKOV, &encode_markov(table))?;
+        w.finish()?;
+        Ok(())
+    })
+}
+
+/// Read a full service snapshot back. Unknown sections are skipped
+/// (forward compatibility); a missing graph, catalog or epoch section —
+/// and any corruption or truncation — is an `InvalidData` error.
+pub fn read_snapshot(path: impl AsRef<Path>) -> io::Result<Snapshot> {
+    let f = std::fs::File::open(path)?;
+    let mut r = SnapshotReader::new(io::BufReader::new(f))?;
+    let mut graph = None;
+    let mut markov = None;
+    let mut epoch = None;
+    while let Some((tag, payload)) = r.next_section()? {
+        match tag {
+            TAG_GRAPH => graph = Some(decode_graph(&payload)?),
+            TAG_MARKOV => markov = Some(decode_markov(&payload)?),
+            TAG_EPOCH => epoch = Some(decode_epoch(&payload)?),
+            _ => {} // unknown section: skip
+        }
+    }
+    Ok(Snapshot {
+        graph: graph.ok_or_else(|| bad_snap("snapshot has no graph section"))?,
+        markov: markov.ok_or_else(|| bad_snap("snapshot has no markov section"))?,
+        epoch: epoch.ok_or_else(|| bad_snap("snapshot has no epoch section"))?,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,5 +290,79 @@ mod tests {
         let t2 = read_markov(io::BufReader::new(&buf[..])).unwrap();
         assert_eq!(t2.h(), 3);
         assert!(t2.is_empty());
+    }
+
+    /// Canonical persisted-text form — the strictest table equality.
+    fn text_bytes(t: &MarkovTable) -> Vec<u8> {
+        let mut buf = Vec::new();
+        write_markov(t, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn markov_payload_roundtrips_byte_identically() {
+        let t = table();
+        let t2 = decode_markov(&encode_markov(&t)).unwrap();
+        assert_eq!(text_bytes(&t), text_bytes(&t2));
+        // And the binary encoding itself is canonical (sorted entries).
+        assert_eq!(encode_markov(&t), encode_markov(&t2));
+    }
+
+    #[test]
+    fn corrupt_markov_payloads_are_rejected() {
+        let good = encode_markov(&table());
+        for cut in 0..good.len() {
+            assert!(decode_markov(&good[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut long = good.clone();
+        long.push(0);
+        assert!(decode_markov(&long).is_err());
+        // h < 2 violates the MarkovTable precondition...
+        let mut bad_h = good.clone();
+        bad_h[0] = 1;
+        assert!(decode_markov(&bad_h).is_err());
+        // ...but any h the writer could run with restores fine — the
+        // reader accepts everything the writer can produce.
+        bad_h[0] = 99;
+        assert_eq!(decode_markov(&bad_h).unwrap().h(), 99);
+    }
+
+    #[test]
+    fn full_snapshot_roundtrips_graph_catalog_and_epoch() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 0);
+        b.add_edge(1, 2, 1);
+        b.add_edge(1, 3, 1);
+        let g = b.build();
+        let t = MarkovTable::build_for_query(&g, &templates::path(2, &[0, 1]), 2);
+        let path =
+            std::env::temp_dir().join(format!("ceg-cat-snap-{}.cegsnap", std::process::id()));
+        write_snapshot(&path, &g, &t, 17).unwrap();
+
+        let snap = read_snapshot(&path).unwrap();
+        assert_eq!(snap.epoch, 17);
+        assert_eq!(snap.graph.num_edges(), g.num_edges());
+        for e in g.all_edges() {
+            assert!(snap.graph.has_edge(e.src, e.dst, e.label), "{e:?}");
+        }
+        assert_eq!(text_bytes(&snap.markov), text_bytes(&t));
+
+        // The graph-only reader of `ceg-graph::io` reads the same file,
+        // skipping the catalog section it does not know.
+        let (g2, epoch) = ceg_graph::io::read_snapshot(&path).unwrap();
+        assert_eq!(epoch, 17);
+        assert_eq!(g2.num_edges(), g.num_edges());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn snapshot_without_markov_section_is_an_error_here() {
+        let g = GraphBuilder::new(2).build();
+        let path =
+            std::env::temp_dir().join(format!("ceg-cat-graphonly-{}.cegsnap", std::process::id()));
+        ceg_graph::io::write_snapshot(&path, &g, 0).unwrap();
+        let err = read_snapshot(&path).unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        assert!(err.to_string().contains("no markov section"), "{err}");
     }
 }

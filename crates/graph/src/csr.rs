@@ -185,6 +185,62 @@ impl Csr {
         }
     }
 
+    /// The raw CSR arrays `(offsets, targets)` — the exact bytes binary
+    /// persistence writes ([`crate::snapshot`]).
+    pub(crate) fn raw_parts(&self) -> (&[u32], &[VertexId]) {
+        (&self.offsets, &self.targets)
+    }
+
+    /// Rebuild a CSR from raw arrays, re-deriving the cached aggregates
+    /// and validating every structural invariant the matcher relies on —
+    /// monotone offsets ending at `targets.len()`, strictly sorted
+    /// (duplicate-free) rows — so a corrupt snapshot surfaces as an error
+    /// here instead of as misbehavior (or a panic) deep in a traversal.
+    pub(crate) fn from_raw_parts(offsets: Vec<u32>, targets: Vec<VertexId>) -> Result<Csr, String> {
+        if offsets.is_empty() {
+            // The empty (default) index: legal — `LabeledGraph::rebase`
+            // leaves gap labels as default CSRs — but only with no
+            // targets.
+            if targets.is_empty() {
+                return Ok(Csr::default());
+            }
+            return Err("CSR with no offsets cannot store targets".into());
+        }
+        if offsets[0] != 0 {
+            return Err("CSR offsets must start at 0".into());
+        }
+        if *offsets.last().unwrap() as usize != targets.len() {
+            return Err(format!(
+                "CSR offsets end at {} but {} targets are stored",
+                offsets.last().unwrap(),
+                targets.len()
+            ));
+        }
+        let mut max_degree = 0u32;
+        let mut num_active = 0u32;
+        for v in 0..offsets.len() - 1 {
+            let (s, e) = (offsets[v], offsets[v + 1]);
+            if s > e {
+                return Err(format!("CSR offsets decrease at vertex {v}"));
+            }
+            let row = &targets[s as usize..e as usize];
+            if row.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(format!(
+                    "CSR neighbour list of vertex {v} is not strictly sorted"
+                ));
+            }
+            let d = e - s;
+            max_degree = max_degree.max(d);
+            num_active += (d > 0) as u32;
+        }
+        Ok(Csr {
+            offsets,
+            targets,
+            max_degree,
+            num_active,
+        })
+    }
+
     /// Iterate `(from, to)` pairs in vertex order.
     pub fn iter_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         (0..self.num_vertices()).flat_map(move |v| {

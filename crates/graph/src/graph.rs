@@ -40,6 +40,22 @@ impl LabeledGraph {
         }
     }
 
+    /// Assemble a graph directly from per-label CSR pairs (the binary
+    /// snapshot codec's constructor; the CSRs are already validated by
+    /// [`Csr::from_raw_parts`]). A relation's domain may be smaller than
+    /// `num_vertices`: [`LabeledGraph::rebase`] leaves untouched relations
+    /// at their original domain, and every accessor tolerates that.
+    pub(crate) fn from_csr_pairs(num_vertices: usize, pairs: Vec<(Csr, Csr)>) -> Self {
+        let (fwd, bwd) = pairs.into_iter().unzip();
+        LabeledGraph::new(num_vertices, fwd, bwd)
+    }
+
+    /// The per-label CSR pairs `(forward, backward)`, for binary
+    /// persistence.
+    pub(crate) fn csr_pairs(&self) -> impl Iterator<Item = (&Csr, &Csr)> {
+        self.fwd.iter().zip(&self.bwd).map(|(f, b)| (&**f, &**b))
+    }
+
     /// Number of vertices in the domain (vertex ids are `0..num_vertices`).
     #[inline]
     pub fn num_vertices(&self) -> usize {

@@ -60,6 +60,51 @@ pub fn save_graph(graph: &LabeledGraph, path: impl AsRef<Path>) -> io::Result<()
     write_edge_list(graph, f)
 }
 
+/// Write a graph-only `.cegsnap` binary snapshot: the raw CSR relations
+/// plus an epoch, in the checksummed section container of
+/// [`crate::snapshot`]. Restoring skips text parsing and CSR
+/// construction entirely. The full service snapshot (graph + Markov
+/// catalog + epoch) is written by `ceg-catalog::io::write_snapshot` in
+/// the same container.
+pub fn write_snapshot(path: impl AsRef<Path>, graph: &LabeledGraph, epoch: u64) -> io::Result<()> {
+    use crate::snapshot::{
+        atomic_write, encode_epoch, encode_graph, SnapshotWriter, TAG_EPOCH, TAG_GRAPH,
+    };
+    atomic_write(path.as_ref(), |f| {
+        let mut w = SnapshotWriter::new(BufWriter::new(f))?;
+        w.write_section(TAG_EPOCH, &encode_epoch(epoch))?;
+        w.write_section(TAG_GRAPH, &encode_graph(graph))?;
+        w.finish()?;
+        Ok(())
+    })
+}
+
+/// Read the graph and epoch out of any `.cegsnap` snapshot, skipping
+/// sections this crate does not know (a full service snapshot restores
+/// fine; its catalog section is ignored here). Corrupt or truncated
+/// files are rejected with `InvalidData` errors, never panics.
+pub fn read_snapshot(path: impl AsRef<Path>) -> io::Result<(LabeledGraph, u64)> {
+    use crate::snapshot::{decode_epoch, decode_graph, SnapshotReader, TAG_EPOCH, TAG_GRAPH};
+    let f = std::fs::File::open(path)?;
+    let mut r = SnapshotReader::new(io::BufReader::new(f))?;
+    let mut graph = None;
+    let mut epoch = None;
+    while let Some((tag, payload)) = r.next_section()? {
+        match tag {
+            TAG_GRAPH => graph = Some(decode_graph(&payload)?),
+            TAG_EPOCH => epoch = Some(decode_epoch(&payload)?),
+            _ => {} // unknown section: skip (forward compatibility)
+        }
+    }
+    let graph = graph.ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "snapshot has no graph section")
+    })?;
+    let epoch = epoch.ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "snapshot has no epoch section")
+    })?;
+    Ok((graph, epoch))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -101,5 +146,33 @@ mod tests {
         let text = "0 x 1\n";
         let err = read_edge_list(io::BufReader::new(text.as_bytes())).unwrap_err();
         assert!(err.to_string().contains("dst"));
+    }
+
+    #[test]
+    fn binary_snapshot_roundtrips_through_a_file() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 0);
+        b.add_edge(1, 2, 1);
+        b.add_edge(3, 0, 0);
+        let g = b.build();
+        let path = std::env::temp_dir().join(format!("ceg-io-snap-{}.cegsnap", std::process::id()));
+        write_snapshot(&path, &g, 9).unwrap();
+        let (g2, epoch) = read_snapshot(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(epoch, 9);
+        assert_eq!(g2.num_vertices(), g.num_vertices());
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for e in g.all_edges() {
+            assert!(g2.has_edge(e.src, e.dst, e.label), "{e:?}");
+        }
+    }
+
+    #[test]
+    fn snapshot_of_garbage_file_is_an_error() {
+        let path = std::env::temp_dir().join(format!("ceg-io-junk-{}.cegsnap", std::process::id()));
+        std::fs::write(&path, b"this is not a snapshot").unwrap();
+        let err = read_snapshot(&path).unwrap_err();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 }

@@ -46,6 +46,7 @@ pub mod hash;
 pub mod intersect;
 pub mod io;
 pub mod overlay;
+pub mod snapshot;
 pub mod stats;
 pub mod view;
 

@@ -4,14 +4,14 @@
 //! anything that can write lines to a TCP socket (netcat included) speaks
 //! the same protocol.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
 use ceg_graph::{LabelId, VertexId};
 use ceg_query::QueryGraph;
 
-use crate::engine::{EngineStats, UpdateAck};
-use crate::protocol::{Request, Response};
+use crate::engine::{EngineStats, SnapshotAck, UpdateAck};
+use crate::protocol::{parse_batch_response_header, Request, Response};
 use crate::registry::CommitOutcome;
 
 /// The answer to one `ESTIMATE` request.
@@ -30,7 +30,10 @@ pub struct EstimateReply {
 /// One connection to a running estimation server.
 pub struct Client {
     reader: BufReader<TcpStream>,
-    writer: TcpStream,
+    /// Buffered so each request leaves in one write syscall — an
+    /// unbuffered `writeln!` issues several small writes, which Nagle +
+    /// delayed ACKs stretch into ~40ms per round-trip.
+    writer: BufWriter<TcpStream>,
 }
 
 impl Client {
@@ -39,7 +42,7 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Client {
-            writer: stream.try_clone()?,
+            writer: BufWriter::new(stream.try_clone()?),
             reader: BufReader::new(stream),
         })
     }
@@ -91,6 +94,105 @@ impl Client {
                 hits,
                 misses,
             }),
+            other => Err(Self::protocol_error(other)),
+        }
+    }
+
+    /// Estimate an ordered batch of queries against one dataset in one
+    /// wire round-trip per [`crate::protocol::MAX_BATCH_QUERIES`]-sized
+    /// chunk (`ESTIMATE_BATCH`): the server fans each chunk across its
+    /// worker pool and streams the answers back in request order.
+    /// Replies line up index-for-index with `queries`. An empty batch
+    /// is answered locally without touching the wire.
+    pub fn estimate_batch(
+        &mut self,
+        dataset: &str,
+        queries: &[QueryGraph],
+    ) -> io::Result<Vec<EstimateReply>> {
+        // Chunk transparently: sending a header past the server's batch
+        // cap is an unrecoverable framing error that would drop the
+        // connection, so an oversized workload must never reach the wire
+        // as one batch.
+        if queries.len() > crate::protocol::MAX_BATCH_QUERIES {
+            let mut replies = Vec::with_capacity(queries.len());
+            for chunk in queries.chunks(crate::protocol::MAX_BATCH_QUERIES) {
+                replies.extend(self.estimate_batch(dataset, chunk)?);
+            }
+            return Ok(replies);
+        }
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let request = Request::EstimateBatch {
+            dataset: dataset.to_string(),
+            queries: queries.to_vec(),
+        };
+        writeln!(self.writer, "{}", request.format())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let mut next_line = |reader: &mut BufReader<TcpStream>| -> io::Result<String> {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-batch",
+                ));
+            }
+            Ok(line.trim_end().to_string())
+        };
+        let header = next_line(&mut self.reader)?;
+        if let Some(msg) = header.strip_prefix("ERR") {
+            return Err(io::Error::other(msg.trim().to_string()));
+        }
+        let n = parse_batch_response_header(&header)
+            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))?;
+        if n != queries.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("batch of {} answered with {n} replies", queries.len()),
+            ));
+        }
+        // Always consume all n announced lines — returning early on a
+        // per-query error would leave the rest in the stream and desync
+        // every later request on this connection.
+        let mut replies = Vec::with_capacity(n);
+        let mut first_error: Option<io::Error> = None;
+        for _ in 0..n {
+            let text = next_line(&mut self.reader)?;
+            match Response::parse(&text)
+                .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))?
+            {
+                Response::Estimate {
+                    outcome,
+                    hits,
+                    misses,
+                } => replies.push(EstimateReply {
+                    value: outcome.value,
+                    cached: outcome.cached,
+                    hits,
+                    misses,
+                }),
+                other => {
+                    first_error.get_or_insert_with(|| Self::protocol_error(other));
+                }
+            }
+        }
+        match first_error {
+            Some(err) => Err(err),
+            None => Ok(replies),
+        }
+    }
+
+    /// Ask the server to persist the dataset's committed graph, catalog
+    /// and epoch to a `.cegsnap` file at `path` on the **server's**
+    /// filesystem.
+    pub fn snapshot(&mut self, dataset: &str, path: &str) -> io::Result<SnapshotAck> {
+        let request = Request::Snapshot {
+            dataset: dataset.to_string(),
+            path: path.to_string(),
+        };
+        match self.roundtrip(&request)? {
+            Response::Snapshotted(ack) => Ok(ack),
             other => Err(Self::protocol_error(other)),
         }
     }

@@ -36,6 +36,15 @@ pub struct UpdateAck {
     pub pending: usize,
 }
 
+/// Acknowledgement of a `SNAPSHOT`: what was durably written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotAck {
+    /// The committed epoch the snapshot captured.
+    pub epoch: u64,
+    /// Size of the written `.cegsnap` file in bytes.
+    pub bytes: u64,
+}
+
 /// Counter snapshot reported over the wire by `STATS`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EngineStats {
@@ -193,6 +202,30 @@ impl Engine {
             .get(dataset)
             .ok_or_else(|| format!("unknown dataset `{dataset}`"))?;
         Ok(entry.commit())
+    }
+
+    /// Persist a dataset's committed graph, Markov catalog and epoch to
+    /// a `.cegsnap` file at `path` (on this process's filesystem). The
+    /// pending (uncommitted) update buffer is deliberately excluded: a
+    /// snapshot captures committed state only.
+    ///
+    /// This is the handler behind the unauthenticated `SNAPSHOT` wire
+    /// command, i.e. a remote-triggered filesystem write. The path must
+    /// end in `.cegsnap`, so a client can only (atomically) replace
+    /// snapshot files — never clobber arbitrary files the server
+    /// process can write.
+    pub fn snapshot(&self, dataset: &str, path: &str) -> Result<SnapshotAck, String> {
+        if !path.ends_with(".cegsnap") {
+            return Err("snapshot path must end in .cegsnap".into());
+        }
+        let entry = self
+            .registry
+            .get(dataset)
+            .ok_or_else(|| format!("unknown dataset `{dataset}`"))?;
+        let (epoch, bytes) = entry
+            .write_snapshot(path)
+            .map_err(|e| format!("snapshot failed: {e}"))?;
+        Ok(SnapshotAck { epoch, bytes })
     }
 
     /// Snapshot of the engine counters.

@@ -29,7 +29,18 @@
 //!   catalog fill → estimate → cache store,
 //! * [`protocol`] / [`server`] / [`client`] — a line-delimited text
 //!   protocol over `std::net::TcpListener`, served by `cegcli serve` and
-//!   spoken by `cegcli query` (or a 5-line netcat script).
+//!   spoken by `cegcli query` (or a 5-line netcat script). `ESTIMATE`
+//!   answers one query per round-trip; `ESTIMATE_BATCH` ships a whole
+//!   ordered batch in one round-trip, fanned across the worker pool
+//!   ([`Client::estimate_batch`]),
+//! * **durability** — `SNAPSHOT <ds> <path>` persists a dataset's
+//!   committed graph, Markov catalog and epoch as a versioned,
+//!   checksummed binary `.cegsnap` file
+//!   ([`DatasetEntry::write_snapshot`]); `cegcli serve --snapshot`
+//!   restores one at boot ([`DatasetRegistry::load_snapshot`]), skipping
+//!   text parsing and catalog construction, and continues the epoch
+//!   sequence so a restarted server answers exactly like the one that
+//!   wrote the snapshot.
 //!
 //! # Example
 //!
@@ -66,9 +77,9 @@ pub mod server;
 
 pub use cache::{EstimateCache, LruCache};
 pub use client::{Client, EstimateReply};
-pub use engine::{Engine, EngineStats, EstimateOutcome, UpdateAck};
+pub use engine::{Engine, EngineStats, EstimateOutcome, SnapshotAck, UpdateAck};
 pub use pool::{run_scoped, WorkerPool};
-pub use protocol::{Request, Response};
+pub use protocol::{Request, Response, MAX_BATCH_QUERIES};
 pub use registry::{
     CommitOutcome, DatasetEntry, DatasetRegistry, MAX_PENDING_OPS, MAX_UPDATE_LABEL,
     MAX_UPDATE_VERTEX,

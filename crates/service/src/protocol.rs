@@ -10,13 +10,34 @@
 //! -----------------------------------------------------------------------
 //! PING                                            PONG
 //! ESTIMATE <ds> <nv> <ne> (<src> <dst> <lbl>)*    EST <value|none> cache=<hit|miss> hits=<n> misses=<n>
+//! ESTIMATE_BATCH <ds> <n>                         BATCH <n>
+//!   then n lines: <nv> <ne> (<src> <dst> <lbl>)*    then n ordered EST/ERR lines
 //! ADD_EDGE <ds> <src> <dst> <lbl>                 OK epoch=<n> pending=<n>
 //! DEL_EDGE <ds> <src> <dst> <lbl>                 OK epoch=<n> pending=<n>
 //! COMMIT <ds>                                     COMMITTED epoch=<n> added=<n> deleted=<n> recounted=<n> rebased=<0|1>
+//! SNAPSHOT <ds> <path>                            SNAPSHOTTED epoch=<n> bytes=<n>
 //! STATS                                           STATS requests=<n> batches=<n> hits=<n> misses=<n> datasets=<n>
 //! QUIT                                            BYE
 //! (anything malformed)                            ERR <message>
 //! ```
+//!
+//! `ESTIMATE_BATCH` is the only multi-line request: its header announces
+//! how many query lines follow (each the `<nv> <ne> <triples>` tail of an
+//! `ESTIMATE`, i.e. exactly one workload-file line), and the server
+//! answers with a `BATCH <n>` header followed by `n` response lines in
+//! request order — one wire round-trip for the whole batch. A malformed
+//! query line fails the *whole* batch with a single `ERR` (the server
+//! still consumes all `n` lines, so the connection stays in sync).
+//!
+//! `SNAPSHOT` writes the dataset's committed graph, Markov catalog and
+//! epoch to `<path>` **on the server's filesystem** as a binary
+//! `.cegsnap` file (see `ceg_graph::snapshot`); `cegcli serve
+//! --snapshot <path>` restores from it at boot. Because this is a
+//! remote-triggered filesystem write, the path must end in `.cegsnap`
+//! (a client can only replace snapshot files, never truncate arbitrary
+//! server-writable files), and the write is atomic (temp file + sync +
+//! rename), so a failed or concurrent snapshot never destroys the
+//! previous good one.
 //!
 //! The query encoding (`num_vars num_edges` then `src dst label` triples)
 //! matches the persisted workload format of `ceg-workload::io`, so a
@@ -33,8 +54,13 @@
 use ceg_graph::{LabelId, VertexId};
 use ceg_query::{QueryEdge, QueryGraph, VarId};
 
-use crate::engine::{EngineStats, EstimateOutcome, UpdateAck};
+use crate::engine::{EngineStats, EstimateOutcome, SnapshotAck, UpdateAck};
 use crate::registry::CommitOutcome;
+
+/// Largest number of queries one `ESTIMATE_BATCH` may carry. Big enough
+/// for any sane client batch, small enough that a hostile header cannot
+/// make the server buffer unbounded lines.
+pub const MAX_BATCH_QUERIES: usize = 1024;
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +71,15 @@ pub enum Request {
     Stats,
     /// Estimate one query against a named dataset.
     Estimate { dataset: String, query: QueryGraph },
+    /// Estimate an ordered batch of queries against one dataset in a
+    /// single round-trip (the only multi-line request).
+    EstimateBatch {
+        dataset: String,
+        queries: Vec<QueryGraph>,
+    },
+    /// Persist the dataset's committed graph + catalog + epoch to a
+    /// `.cegsnap` file on the server's filesystem.
+    Snapshot { dataset: String, path: String },
     /// Buffer an edge insertion into the dataset's pending delta.
     AddEdge {
         dataset: String,
@@ -96,10 +131,165 @@ fn parse_update<'a>(
     Ok((dataset, src, dst, label))
 }
 
+/// Parse a query encoding `<nv> <ne> (<src> <dst> <lbl>)*` from a token
+/// stream — the tail of an `ESTIMATE` line, or one full `ESTIMATE_BATCH`
+/// query line. `ctx` prefixes error messages.
+fn parse_query_tokens<'a>(
+    ctx: &str,
+    it: &mut impl Iterator<Item = &'a str>,
+) -> Result<QueryGraph, String> {
+    let nv: VarId = it
+        .next()
+        .ok_or(format!("{ctx}: missing num_vars"))?
+        .parse()
+        .map_err(|_| format!("{ctx}: bad num_vars"))?;
+    let ne: usize = it
+        .next()
+        .ok_or(format!("{ctx}: missing num_edges"))?
+        .parse()
+        .map_err(|_| format!("{ctx}: bad num_edges"))?;
+    if ne > 32 {
+        return Err(format!("{ctx}: queries are limited to 32 edges"));
+    }
+    let mut edges = Vec::with_capacity(ne);
+    for _ in 0..ne {
+        let src: VarId = it
+            .next()
+            .ok_or(format!("{ctx}: truncated edge list"))?
+            .parse()
+            .map_err(|_| format!("{ctx}: bad src"))?;
+        let dst: VarId = it
+            .next()
+            .ok_or(format!("{ctx}: truncated edge list"))?
+            .parse()
+            .map_err(|_| format!("{ctx}: bad dst"))?;
+        let label: u16 = it
+            .next()
+            .ok_or(format!("{ctx}: truncated edge list"))?
+            .parse()
+            .map_err(|_| format!("{ctx}: bad label"))?;
+        if src >= nv || dst >= nv {
+            return Err(format!(
+                "{ctx}: edge endpoint out of range (vars are 0..{nv})"
+            ));
+        }
+        edges.push(QueryEdge::new(src, dst, label));
+    }
+    if it.next().is_some() {
+        return Err(format!("{ctx}: trailing tokens after edge list"));
+    }
+    if edges.is_empty() {
+        return Err(format!("{ctx}: query must have at least one edge"));
+    }
+    let query = QueryGraph::new(nv, edges);
+    // The estimators assume connected queries (paper §4.2); rejecting
+    // here keeps malformed wire input out of the worker threads.
+    if !query.is_connected() {
+        return Err(format!("{ctx}: query must be connected"));
+    }
+    Ok(query)
+}
+
+/// Append a query in its wire encoding `<nv> <ne> (<src> <dst> <lbl>)*`.
+fn format_query_tokens(line: &mut String, query: &QueryGraph) {
+    line.push_str(&format!("{} {}", query.num_vars(), query.num_edges()));
+    for e in query.edges() {
+        line.push_str(&format!(" {} {} {}", e.src, e.dst, e.label));
+    }
+}
+
+/// Parse an `ESTIMATE_BATCH <ds> <n>` header line, validating the count
+/// against [`MAX_BATCH_QUERIES`]. The server uses this to learn how many
+/// query lines to read before it can hand the whole text to
+/// [`Request::parse`].
+pub fn parse_batch_header(line: &str) -> Result<(String, usize), String> {
+    let mut it = line.split_whitespace();
+    match it.next() {
+        Some("ESTIMATE_BATCH") => {}
+        _ => return Err("not an ESTIMATE_BATCH header".into()),
+    }
+    let dataset = it
+        .next()
+        .ok_or("ESTIMATE_BATCH: missing dataset")?
+        .to_string();
+    let n: usize = it
+        .next()
+        .ok_or("ESTIMATE_BATCH: missing query count")?
+        .parse()
+        .map_err(|_| "ESTIMATE_BATCH: bad query count")?;
+    if it.next().is_some() {
+        return Err("ESTIMATE_BATCH: trailing tokens".into());
+    }
+    if n == 0 {
+        return Err("ESTIMATE_BATCH: query count must be at least 1".into());
+    }
+    if n > MAX_BATCH_QUERIES {
+        return Err(format!(
+            "ESTIMATE_BATCH: query count {n} exceeds the limit of {MAX_BATCH_QUERIES}"
+        ));
+    }
+    Ok((dataset, n))
+}
+
+/// Render the `BATCH <n>` response header that precedes a batch's `n`
+/// ordered response lines.
+pub fn batch_response_header(n: usize) -> String {
+    format!("BATCH {n}")
+}
+
+/// Parse a `BATCH <n>` response header.
+pub fn parse_batch_response_header(line: &str) -> Result<usize, String> {
+    let mut it = line.split_whitespace();
+    match it.next() {
+        Some("BATCH") => {}
+        _ => return Err(format!("expected BATCH header, got `{line}`")),
+    }
+    let n: usize = it
+        .next()
+        .ok_or("BATCH: missing count")?
+        .parse()
+        .map_err(|_| "BATCH: bad count")?;
+    if it.next().is_some() {
+        return Err("BATCH: trailing tokens".into());
+    }
+    Ok(n)
+}
+
 impl Request {
-    /// Parse one request line.
-    pub fn parse(line: &str) -> Result<Request, String> {
-        let mut it = line.split_whitespace();
+    /// Parse one request. Input is a single line for every command except
+    /// `ESTIMATE_BATCH`, whose header line is followed by the announced
+    /// number of query lines (the server assembles them before calling
+    /// this).
+    pub fn parse(input: &str) -> Result<Request, String> {
+        let mut lines = input.lines();
+        let line = lines.next().unwrap_or("");
+        if line.split_whitespace().next() == Some("ESTIMATE_BATCH") {
+            let (dataset, n) = parse_batch_header(line)?;
+            let mut queries = Vec::with_capacity(n);
+            for i in 0..n {
+                let qline = lines
+                    .next()
+                    .ok_or(format!("ESTIMATE_BATCH: missing query line {}", i + 1))?;
+                let ctx = format!("ESTIMATE_BATCH query {}", i + 1);
+                queries.push(parse_query_tokens(&ctx, &mut qline.split_whitespace())?);
+            }
+            if lines.next().is_some() {
+                return Err("ESTIMATE_BATCH: trailing lines after the batch".into());
+            }
+            return Ok(Request::EstimateBatch { dataset, queries });
+        }
+        let request = Self::parse_single_line(&mut line.split_whitespace())?;
+        if lines.next().is_some() {
+            return Err("trailing lines after a single-line request".into());
+        }
+        Ok(request)
+    }
+
+    /// Parse a single-line request (everything but `ESTIMATE_BATCH`,
+    /// which [`Request::parse`] assembles from its follow-up lines).
+    fn parse_single_line<'a>(
+        mut it: &mut impl Iterator<Item = &'a str>,
+    ) -> Result<Request, String> {
         match it.next() {
             Some("PING") => Ok(Request::Ping),
             Some("STATS") => Ok(Request::Stats),
@@ -131,69 +321,39 @@ impl Request {
             }
             Some("ESTIMATE") => {
                 let dataset = it.next().ok_or("ESTIMATE: missing dataset")?.to_string();
-                let nv: VarId = it
-                    .next()
-                    .ok_or("ESTIMATE: missing num_vars")?
-                    .parse()
-                    .map_err(|_| "ESTIMATE: bad num_vars")?;
-                let ne: usize = it
-                    .next()
-                    .ok_or("ESTIMATE: missing num_edges")?
-                    .parse()
-                    .map_err(|_| "ESTIMATE: bad num_edges")?;
-                if ne > 32 {
-                    return Err("ESTIMATE: queries are limited to 32 edges".into());
-                }
-                let mut edges = Vec::with_capacity(ne);
-                for _ in 0..ne {
-                    let src: VarId = it
-                        .next()
-                        .ok_or("ESTIMATE: truncated edge list")?
-                        .parse()
-                        .map_err(|_| "ESTIMATE: bad src")?;
-                    let dst: VarId = it
-                        .next()
-                        .ok_or("ESTIMATE: truncated edge list")?
-                        .parse()
-                        .map_err(|_| "ESTIMATE: bad dst")?;
-                    let label: u16 = it
-                        .next()
-                        .ok_or("ESTIMATE: truncated edge list")?
-                        .parse()
-                        .map_err(|_| "ESTIMATE: bad label")?;
-                    if src >= nv || dst >= nv {
-                        return Err(format!(
-                            "ESTIMATE: edge endpoint out of range (vars are 0..{nv})"
-                        ));
-                    }
-                    edges.push(QueryEdge::new(src, dst, label));
-                }
-                if it.next().is_some() {
-                    return Err("ESTIMATE: trailing tokens after edge list".into());
-                }
-                if edges.is_empty() {
-                    return Err("ESTIMATE: query must have at least one edge".into());
-                }
-                let query = QueryGraph::new(nv, edges);
-                // The estimators assume connected queries (paper §4.2);
-                // rejecting here keeps malformed wire input out of the
-                // worker threads.
-                if !query.is_connected() {
-                    return Err("ESTIMATE: query must be connected".into());
-                }
+                let query = parse_query_tokens("ESTIMATE", it)?;
                 Ok(Request::Estimate { dataset, query })
+            }
+            Some("SNAPSHOT") => {
+                let dataset = it.next().ok_or("SNAPSHOT: missing dataset")?.to_string();
+                let path = it.next().ok_or("SNAPSHOT: missing path")?.to_string();
+                if it.next().is_some() {
+                    return Err("SNAPSHOT: trailing tokens (paths cannot contain spaces)".into());
+                }
+                Ok(Request::Snapshot { dataset, path })
             }
             Some(other) => Err(format!("unknown command `{other}`")),
             None => Err("empty request".into()),
         }
     }
 
-    /// Render the request as one wire line (no trailing newline).
+    /// Render the request in wire form (no trailing newline). Every
+    /// request is one line except `ESTIMATE_BATCH`, which renders as its
+    /// header followed by one line per query.
     pub fn format(&self) -> String {
         match self {
             Request::Ping => "PING".into(),
             Request::Stats => "STATS".into(),
             Request::Quit => "QUIT".into(),
+            Request::Snapshot { dataset, path } => format!("SNAPSHOT {dataset} {path}"),
+            Request::EstimateBatch { dataset, queries } => {
+                let mut text = format!("ESTIMATE_BATCH {dataset} {}", queries.len());
+                for q in queries {
+                    text.push('\n');
+                    format_query_tokens(&mut text, q);
+                }
+                text
+            }
             Request::AddEdge {
                 dataset,
                 src,
@@ -208,14 +368,8 @@ impl Request {
             } => format!("DEL_EDGE {dataset} {src} {dst} {label}"),
             Request::Commit { dataset } => format!("COMMIT {dataset}"),
             Request::Estimate { dataset, query } => {
-                let mut line = format!(
-                    "ESTIMATE {dataset} {} {}",
-                    query.num_vars(),
-                    query.num_edges()
-                );
-                for e in query.edges() {
-                    line.push_str(&format!(" {} {} {}", e.src, e.dst, e.label));
-                }
+                let mut line = format!("ESTIMATE {dataset} ");
+                format_query_tokens(&mut line, query);
                 line
             }
         }
@@ -237,6 +391,8 @@ pub enum Response {
     Updated(UpdateAck),
     /// Result of a `COMMIT`.
     Committed(CommitOutcome),
+    /// Result of a `SNAPSHOT`: the persisted epoch and file size.
+    Snapshotted(SnapshotAck),
     Error(String),
     Bye,
 }
@@ -271,6 +427,9 @@ impl Response {
                 "COMMITTED epoch={} added={} deleted={} recounted={} rebased={}",
                 c.epoch, c.added, c.deleted, c.recounted, c.rebased as u8
             ),
+            Response::Snapshotted(s) => {
+                format!("SNAPSHOTTED epoch={} bytes={}", s.epoch, s.bytes)
+            }
         }
     }
 
@@ -343,6 +502,15 @@ impl Response {
                     recounted,
                     rebased,
                 }))
+            }
+            Some("SNAPSHOTTED") => {
+                let epoch = kv(it.next(), "epoch")?
+                    .parse()
+                    .map_err(|_| "SNAPSHOTTED: bad epoch")?;
+                let bytes = kv(it.next(), "bytes")?
+                    .parse()
+                    .map_err(|_| "SNAPSHOTTED: bad bytes")?;
+                Ok(Response::Snapshotted(SnapshotAck { epoch, bytes }))
             }
             Some("STATS") => {
                 let requests = kv(it.next(), "requests")?
@@ -470,6 +638,75 @@ mod tests {
         // Any id that fits the wire types parses; domain/growth bounds
         // are the registry's job, answered with ERR.
         assert!(Request::parse("ADD_EDGE ds 4294967295 0 65535").is_ok());
+    }
+
+    #[test]
+    fn estimate_batch_roundtrips_multiline() {
+        let req = Request::EstimateBatch {
+            dataset: "imdb".into(),
+            queries: vec![templates::path(2, &[3, 4]), templates::path(2, &[0, 1])],
+        };
+        let text = req.format();
+        assert_eq!(
+            text,
+            "ESTIMATE_BATCH imdb 2\n3 2 0 1 3 1 2 4\n3 2 0 1 0 1 2 1"
+        );
+        assert_eq!(Request::parse(&text).unwrap(), req);
+        assert_eq!(
+            parse_batch_header(text.lines().next().unwrap()).unwrap(),
+            ("imdb".to_string(), 2)
+        );
+    }
+
+    #[test]
+    fn malformed_batches_are_rejected() {
+        for text in [
+            "ESTIMATE_BATCH",                       // no dataset
+            "ESTIMATE_BATCH ds",                    // no count
+            "ESTIMATE_BATCH ds x",                  // bad count
+            "ESTIMATE_BATCH ds 0",                  // zero queries
+            "ESTIMATE_BATCH ds 2 extra",            // trailing tokens
+            "ESTIMATE_BATCH ds 99999",              // over the cap
+            "ESTIMATE_BATCH ds 2\n2 1 0 1 0",       // missing second query
+            "ESTIMATE_BATCH ds 1\n2 1 0 1",         // truncated query line
+            "ESTIMATE_BATCH ds 1\n2 1 0 1 0\njunk", // trailing line
+        ] {
+            assert!(Request::parse(text).is_err(), "should reject: {text:?}");
+        }
+        // Single-line requests reject stray extra lines too.
+        assert!(Request::parse("PING\nPING").is_err());
+    }
+
+    #[test]
+    fn snapshot_request_roundtrips() {
+        let req = Request::Snapshot {
+            dataset: "imdb".into(),
+            path: "/tmp/imdb.cegsnap".into(),
+        };
+        assert_eq!(req.format(), "SNAPSHOT imdb /tmp/imdb.cegsnap");
+        assert_eq!(Request::parse(&req.format()).unwrap(), req);
+        for line in ["SNAPSHOT", "SNAPSHOT ds", "SNAPSHOT ds /a/b extra"] {
+            assert!(Request::parse(line).is_err(), "should reject: {line:?}");
+        }
+    }
+
+    #[test]
+    fn snapshot_response_roundtrips() {
+        let r = Response::Snapshotted(SnapshotAck {
+            epoch: 12,
+            bytes: 4096,
+        });
+        assert_eq!(r.format(), "SNAPSHOTTED epoch=12 bytes=4096");
+        assert_eq!(Response::parse(&r.format()).unwrap(), r);
+    }
+
+    #[test]
+    fn batch_response_header_roundtrips() {
+        assert_eq!(batch_response_header(7), "BATCH 7");
+        assert_eq!(parse_batch_response_header("BATCH 7").unwrap(), 7);
+        for line in ["BATCH", "BATCH x", "BATCH 1 2", "EST 1 cache=hit"] {
+            assert!(parse_batch_response_header(line).is_err(), "{line:?}");
+        }
     }
 
     #[test]

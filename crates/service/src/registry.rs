@@ -165,6 +165,16 @@ impl DatasetEntry {
         self
     }
 
+    /// Restore the committed epoch (snapshot restore: a restarted server
+    /// must continue the epoch sequence, not restart it, so estimates
+    /// cached against the old process's epochs could never be confused
+    /// with fresh ones).
+    pub fn with_epoch(mut self, epoch: u64) -> Self {
+        *self.epoch.get_mut() = epoch;
+        self.state.get_mut().unwrap().epoch = epoch;
+        self
+    }
+
     /// Worker threads used for catalog growth.
     pub fn jobs(&self) -> usize {
         self.jobs
@@ -427,6 +437,46 @@ impl DatasetEntry {
     pub fn catalog_len(&self) -> usize {
         self.state.read().unwrap().markov.len()
     }
+
+    /// Persist the committed state — graph (overlay folded in), Markov
+    /// catalog, epoch — to a binary `.cegsnap` file. Returns `(epoch,
+    /// bytes written)`. The state read lock is held only long enough to
+    /// clone handles to one consistent committed view (the base is
+    /// `Arc`-shared, the overlay and catalog are small); the expensive
+    /// encode + write + fsync happen **outside** the lock — holding a
+    /// read lock across a disk write would stall every estimate behind
+    /// the first commit that queues for the write lock. The pending
+    /// update buffer is not captured.
+    pub fn write_snapshot(&self, path: impl AsRef<Path>) -> io::Result<(u64, u64)> {
+        let path = path.as_ref();
+        let (base, overlay, markov, epoch) = {
+            let st = self.state.read().unwrap();
+            (
+                st.base.clone(),
+                st.overlay.clone(),
+                st.markov.clone(),
+                st.epoch,
+            )
+        };
+        let graph;
+        let graph_ref = if overlay.is_empty() {
+            &*base
+        } else {
+            graph = base.rebase(&overlay);
+            &graph
+        };
+        ceg_catalog::io::write_snapshot(path, graph_ref, &markov, epoch)?;
+        Ok((epoch, std::fs::metadata(path)?.len()))
+    }
+
+    /// Restore an entry from a `.cegsnap` file written by
+    /// [`DatasetEntry::write_snapshot`]: the graph and catalog come back
+    /// exactly as persisted and the epoch sequence continues where it
+    /// left off. Corrupt or truncated files are errors, never panics.
+    pub fn read_snapshot(name: impl Into<String>, path: impl AsRef<Path>) -> io::Result<Self> {
+        let snap = ceg_catalog::io::read_snapshot(path)?;
+        Ok(DatasetEntry::new(name, snap.graph, snap.markov).with_epoch(snap.epoch))
+    }
 }
 
 /// Name → dataset map shared by every connection and worker.
@@ -496,6 +546,16 @@ impl DatasetRegistry {
             None => MarkovTable::empty(h),
         };
         Ok(self.insert(DatasetEntry::new(name, graph, markov).with_jobs(self.default_jobs)))
+    }
+
+    /// Restore a dataset from a `.cegsnap` snapshot file and register it
+    /// (see [`DatasetEntry::read_snapshot`]).
+    pub fn load_snapshot(
+        &self,
+        name: impl Into<String>,
+        path: impl AsRef<Path>,
+    ) -> io::Result<Arc<DatasetEntry>> {
+        Ok(self.insert(DatasetEntry::read_snapshot(name, path)?.with_jobs(self.default_jobs)))
     }
 
     /// Shared handle to a dataset, if registered.
@@ -705,6 +765,60 @@ mod tests {
         entry.del_edge(0, 1, 0).unwrap();
         entry.add_edge(0, 1, 0).unwrap();
         assert_eq!(entry.commit().epoch, 0);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_the_registry() {
+        use ceg_catalog::io::write_markov;
+        let bytes_of = |t: &MarkovTable| {
+            let mut buf = Vec::new();
+            write_markov(t, &mut buf).unwrap();
+            buf
+        };
+        let path =
+            std::env::temp_dir().join(format!("ceg-registry-snap-{}.cegsnap", std::process::id()));
+        let registry = DatasetRegistry::with_jobs(2);
+        let entry = registry.insert(
+            DatasetEntry::new("toy", toy_graph(), MarkovTable::empty(2))
+                // Keep a live overlay at snapshot time: the writer must
+                // fold it into the persisted graph.
+                .with_rebase_threshold(usize::MAX),
+        );
+        let q = templates::path(2, &[0, 1]);
+        entry.ensure_patterns(std::slice::from_ref(&q));
+        entry.add_edge(4, 0, 1).unwrap();
+        entry.commit();
+        assert_eq!(entry.epoch(), 1);
+        assert!(entry.overlay_len() > 0);
+        // Pending ops must NOT be captured.
+        entry.add_edge(2, 2, 0).unwrap();
+
+        let (epoch, bytes) = entry.write_snapshot(&path).unwrap();
+        assert_eq!(epoch, 1);
+        assert!(bytes > 0);
+
+        let restored = registry.load_snapshot("restored", &path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(restored.epoch(), 1);
+        assert_eq!(restored.jobs(), 2);
+        assert_eq!(restored.pending_len(), 0);
+        assert_eq!(restored.graph_summary(), entry.graph_summary());
+        // Catalog byte-identical to the live one.
+        entry.with_markov(|live| restored.with_markov(|r| assert_eq!(bytes_of(live), bytes_of(r))));
+        // The epoch sequence continues, it does not restart.
+        restored.add_edge(2, 2, 0).unwrap();
+        assert_eq!(restored.commit().epoch, 2);
+    }
+
+    #[test]
+    fn snapshot_restore_of_corrupt_file_is_an_error() {
+        let path =
+            std::env::temp_dir().join(format!("ceg-registry-junk-{}.cegsnap", std::process::id()));
+        std::fs::write(&path, b"garbage").unwrap();
+        let registry = DatasetRegistry::new();
+        assert!(registry.load_snapshot("x", &path).is_err());
+        std::fs::remove_file(&path).unwrap();
+        assert!(registry.get("x").is_none());
     }
 
     #[test]

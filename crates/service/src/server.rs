@@ -19,7 +19,7 @@
 //! `Mutex` held for lookups/stores only — never during counting or
 //! estimation.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
@@ -167,44 +167,111 @@ impl Drop for Server {
 /// newline would grow the read buffer without bound.
 const MAX_LINE_BYTES: u64 = 64 * 1024;
 
-/// Per-connection loop: one request line in, one response line out.
-/// Requests are spread round-robin over the queue shards; workers regroup
-/// their drained batches by dataset, so same-dataset requests that arrive
-/// together still amortize (and one hot dataset is not pinned to one
-/// worker).
+/// Outcome of reading one capped request line.
+enum LineRead {
+    /// A complete line (newline stripped is up to the caller).
+    Line,
+    /// Client closed the connection.
+    Eof,
+    /// The line exceeded [`MAX_LINE_BYTES`] without a newline.
+    TooLong,
+}
+
+/// Read one request line into `line` (cleared first), enforcing the
+/// length cap.
+fn read_request_line(reader: &mut BufReader<TcpStream>, line: &mut String) -> io::Result<LineRead> {
+    line.clear();
+    let n = io::Read::take(reader, MAX_LINE_BYTES).read_line(line)?;
+    if n == 0 {
+        return Ok(LineRead::Eof);
+    }
+    if n as u64 >= MAX_LINE_BYTES && !line.ends_with('\n') {
+        return Ok(LineRead::TooLong);
+    }
+    Ok(LineRead::Line)
+}
+
+/// Per-connection loop: one request in, one response out (a batch counts
+/// as one request with one multi-line response). Estimates are spread
+/// round-robin over the queue shards; workers regroup their drained
+/// batches by dataset, so same-dataset requests that arrive together
+/// still amortize (and one hot dataset is not pinned to one worker).
 fn serve_connection(
     stream: TcpStream,
     engine: &Arc<Engine>,
     pool: &Arc<WorkerPool<EstimateJob>>,
 ) -> io::Result<()> {
-    let mut writer = stream.try_clone()?;
+    // One write syscall per response line, and no Nagle delay on it:
+    // an unbuffered `writeln!` issues several small writes per line,
+    // which interacts with delayed ACKs into ~40ms per round-trip.
+    stream.set_nodelay(true)?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     loop {
-        line.clear();
-        let n = io::Read::take(&mut reader, MAX_LINE_BYTES).read_line(&mut line)?;
-        if n == 0 {
-            break; // client closed the connection
-        }
-        if n as u64 >= MAX_LINE_BYTES && !line.ends_with('\n') {
-            // Overlong line: refuse and drop the connection — the rest of
-            // the stream is the same unterminated line.
-            writeln!(
-                writer,
-                "{}",
-                Response::Error("request line too long".into()).format()
-            )?;
-            break;
+        match read_request_line(&mut reader, &mut line)? {
+            LineRead::Eof => break,
+            LineRead::TooLong => {
+                // Overlong line: refuse and drop the connection — the
+                // rest of the stream is the same unterminated line.
+                writeln!(
+                    writer,
+                    "{}",
+                    Response::Error("request line too long".into()).format()
+                )?;
+                writer.flush()?;
+                break;
+            }
+            LineRead::Line => {}
         }
         if line.trim().is_empty() {
             continue;
         }
-        let response = match Request::parse(&line) {
+        // ESTIMATE_BATCH is the one multi-line request: its header says
+        // how many query lines follow. Read them (still one capped line
+        // at a time) before parsing, so the stream stays framed even
+        // when a query line is malformed. A bad *header* leaves the
+        // follow-up line count unknowable, so — like an overlong line —
+        // it closes the connection instead of desynchronizing it.
+        let mut request_text = std::mem::take(&mut line);
+        if request_text.split_whitespace().next() == Some("ESTIMATE_BATCH") {
+            match crate::protocol::parse_batch_header(&request_text) {
+                Err(msg) => {
+                    writeln!(writer, "{}", Response::Error(msg).format())?;
+                    writer.flush()?;
+                    break;
+                }
+                Ok((_, n)) => {
+                    for _ in 0..n {
+                        match read_request_line(&mut reader, &mut line)? {
+                            LineRead::Eof => return Ok(()),
+                            LineRead::TooLong => {
+                                writeln!(
+                                    writer,
+                                    "{}",
+                                    Response::Error("request line too long".into()).format()
+                                )?;
+                                writer.flush()?;
+                                return Ok(());
+                            }
+                            LineRead::Line => {
+                                if !request_text.ends_with('\n') {
+                                    request_text.push('\n');
+                                }
+                                request_text.push_str(&line);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let response = match Request::parse(&request_text) {
             Err(msg) => Response::Error(msg),
             Ok(Request::Ping) => Response::Pong,
             Ok(Request::Stats) => Response::Stats(engine.stats()),
             Ok(Request::Quit) => {
                 writeln!(writer, "{}", Response::Bye.format())?;
+                writer.flush()?;
                 break;
             }
             // Updates are answered inline by the handler: buffering an
@@ -233,6 +300,47 @@ fn serve_connection(
                 Ok(outcome) => Response::Committed(outcome),
                 Err(msg) => Response::Error(msg),
             },
+            // SNAPSHOT holds the dataset's state read lock while it
+            // writes the file; answered inline like COMMIT — the client
+            // opted into its latency.
+            Ok(Request::Snapshot { dataset, path }) => match engine.snapshot(&dataset, &path) {
+                Ok(ack) => Response::Snapshotted(ack),
+                Err(msg) => Response::Error(msg),
+            },
+            // A batch fans its queries across the pool shards (each
+            // worker still regroups by dataset) and streams the answers
+            // back in request order under a BATCH header — one wire
+            // round-trip, pool-level parallelism.
+            Ok(Request::EstimateBatch { dataset, queries }) => {
+                let receivers: Vec<_> = queries
+                    .into_iter()
+                    .map(|query| {
+                        let (tx, rx) = mpsc::channel();
+                        pool.submit(EstimateJob {
+                            dataset: dataset.clone(),
+                            query,
+                            reply: tx,
+                        });
+                        rx
+                    })
+                    .collect();
+                writeln!(
+                    writer,
+                    "{}",
+                    crate::protocol::batch_response_header(receivers.len())
+                )?;
+                // Flush per line: answers stream back as workers finish,
+                // they are not held until the whole batch completes.
+                writer.flush()?;
+                for rx in receivers {
+                    let reply = rx
+                        .recv()
+                        .unwrap_or_else(|_| Response::Error("server shutting down".into()));
+                    writeln!(writer, "{}", reply.format())?;
+                    writer.flush()?;
+                }
+                continue;
+            }
             Ok(Request::Estimate { dataset, query }) => {
                 let (tx, rx) = mpsc::channel();
                 pool.submit(EstimateJob {
@@ -245,6 +353,7 @@ fn serve_connection(
             }
         };
         writeln!(writer, "{}", response.format())?;
+        writer.flush()?;
     }
     Ok(())
 }

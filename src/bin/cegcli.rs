@@ -9,9 +9,15 @@
 //! cegcli molp     <graph.edges> <queries.wl>
 //! cegcli explain  <graph.edges> <queries.wl> <query-index>   # CEG_O as DOT
 //! cegcli serve    <addr> <graph.edges> [markov.file|-] [h]   # estimation server
-//! cegcli query    <addr> <queries.wl> [dataset]              # remote estimates
+//! cegcli serve    <addr> --snapshot <file.cegsnap>           # restore from snapshot
+//! cegcli query    <addr> <queries.wl> [dataset] [--batch]    # remote estimates
 //! cegcli update   <addr> <updates.upd> [dataset]             # live graph updates
+//! cegcli snapshot <addr> <out.cegsnap> [dataset]             # persist server state
 //! ```
+//!
+//! Exit discipline: argument errors print the offending subcommand's
+//! usage on stderr and exit 2; runtime failures (I/O, server errors)
+//! print only the message and exit 1; success exits 0.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -34,24 +40,93 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(err) => {
             eprintln!("error: {}", err.msg);
-            eprintln!();
-            match err.cmd.and_then(usage_for) {
-                // An argument error inside a known subcommand: show just
-                // that subcommand's usage, not the full block.
-                Some(usage) => eprintln!("usage:\n  {usage}"),
-                None => eprintln!("{}", full_usage().trim_end()),
+            // Usage errors (bad/missing arguments) get the usage dump;
+            // runtime failures (I/O, server errors) already said what
+            // went wrong — a usage block would only bury the message.
+            if err.kind == ErrorKind::Usage {
+                eprintln!();
+                match err.cmd.and_then(usage_for) {
+                    // An argument error inside a known subcommand: show
+                    // just that subcommand's usage, not the full block.
+                    Some(usage) => eprintln!("usage:\n  {usage}"),
+                    None => eprintln!("{}", full_usage().trim_end()),
+                }
             }
-            ExitCode::FAILURE
+            ExitCode::from(err.exit_code())
         }
     }
 }
 
-/// A CLI failure: the message plus (when known) which subcommand's usage
-/// to print.
+/// How a CLI invocation failed — the two classes exit differently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ErrorKind {
+    /// The arguments were wrong: usage on stderr, exit 2.
+    Usage,
+    /// The arguments were fine but the work failed: message only, exit 1.
+    Runtime,
+}
+
+/// A CLI failure: the kind, the message, and (when known) which
+/// subcommand's usage to print for usage errors.
+#[derive(Debug)]
 struct CliError {
     cmd: Option<&'static str>,
+    kind: ErrorKind,
     msg: String,
 }
+
+impl CliError {
+    fn exit_code(&self) -> u8 {
+        match self.kind {
+            ErrorKind::Usage => 2,
+            ErrorKind::Runtime => 1,
+        }
+    }
+}
+
+/// A subcommand failure before the error is tagged with its subcommand.
+struct CmdError {
+    kind: ErrorKind,
+    msg: String,
+}
+
+impl CmdError {
+    fn usage(msg: impl Into<String>) -> CmdError {
+        CmdError {
+            kind: ErrorKind::Usage,
+            msg: msg.into(),
+        }
+    }
+
+    fn runtime(msg: impl ToString) -> CmdError {
+        CmdError {
+            kind: ErrorKind::Runtime,
+            msg: msg.to_string(),
+        }
+    }
+}
+
+/// `?`-friendly conversions: bare strings are argument-parsing errors
+/// (the dominant case in the subcommand bodies), I/O errors are runtime.
+impl From<String> for CmdError {
+    fn from(msg: String) -> Self {
+        CmdError::usage(msg)
+    }
+}
+
+impl From<&str> for CmdError {
+    fn from(msg: &str) -> Self {
+        CmdError::usage(msg)
+    }
+}
+
+impl From<std::io::Error> for CmdError {
+    fn from(e: std::io::Error) -> Self {
+        CmdError::runtime(e)
+    }
+}
+
+type CmdResult = Result<(), CmdError>;
 
 /// Subcommand name → usage line. One source of truth for both the full
 /// usage block and per-subcommand errors.
@@ -76,10 +151,14 @@ const USAGE_LINES: &[(&str, &str)] = &[
     ("explain", "cegcli explain <graph.edges> <queries.wl> <query-index>"),
     (
         "serve",
-        "cegcli serve <addr> <graph.edges> [markov.file|-] [h] [--jobs N]",
+        "cegcli serve <addr> (<graph.edges> [markov.file|-] [h] | --snapshot <file.cegsnap>) [--jobs N]",
     ),
-    ("query", "cegcli query <addr> <queries.wl> [dataset]"),
+    (
+        "query",
+        "cegcli query <addr> <queries.wl> [dataset] [--batch]",
+    ),
     ("update", "cegcli update <addr> <updates.upd> [dataset]"),
+    ("snapshot", "cegcli snapshot <addr> <out.cegsnap> [dataset]"),
 ];
 
 fn usage_for(cmd: &str) -> Option<&'static str> {
@@ -100,13 +179,18 @@ fn full_usage() -> String {
 }
 
 fn run(args: &[String]) -> Result<(), CliError> {
-    let top = |msg: String| CliError { cmd: None, msg };
+    let top = |msg: String| CliError {
+        cmd: None,
+        kind: ErrorKind::Usage,
+        msg,
+    };
     let cmd = args.first().ok_or_else(|| top("missing command".into()))?;
     let rest = &args[1..];
-    let in_cmd = |name: &'static str, result: Result<(), String>| {
-        result.map_err(|msg| CliError {
+    let in_cmd = |name: &'static str, result: CmdResult| {
+        result.map_err(|e| CliError {
             cmd: Some(name),
-            msg,
+            kind: e.kind,
+            msg: e.msg,
         })
     };
     match cmd.as_str() {
@@ -119,6 +203,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "serve" => in_cmd("serve", serve(rest)),
         "query" => in_cmd("query", query_cmd(rest)),
         "update" => in_cmd("update", update_cmd(rest)),
+        "snapshot" => in_cmd("snapshot", snapshot_cmd(rest)),
         other => Err(top(format!("unknown command `{other}`"))),
     }
 }
@@ -209,12 +294,59 @@ fn take_jobs(args: &[String]) -> Result<(Vec<String>, usize), String> {
     Ok((rest, jobs))
 }
 
-fn generate(args: &[String]) -> Result<(), String> {
+/// Strip a boolean `--<name>` flag from the argument list. A repeated
+/// flag is harmless (idempotent), so it is not an error.
+fn take_flag(args: &[String], name: &str) -> (Vec<String>, bool) {
+    let flag = format!("--{name}");
+    let rest: Vec<String> = args.iter().filter(|a| **a != flag).cloned().collect();
+    let present = rest.len() != args.len();
+    (rest, present)
+}
+
+/// Strip a valued `--<name> <value>` / `--<name>=<value>` option from the
+/// argument list. Mirrors [`take_jobs`]' strictness: duplicates and
+/// flag-shaped values are errors.
+fn take_opt(args: &[String], name: &str) -> Result<(Vec<String>, Option<String>), String> {
+    let flag = format!("--{name}");
+    let prefix = format!("--{name}=");
+    let mut rest = Vec::with_capacity(args.len());
+    let mut value: Option<String> = None;
+    let mut set = |v: String| -> Result<(), String> {
+        if value.replace(v).is_some() {
+            return Err(format!("duplicate {flag} flag"));
+        }
+        Ok(())
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if *a == flag {
+            let v = it.next().ok_or(format!("missing value after {flag}"))?;
+            if v.starts_with('-') {
+                return Err(format!(
+                    "{flag} needs a value, got the flag-like token `{v}`"
+                ));
+            }
+            set(v.clone())?;
+        } else if let Some(v) = a.strip_prefix(&prefix) {
+            if v.starts_with('-') {
+                return Err(format!(
+                    "{flag} needs a value, got the flag-like token `{v}`"
+                ));
+            }
+            set(v.to_string())?;
+        } else {
+            rest.push(a.clone());
+        }
+    }
+    Ok((rest, value))
+}
+
+fn generate(args: &[String]) -> CmdResult {
     let ds = parse_dataset(arg(args, 0, "dataset")?)?;
     let seed: u64 = arg(args, 1, "seed")?.parse().map_err(|_| "bad seed")?;
     let out = arg(args, 2, "output path")?;
     let g = ds.generate(seed);
-    save_graph(&g, out).map_err(|e| e.to_string())?;
+    save_graph(&g, out).map_err(CmdError::runtime)?;
     println!(
         "{}: |V|={} |E|={} labels={} -> {out}",
         ds.name(),
@@ -225,28 +357,34 @@ fn generate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn workload(args: &[String]) -> Result<(), String> {
-    let g = load_graph(arg(args, 0, "graph path")?).map_err(|e| e.to_string())?;
+fn workload(args: &[String]) -> CmdResult {
+    // Validate every argument before touching the filesystem, so bad
+    // invocations are always usage errors, never half-done work.
+    let graph_path = arg(args, 0, "graph path")?;
     let wl = parse_workload(arg(args, 1, "workload")?)?;
     let per: usize = arg(args, 2, "per-template")?
         .parse()
         .map_err(|_| "bad per-template")?;
     let seed: u64 = arg(args, 3, "seed")?.parse().map_err(|_| "bad seed")?;
     let out = arg(args, 4, "output path")?;
+    let g = load_graph(graph_path).map_err(CmdError::runtime)?;
     let queries = wl.build(&g, per, seed);
-    save_workload(&queries, out).map_err(|e| e.to_string())?;
+    save_workload(&queries, out).map_err(CmdError::runtime)?;
     println!("{}: {} queries -> {out}", wl.name(), queries.len());
     Ok(())
 }
 
-fn stats(args: &[String]) -> Result<(), String> {
+fn stats(args: &[String]) -> CmdResult {
     let (args, jobs) = take_jobs(args)?;
-    let g = load_graph(arg(&args, 0, "graph path")?).map_err(|e| e.to_string())?;
-    let queries = load_workload(arg(&args, 1, "workload path")?).map_err(|e| e.to_string())?;
+    // Arguments first, filesystem second (see `workload`).
+    let graph_path = arg(&args, 0, "graph path")?;
+    let workload_path = arg(&args, 1, "workload path")?;
     let h: usize = arg(&args, 2, "h")?.parse().map_err(|_| "bad h")?;
     let out = arg(&args, 3, "output path")?;
+    let g = load_graph(graph_path).map_err(CmdError::runtime)?;
+    let queries = load_workload(workload_path).map_err(CmdError::runtime)?;
     let table = build_markov_parallel(&g, &queries, h, jobs);
-    save_markov(&table, out).map_err(|e| e.to_string())?;
+    save_markov(&table, out).map_err(CmdError::runtime)?;
     println!(
         "markov table h={h}: {} entries (~{:.1} KB, {jobs} jobs) -> {out}",
         table.len(),
@@ -255,18 +393,23 @@ fn stats(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn estimate(args: &[String]) -> Result<(), String> {
+fn estimate(args: &[String]) -> CmdResult {
     let (args, jobs) = take_jobs(args)?;
     let args = &args[..];
-    let g = load_graph(arg(args, 0, "graph path")?).map_err(|e| e.to_string())?;
-    let queries = load_workload(arg(args, 1, "workload path")?).map_err(|e| e.to_string())?;
-    let table = match args.get(2) {
-        Some(path) => load_markov(path).map_err(|e| e.to_string())?,
-        None => build_markov_parallel(&g, &queries, 2, jobs),
-    };
+    // Arguments first, filesystem (and catalog building) second (see
+    // `workload`) — a bad heuristic name must not cost two file loads
+    // and a catalog build before it is reported.
+    let graph_path = arg(args, 0, "graph path")?;
+    let workload_path = arg(args, 1, "workload path")?;
     let heuristic = match args.get(3) {
         Some(name) => parse_heuristic(name)?,
         None => Heuristic::new(PathLen::MaxHop, Aggr::Max),
+    };
+    let g = load_graph(graph_path).map_err(CmdError::runtime)?;
+    let queries = load_workload(workload_path).map_err(CmdError::runtime)?;
+    let table = match args.get(2) {
+        Some(path) => load_markov(path).map_err(CmdError::runtime)?,
+        None => build_markov_parallel(&g, &queries, 2, jobs),
     };
     let mut est = OptimisticEstimator::new(&table, heuristic);
     println!(
@@ -288,9 +431,9 @@ fn estimate(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn molp(args: &[String]) -> Result<(), String> {
-    let g = load_graph(arg(args, 0, "graph path")?).map_err(|e| e.to_string())?;
-    let queries = load_workload(arg(args, 1, "workload path")?).map_err(|e| e.to_string())?;
+fn molp(args: &[String]) -> CmdResult {
+    let g = load_graph(arg(args, 0, "graph path")?).map_err(CmdError::runtime)?;
+    let queries = load_workload(arg(args, 1, "workload path")?).map_err(CmdError::runtime)?;
     for wq in &queries {
         let inst = MolpInstance::from_graph(&g, &wq.query);
         let Some((bound, steps)) = molp_min_path(&inst) else {
@@ -306,12 +449,15 @@ fn molp(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn explain(args: &[String]) -> Result<(), String> {
-    let g = load_graph(arg(args, 0, "graph path")?).map_err(|e| e.to_string())?;
-    let queries = load_workload(arg(args, 1, "workload path")?).map_err(|e| e.to_string())?;
+fn explain(args: &[String]) -> CmdResult {
+    // Arguments first, filesystem second (see `workload`).
+    let graph_path = arg(args, 0, "graph path")?;
+    let workload_path = arg(args, 1, "workload path")?;
     let idx: usize = arg(args, 2, "query index")?
         .parse()
         .map_err(|_| "bad index")?;
+    let g = load_graph(graph_path).map_err(CmdError::runtime)?;
+    let queries = load_workload(workload_path).map_err(CmdError::runtime)?;
     let wq = queries.get(idx).ok_or("query index out of range")?;
     let table = MarkovTable::build_for_query(&g, &wq.query, 2);
     let ceg = CegO::build(&wq.query, &table);
@@ -325,42 +471,69 @@ fn explain(args: &[String]) -> Result<(), String> {
 /// on demand at hop depth `h` (default 2, like `cegcli stats`) as
 /// requests arrive and kept warm. `--jobs N` counts missing patterns on
 /// up to `N` worker threads (`--jobs 0` = all cores).
-fn serve(args: &[String]) -> Result<(), String> {
+fn serve(args: &[String]) -> CmdResult {
     let (args, jobs) = take_jobs(args)?;
+    let (args, snapshot_path) = take_opt(&args, "snapshot")?;
     let args = &args[..];
     let addr = arg(args, 0, "listen address")?;
-    let graph_path = arg(args, 1, "graph path")?;
-    let markov_path = args.get(2).map(String::as_str).filter(|p| *p != "-");
-    let h: usize = match args.get(3) {
-        Some(s) => s.parse().map_err(|_| "bad h")?,
-        None => 2,
-    };
     let registry = Arc::new(DatasetRegistry::with_jobs(jobs));
-    let entry = registry
-        .load_files("default", graph_path, markov_path, h)
-        .map_err(|e| e.to_string())?;
-    // A persisted catalog carries its own hop depth; refuse a
-    // contradictory explicit h instead of silently ignoring it.
-    if args.get(3).is_some() && entry.h() != h {
-        return Err(format!(
-            "markov file was built at h={}, which contradicts the requested h={h}",
-            entry.h()
-        ));
-    }
+    let entry = match &snapshot_path {
+        // Boot-time restore: the snapshot carries graph, catalog and
+        // epoch, so a graph/markov/h argument would contradict it.
+        Some(snap) => {
+            if args.len() > 1 {
+                return Err(CmdError::usage(
+                    "--snapshot replaces the graph/markov/h arguments",
+                ));
+            }
+            registry
+                .load_snapshot("default", snap)
+                .map_err(CmdError::runtime)?
+        }
+        None => {
+            let graph_path = arg(args, 1, "graph path")?;
+            let markov_path = args.get(2).map(String::as_str).filter(|p| *p != "-");
+            let h: usize = match args.get(3) {
+                Some(s) => s.parse().map_err(|_| "bad h")?,
+                None => 2,
+            };
+            if args.len() > 4 {
+                return Err(CmdError::usage("unexpected extra arguments"));
+            }
+            let entry = registry
+                .load_files("default", graph_path, markov_path, h)
+                .map_err(CmdError::runtime)?;
+            // A persisted catalog carries its own hop depth; refuse a
+            // contradictory explicit h instead of silently ignoring it.
+            if args.get(3).is_some() && entry.h() != h {
+                return Err(CmdError::usage(format!(
+                    "markov file was built at h={}, which contradicts the requested h={h}",
+                    entry.h()
+                )));
+            }
+            entry
+        }
+    };
     let config = ServerConfig::default();
-    let server = Server::start(registry, addr, config).map_err(|e| e.to_string())?;
+    let server = Server::start(registry, addr, config).map_err(CmdError::runtime)?;
     let (num_vertices, num_edges) = entry.graph_summary();
     println!(
-        "serving `default` ({} vertices, {} edges, {} catalog entries) on {} \
-         [{} workers, batch<={}, cache {} buckets, {} catalog jobs]",
+        "serving `default` ({} vertices, {} edges, {} catalog entries, epoch {}) on {} \
+         [{} workers, batch<={}, cache {} buckets, {} catalog jobs{}]",
         num_vertices,
         num_edges,
         entry.catalog_len(),
+        entry.epoch(),
         server.local_addr(),
         config.workers,
         config.batch_max,
         config.cache_capacity,
         entry.jobs(),
+        if snapshot_path.is_some() {
+            ", restored from snapshot"
+        } else {
+            ""
+        },
     );
     // Serve until the process is killed.
     loop {
@@ -369,20 +542,41 @@ fn serve(args: &[String]) -> Result<(), String> {
 }
 
 /// Send every query of a workload file to a running server and print the
-/// estimates next to the stored ground truth.
-fn query_cmd(args: &[String]) -> Result<(), String> {
-    let addr = arg(args, 0, "server address")?;
-    let queries = load_workload(arg(args, 1, "workload path")?).map_err(|e| e.to_string())?;
+/// estimates next to the stored ground truth. With `--batch`, the whole
+/// workload travels as one `ESTIMATE_BATCH` — a single wire round-trip
+/// instead of one per query.
+fn query_cmd(args: &[String]) -> CmdResult {
+    let (args, batch) = take_flag(args, "batch");
+    // Arguments first, filesystem second (see `workload`).
+    let addr = arg(&args, 0, "server address")?;
+    let workload_path = arg(&args, 1, "workload path")?;
     let dataset = args.get(2).map(String::as_str).unwrap_or("default");
-    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    if args.len() > 3 {
+        return Err(CmdError::usage("unexpected extra arguments"));
+    }
+    let queries = load_workload(workload_path).map_err(CmdError::runtime)?;
+    let mut client = Client::connect(addr).map_err(CmdError::runtime)?;
+    let replies: Vec<cegraph::service::EstimateReply> = if batch {
+        let qs: Vec<_> = queries.iter().map(|wq| wq.query.clone()).collect();
+        client
+            .estimate_batch(dataset, &qs)
+            .map_err(CmdError::runtime)?
+    } else {
+        let mut replies = Vec::with_capacity(queries.len());
+        for wq in &queries {
+            replies.push(
+                client
+                    .estimate(dataset, &wq.query)
+                    .map_err(CmdError::runtime)?,
+            );
+        }
+        replies
+    };
     println!(
         "{:<20} {:>14} {:>14} {:>9} {:>6}",
         "template", "estimate", "truth", "log10-q", "cache"
     );
-    for wq in &queries {
-        let reply = client
-            .estimate(dataset, &wq.query)
-            .map_err(|e| e.to_string())?;
+    for (wq, reply) in queries.iter().zip(&replies) {
         let cache = if reply.cached { "hit" } else { "miss" };
         match reply.value {
             Some(e) => println!(
@@ -399,12 +593,12 @@ fn query_cmd(args: &[String]) -> Result<(), String> {
             ),
         }
     }
-    let stats = client.stats().map_err(|e| e.to_string())?;
+    let stats = client.stats().map_err(CmdError::runtime)?;
     println!(
         "server: {} requests in {} batches, cache {} hits / {} misses",
         stats.requests, stats.batches, stats.cache_hits, stats.cache_misses
     );
-    client.quit().map_err(|e| e.to_string())?;
+    client.quit().map_err(CmdError::runtime)?;
     Ok(())
 }
 
@@ -412,29 +606,29 @@ fn query_cmd(args: &[String]) -> Result<(), String> {
 /// lines buffer into the dataset's pending delta, each `commit` applies
 /// the batch and prints what it did (epoch, effective adds/dels, catalog
 /// entries recounted, whether the overlay was folded into a fresh CSR).
-fn update_cmd(args: &[String]) -> Result<(), String> {
+fn update_cmd(args: &[String]) -> CmdResult {
     use cegraph::workload::updates::{load_updates, UpdateOp};
     let addr = arg(args, 0, "server address")?;
-    let stream = load_updates(arg(args, 1, "updates path")?).map_err(|e| e.to_string())?;
+    let stream = load_updates(arg(args, 1, "updates path")?).map_err(CmdError::runtime)?;
     let dataset = args.get(2).map(String::as_str).unwrap_or("default");
-    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+    let mut client = Client::connect(addr).map_err(CmdError::runtime)?;
     let (mut adds, mut dels, mut commits) = (0usize, 0usize, 0usize);
     for op in &stream {
         match *op {
             UpdateOp::Add { src, dst, label } => {
                 client
                     .add_edge(dataset, src, dst, label)
-                    .map_err(|e| e.to_string())?;
+                    .map_err(CmdError::runtime)?;
                 adds += 1;
             }
             UpdateOp::Del { src, dst, label } => {
                 client
                     .del_edge(dataset, src, dst, label)
-                    .map_err(|e| e.to_string())?;
+                    .map_err(CmdError::runtime)?;
                 dels += 1;
             }
             UpdateOp::Commit => {
-                let c = client.commit(dataset).map_err(|e| e.to_string())?;
+                let c = client.commit(dataset).map_err(CmdError::runtime)?;
                 commits += 1;
                 println!(
                     "commit #{commits}: epoch={} added={} deleted={} recounted={} rebased={}",
@@ -447,13 +641,33 @@ fn update_cmd(args: &[String]) -> Result<(), String> {
         "streamed {} operations ({adds} adds, {dels} dels, {commits} commits) to `{dataset}`",
         stream.len()
     );
-    client.quit().map_err(|e| e.to_string())?;
+    client.quit().map_err(CmdError::runtime)?;
+    Ok(())
+}
+
+/// Ask a running server to persist a dataset's committed graph, Markov
+/// catalog and epoch to a binary `.cegsnap` file on the **server's**
+/// filesystem; `cegcli serve --snapshot <file>` restores from it.
+fn snapshot_cmd(args: &[String]) -> CmdResult {
+    let addr = arg(args, 0, "server address")?;
+    let path = arg(args, 1, "snapshot output path")?;
+    let dataset = args.get(2).map(String::as_str).unwrap_or("default");
+    if args.len() > 3 {
+        return Err(CmdError::usage("unexpected extra arguments"));
+    }
+    let mut client = Client::connect(addr).map_err(CmdError::runtime)?;
+    let ack = client.snapshot(dataset, path).map_err(CmdError::runtime)?;
+    println!(
+        "snapshot of `{dataset}` at epoch {} -> {path} ({} bytes)",
+        ack.epoch, ack.bytes
+    );
+    client.quit().map_err(CmdError::runtime)?;
     Ok(())
 }
 
 #[cfg(test)]
 mod tests {
-    use super::take_jobs;
+    use super::{take_flag, take_jobs, take_opt};
 
     fn strs(args: &[&str]) -> Vec<String> {
         args.iter().map(|s| s.to_string()).collect()
@@ -500,5 +714,107 @@ mod tests {
         assert!(err.contains("flag-like"), "{err}");
         assert!(take_jobs(&strs(&["--jobs"])).is_err());
         assert!(take_jobs(&strs(&["--jobs", "x"])).is_err());
+    }
+
+    #[test]
+    fn take_flag_strips_every_occurrence() {
+        let (rest, on) = take_flag(&strs(&["a", "--batch", "b"]), "batch");
+        assert_eq!(rest, strs(&["a", "b"]));
+        assert!(on);
+        let (rest, on) = take_flag(&strs(&["a", "b"]), "batch");
+        assert_eq!(rest, strs(&["a", "b"]));
+        assert!(!on);
+        let (rest, on) = take_flag(&strs(&["--batch", "--batch"]), "batch");
+        assert!(rest.is_empty());
+        assert!(on);
+    }
+
+    #[test]
+    fn take_opt_accepts_both_spellings_and_rejects_abuse() {
+        let (rest, v) =
+            take_opt(&strs(&["a", "--snapshot", "s.cegsnap", "b"]), "snapshot").unwrap();
+        assert_eq!(rest, strs(&["a", "b"]));
+        assert_eq!(v.as_deref(), Some("s.cegsnap"));
+        let (rest, v) = take_opt(&strs(&["--snapshot=s.cegsnap"]), "snapshot").unwrap();
+        assert!(rest.is_empty());
+        assert_eq!(v.as_deref(), Some("s.cegsnap"));
+        let (_, v) = take_opt(&strs(&["a"]), "snapshot").unwrap();
+        assert_eq!(v, None);
+        assert!(take_opt(&strs(&["--snapshot"]), "snapshot").is_err());
+        assert!(take_opt(&strs(&["--snapshot", "--x"]), "snapshot").is_err());
+        let err = take_opt(&strs(&["--snapshot=a", "--snapshot", "b"]), "snapshot").unwrap_err();
+        assert!(err.contains("duplicate"), "{err}");
+    }
+
+    // --- exit-path normalization -----------------------------------------
+    //
+    // The contract `main` builds on: argument mistakes are Usage errors
+    // (usage block on stderr, exit 2), failures doing the work are
+    // Runtime errors (message only, exit 1) — never mixed.
+
+    use super::{run, usage_for, CliError, ErrorKind};
+
+    fn fail(args: &[&str]) -> CliError {
+        run(&strs(args)).expect_err("should fail")
+    }
+
+    #[test]
+    fn missing_and_unknown_commands_are_usage_errors() {
+        let err = fail(&[]);
+        assert_eq!(err.kind, ErrorKind::Usage);
+        assert_eq!(err.cmd, None);
+        assert_eq!(err.exit_code(), 2);
+        let err = fail(&["frobnicate"]);
+        assert_eq!(err.kind, ErrorKind::Usage);
+        assert_eq!(err.cmd, None);
+    }
+
+    #[test]
+    fn missing_arguments_are_usage_errors_tagged_with_the_subcommand() {
+        for (args, cmd) in [
+            (vec!["stats"], "stats"),
+            (vec!["generate"], "generate"),
+            (vec!["generate", "hetionet"], "generate"),
+            (vec!["serve"], "serve"),
+            (vec!["query"], "query"),
+            (vec!["snapshot"], "snapshot"),
+            (vec!["explain", "g", "w"], "explain"),
+        ] {
+            let err = fail(&args);
+            assert_eq!(err.kind, ErrorKind::Usage, "{args:?}: {}", err.msg);
+            assert_eq!(err.cmd, Some(cmd), "{args:?}");
+            assert_eq!(err.exit_code(), 2);
+            assert!(usage_for(cmd).is_some(), "usage line exists for {cmd}");
+        }
+    }
+
+    #[test]
+    fn bad_argument_values_are_usage_errors() {
+        let err = fail(&["generate", "hetionet", "not-a-seed", "/tmp/x.edges"]);
+        assert_eq!(err.kind, ErrorKind::Usage);
+        let err = fail(&["stats", "g", "w", "2", "out", "--jobs", "x"]);
+        assert_eq!(err.kind, ErrorKind::Usage);
+        let err = fail(&["serve", "addr", "graph", "--snapshot", "s", "extra"]);
+        assert_eq!(err.kind, ErrorKind::Usage);
+    }
+
+    #[test]
+    fn io_failures_are_runtime_errors_without_usage_dump() {
+        for args in [
+            vec!["estimate", "/no/such/file.edges", "/no/such/file.wl"],
+            vec!["molp", "/no/such/file.edges", "/no/such/file.wl"],
+            vec![
+                "serve",
+                "127.0.0.1:0",
+                "--snapshot",
+                "/no/such/file.cegsnap",
+            ],
+            // Nothing listens on a reserved port of the discard range.
+            vec!["snapshot", "127.0.0.1:1", "/tmp/x.cegsnap"],
+        ] {
+            let err = fail(&args);
+            assert_eq!(err.kind, ErrorKind::Runtime, "{args:?}: {}", err.msg);
+            assert_eq!(err.exit_code(), 1, "{args:?}");
+        }
     }
 }

@@ -1,0 +1,226 @@
+//! Protocol robustness: malformed, truncated and oversized wire input —
+//! scripted and seeded-random — must come back as `ERR` lines (or a
+//! clean framing disconnect for input that cannot be re-synchronized),
+//! with the server staying up throughout. No panic ever crosses a
+//! connection handler.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use cegraph::graph::GraphBuilder;
+use cegraph::service::{Client, DatasetRegistry, Server, ServerConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn start_server() -> Server {
+    let mut b = GraphBuilder::new(5);
+    b.add_edge(0, 1, 0);
+    b.add_edge(1, 2, 1);
+    b.add_edge(1, 3, 1);
+    b.add_edge(3, 4, 0);
+    let registry = Arc::new(DatasetRegistry::new());
+    registry.insert_graph("default", b.build(), 2);
+    Server::start(
+        registry,
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: 2,
+            batch_max: 4,
+            cache_capacity: 64,
+        },
+    )
+    .unwrap()
+}
+
+struct RawConn {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+}
+
+impl RawConn {
+    fn connect(addr: SocketAddr) -> RawConn {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).expect("nodelay");
+        RawConn {
+            writer: stream.try_clone().expect("clone"),
+            reader: BufReader::new(stream),
+        }
+    }
+
+    fn send(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).expect("write");
+        self.writer.flush().expect("flush");
+    }
+
+    /// Read one response line; `None` on a server-side disconnect.
+    fn read_line(&mut self) -> Option<String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => None,
+            Ok(_) => Some(line.trim_end().to_string()),
+            Err(_) => None,
+        }
+    }
+}
+
+/// Every scripted malformed line earns exactly one `ERR` response, and
+/// the same connection keeps serving afterwards.
+#[test]
+fn scripted_malformed_lines_get_err_and_connection_survives() {
+    let server = start_server();
+    let mut conn = RawConn::connect(server.local_addr());
+    for line in [
+        "BOGUS",
+        "ESTIMATE",
+        "ESTIMATE default",
+        "ESTIMATE default 3",
+        "ESTIMATE default 3 1 0 1",                       // truncated edge
+        "ESTIMATE default 2 1 0 5 0",                     // endpoint out of range
+        "ESTIMATE default 3 1 0 1 0 9 9 9",               // trailing tokens
+        "ESTIMATE default 3 99 0 1 0",                    // too many edges
+        "ESTIMATE default 1 0",                           // zero edges
+        "ESTIMATE default 4 2 0 1 0 2 3 1",               // disconnected
+        "ESTIMATE nope 3 2 0 1 0 1 2 1",                  // unknown dataset
+        "ADD_EDGE default 1 2",                           // truncated update
+        "ADD_EDGE default 99999999999 0 0",               // overflows VertexId
+        "ADD_EDGE default 99999999 0 0",                  // parses, fails domain bound
+        "COMMIT",                                         // missing dataset
+        "COMMIT nope",                                    // unknown dataset
+        "SNAPSHOT default",                               // missing path
+        "SNAPSHOT nope /tmp/x.cegsnap",                   // unknown dataset
+        "SNAPSHOT default /no/such/dir/x.cegsnap",        // unwritable path
+        "ESTIMATE_BATCH default 1\n2 1 0 1",              // truncated query line
+        "ESTIMATE_BATCH default 2\n2 1 0 1 0\n2 1 0 5 0", // bad 2nd query
+        "\u{1}\u{2}\u{3} binary garbage",
+    ] {
+        conn.send(format!("{line}\n").as_bytes());
+        let reply = conn.read_line().expect("server must answer, not drop");
+        assert!(
+            reply.starts_with("ERR "),
+            "line {line:?} should earn ERR, got {reply:?}"
+        );
+        // The connection still serves real traffic.
+        conn.send(b"PING\n");
+        assert_eq!(conn.read_line().as_deref(), Some("PONG"));
+    }
+    server.shutdown();
+}
+
+/// Framing violations that cannot be re-synchronized — an oversized
+/// line, a garbage batch count — answer one `ERR` and drop only that
+/// connection; the server itself keeps accepting.
+#[test]
+fn unsyncable_framing_drops_the_connection_not_the_server() {
+    let server = start_server();
+    let addr = server.local_addr();
+
+    // A line past the 64 KB cap with no newline.
+    let mut conn = RawConn::connect(addr);
+    conn.send(&vec![b'A'; 80 * 1024]);
+    assert_eq!(
+        conn.read_line().as_deref(),
+        Some("ERR request line too long")
+    );
+    assert_eq!(conn.read_line(), None, "connection must be dropped");
+
+    // A batch header whose count is garbage: the query-line count is
+    // unknowable, so staying on the connection would desynchronize it.
+    for header in [
+        "ESTIMATE_BATCH default x\n",
+        "ESTIMATE_BATCH default 0\n",
+        "ESTIMATE_BATCH default 99999\n",
+        "ESTIMATE_BATCH default\n",
+    ] {
+        let mut conn = RawConn::connect(addr);
+        conn.send(header.as_bytes());
+        let reply = conn.read_line().expect("one ERR before the drop");
+        assert!(reply.starts_with("ERR "), "{header:?} -> {reply:?}");
+        assert_eq!(conn.read_line(), None, "{header:?} must drop the conn");
+    }
+
+    // A batch abandoned mid-way (client disconnects) must not wedge the
+    // server.
+    let mut conn = RawConn::connect(addr);
+    conn.send(b"ESTIMATE_BATCH default 3\n2 1 0 1 0\n");
+    drop(conn);
+
+    // The server is still alive and serving.
+    let mut client = Client::connect(addr).expect("server still accepting");
+    client.ping().expect("ping");
+    assert!(client
+        .estimate("default", &cegraph::query::templates::path(2, &[0, 1]))
+        .expect("estimate")
+        .value
+        .is_some());
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+/// Seeded fuzz: random garbage lines and random mutations of valid
+/// requests. Every line must produce exactly one response line (any
+/// kind), after which the connection must still answer PING — i.e. the
+/// parser never desynchronizes and nothing panics server-side.
+#[test]
+fn fuzzed_lines_never_desync_or_kill_the_server() {
+    let server = start_server();
+    let addr = server.local_addr();
+    let mut rng = StdRng::seed_from_u64(0xF022);
+
+    let valid = [
+        "ESTIMATE default 3 2 0 1 0 1 2 1",
+        "ADD_EDGE default 1 2 0",
+        "DEL_EDGE default 0 1 0",
+        "COMMIT default",
+        "STATS",
+    ];
+    let charset: Vec<char> = "ABCDEFGHIJKLMNOPQRSTUVWXYZ_abcdefghijklmnopqrstuvwxyz0123456789 -=."
+        .chars()
+        .collect();
+
+    let mut conn = RawConn::connect(addr);
+    for round in 0..400 {
+        let line: String = match rng.random_range(0..3u32) {
+            // Pure random token soup.
+            0 => {
+                let len = rng.random_range(0..60usize);
+                (0..len)
+                    .map(|_| charset[rng.random_range(0..charset.len())])
+                    .collect()
+            }
+            // A valid request, mutated: truncate, or swap one char.
+            1 => {
+                let base = valid[rng.random_range(0..valid.len())];
+                let mut s: Vec<char> = base.chars().collect();
+                if rng.random_range(0..2u32) == 0 && !s.is_empty() {
+                    s.truncate(rng.random_range(0..s.len()));
+                } else if !s.is_empty() {
+                    let i = rng.random_range(0..s.len());
+                    s[i] = charset[rng.random_range(0..charset.len())];
+                }
+                s.into_iter().collect()
+            }
+            // A valid request verbatim (mutations must not poison the
+            // connection for real traffic).
+            _ => valid[rng.random_range(0..valid.len())].to_string(),
+        };
+        // Empty/whitespace lines are ignored by the server (no response),
+        // and QUIT-shaped lines would close the connection legitimately:
+        // skip both so "one line in, one line out" stays assertable.
+        if line.trim().is_empty() || line.trim_start().starts_with("QUIT") {
+            continue;
+        }
+        conn.send(format!("{line}\n").as_bytes());
+        let reply = conn
+            .read_line()
+            .unwrap_or_else(|| panic!("round {round}: server dropped on {line:?}"));
+        assert!(!reply.is_empty(), "round {round}: empty reply to {line:?}");
+        conn.send(b"PING\n");
+        assert_eq!(
+            conn.read_line().as_deref(),
+            Some("PONG"),
+            "round {round}: connection desynced after {line:?}"
+        );
+    }
+    server.shutdown();
+}
