@@ -6,7 +6,7 @@
 //! connected sub-patterns of the workload's queries, which keeps tables at
 //! a fraction of a megabyte.
 
-use ceg_exec::{count_constrained, VarConstraints};
+use ceg_exec::VarConstraints;
 use ceg_graph::{FxHashMap, GraphView, LabelId, LabeledGraph};
 use ceg_query::{EdgeMask, Pattern, QueryGraph};
 
@@ -183,26 +183,58 @@ pub fn count_patterns(
     patterns: &[Pattern],
     parallelism: usize,
 ) -> Vec<u64> {
+    count_patterns_budgeted(
+        graph,
+        patterns,
+        parallelism,
+        ceg_exec::CountBudget::UNLIMITED,
+    )
+    .into_iter()
+    .map(|c| c.expect("unlimited budget cannot be exhausted"))
+    .collect()
+}
+
+/// [`count_patterns`] under a [`ceg_exec::CountBudget`] (expansion cap
+/// and/or wall-clock deadline, applied per pattern): `counts[i]` is `None`
+/// when pattern `i`'s count was abandoned. The estimation service uses the
+/// deadline form so a client-bounded request stops counting mid-catalog
+/// fill instead of finishing arbitrarily late work nobody will read.
+pub fn count_patterns_budgeted(
+    graph: &(impl GraphView + Sync),
+    patterns: &[Pattern],
+    parallelism: usize,
+    budget: ceg_exec::CountBudget,
+) -> Vec<Option<u64>> {
     let count_one = |pat: &Pattern| {
         let pq = pat.to_query();
-        count_constrained(graph, &pq, &VarConstraints::none(pq.num_vars()))
+        ceg_exec::count_with_limit(graph, &pq, &VarConstraints::none(pq.num_vars()), budget)
     };
     if parallelism <= 1 || patterns.len() <= 1 {
         return patterns.iter().map(count_one).collect();
     }
-    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
     let counts: Vec<AtomicU64> = (0..patterns.len()).map(|_| AtomicU64::new(0)).collect();
+    let done: Vec<AtomicBool> = (0..patterns.len())
+        .map(|_| AtomicBool::new(false))
+        .collect();
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..parallelism.min(patterns.len()) {
             scope.spawn(|| loop {
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(pat) = patterns.get(i) else { break };
-                counts[i].store(count_one(pat), Ordering::Relaxed);
+                if let Some(c) = count_one(pat) {
+                    counts[i].store(c, Ordering::Relaxed);
+                    done[i].store(true, Ordering::Relaxed);
+                }
             });
         }
     });
-    counts.into_iter().map(AtomicU64::into_inner).collect()
+    counts
+        .into_iter()
+        .zip(done)
+        .map(|(c, d)| d.into_inner().then(|| c.into_inner()))
+        .collect()
 }
 
 /// Default worker count for catalog construction when the caller has no

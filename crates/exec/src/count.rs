@@ -23,20 +23,114 @@ use crate::intersect::intersect_k_into;
 use crate::order::variable_order;
 
 /// Work budget for a counting run: the maximum number of candidate
-/// extensions the matcher may try. Exceeding the budget aborts the count
-/// (the paper's baselines also time out on hard queries, Section 6.4).
+/// extensions the matcher may try, plus an optional wall-clock deadline.
+/// Exceeding either aborts the count (the paper's baselines also time out
+/// on hard queries, Section 6.4).
 #[derive(Debug, Clone, Copy)]
 pub struct CountBudget {
     pub max_expansions: u64,
+    /// Abandon the count once this instant passes. Checked every
+    /// [`DEADLINE_CHECK_INTERVAL`] charged expansions, so a deadline adds
+    /// no per-candidate clock read to the hot loop.
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl CountBudget {
     pub const UNLIMITED: CountBudget = CountBudget {
         max_expansions: u64::MAX,
+        deadline: None,
     };
 
     pub fn new(max_expansions: u64) -> Self {
-        CountBudget { max_expansions }
+        CountBudget {
+            max_expansions,
+            deadline: None,
+        }
+    }
+
+    /// A purely time-bounded budget (unlimited expansions).
+    pub fn until(deadline: std::time::Instant) -> Self {
+        CountBudget {
+            max_expansions: u64::MAX,
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Attach a wall-clock deadline to this budget.
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Charged expansions between wall-clock reads when a deadline is set:
+/// coarse enough that `Instant::now` stays off the per-candidate path,
+/// fine enough that a deadline overrun is bounded by a few thousand
+/// cheap candidate checks.
+pub const DEADLINE_CHECK_INTERVAL: u32 = 4096;
+
+/// The mutable budget accounting threaded through the recursion: the
+/// remaining expansion allowance plus the (optional) deadline and its
+/// check countdown.
+struct BudgetState {
+    remaining: u64,
+    deadline: Option<std::time::Instant>,
+    until_check: u32,
+}
+
+impl BudgetState {
+    fn new(budget: CountBudget) -> Self {
+        BudgetState {
+            remaining: budget.max_expansions,
+            deadline: budget.deadline,
+            until_check: DEADLINE_CHECK_INTERVAL,
+        }
+    }
+
+    /// True when the deadline (if any) has already passed — callers use
+    /// this to skip plan execution entirely.
+    fn expired_at_entry(&self) -> bool {
+        self.deadline
+            .is_some_and(|d| std::time::Instant::now() >= d)
+    }
+
+    /// Charge one candidate expansion; `false` aborts the run.
+    #[inline]
+    fn charge_one(&mut self) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        self.remaining -= 1;
+        self.check_deadline()
+    }
+
+    /// Charge `n` expansions at once (independent-suffix product);
+    /// `false` aborts the run.
+    #[inline]
+    fn charge_many(&mut self, n: u64) -> bool {
+        if self.remaining < n {
+            return false;
+        }
+        self.remaining -= n;
+        self.check_deadline()
+    }
+
+    #[inline]
+    fn check_deadline(&mut self) -> bool {
+        let Some(deadline) = self.deadline else {
+            return true;
+        };
+        self.until_check -= 1;
+        if self.until_check > 0 {
+            return true;
+        }
+        self.until_check = DEADLINE_CHECK_INTERVAL;
+        if std::time::Instant::now() >= deadline {
+            // Poison the allowance so every later charge fails fast.
+            self.remaining = 0;
+            return false;
+        }
+        true
     }
 }
 
@@ -276,7 +370,10 @@ impl<'a, G: GraphView> CountPlan<'a, G> {
     /// of candidate-set sizes (charged against the budget in one step).
     pub fn count_with_limit(&mut self, budget: CountBudget) -> Option<u64> {
         let mut total = 0u64;
-        let mut remaining = budget.max_expansions;
+        let mut state = BudgetState::new(budget);
+        if state.expired_at_entry() {
+            return None;
+        }
         let complete = recurse_count(
             self.graph,
             self.cons,
@@ -284,7 +381,7 @@ impl<'a, G: GraphView> CountPlan<'a, G> {
             &self.indep,
             &mut self.bufs,
             &mut self.binding,
-            &mut remaining,
+            &mut state,
             &mut total,
         );
         complete.then_some(total)
@@ -302,14 +399,17 @@ impl<'a, G: GraphView> CountPlan<'a, G> {
         budget: CountBudget,
         visit: &mut dyn FnMut(&[VertexId]) -> bool,
     ) -> bool {
-        let mut remaining = budget.max_expansions;
+        let mut state = BudgetState::new(budget);
+        if state.expired_at_entry() {
+            return false;
+        }
         recurse(
             self.graph,
             self.cons,
             &self.depths,
             &mut self.bufs,
             &mut self.binding,
-            &mut remaining,
+            &mut state,
             visit,
         )
     }
@@ -323,7 +423,7 @@ fn recurse<G: GraphView>(
     depths: &[DepthPlan],
     bufs: &mut [Vec<VertexId>],
     binding: &mut [VertexId],
-    remaining: &mut u64,
+    state: &mut BudgetState,
     visit: &mut dyn FnMut(&[VertexId]) -> bool,
 ) -> bool {
     let Some((dp, rest_depths)) = depths.split_first() else {
@@ -341,7 +441,7 @@ fn recurse<G: GraphView>(
                 rest_depths,
                 rest_bufs,
                 binding,
-                remaining,
+                state,
                 visit,
             ),
             RootGen::List(list) => extend_all(
@@ -352,7 +452,7 @@ fn recurse<G: GraphView>(
                 rest_depths,
                 rest_bufs,
                 binding,
-                remaining,
+                state,
                 visit,
             ),
             RootGen::Scan => extend_all(
@@ -363,7 +463,7 @@ fn recurse<G: GraphView>(
                 rest_depths,
                 rest_bufs,
                 binding,
-                remaining,
+                state,
                 visit,
             ),
             RootGen::Bound => unreachable!("Bound root with no planned edges"),
@@ -380,7 +480,7 @@ fn recurse<G: GraphView>(
                 rest_depths,
                 rest_bufs,
                 binding,
-                remaining,
+                state,
                 visit,
             )
         }
@@ -398,7 +498,7 @@ fn recurse<G: GraphView>(
                 rest_depths,
                 rest_bufs,
                 binding,
-                remaining,
+                state,
                 visit,
             )
         }
@@ -416,7 +516,7 @@ fn recurse_count<G: GraphView>(
     indep: &[bool],
     bufs: &mut [Vec<VertexId>],
     binding: &mut [VertexId],
-    remaining: &mut u64,
+    state: &mut BudgetState,
     total: &mut u64,
 ) -> bool {
     if depths.is_empty() {
@@ -429,10 +529,9 @@ fn recurse_count<G: GraphView>(
         // behaviour of grinding within the budget).
         if let Some(prod) = suffix_product(graph, depths, bufs, binding) {
             if let Some(t) = total.checked_add(prod) {
-                if *remaining < prod {
+                if !state.charge_many(prod) {
                     return false;
                 }
-                *remaining -= prod;
                 *total = t;
                 return true;
             }
@@ -446,10 +545,9 @@ fn recurse_count<G: GraphView>(
         ($candidates:expr) => {{
             let vc = cons.get(dp.var);
             'cand: for c in $candidates {
-                if *remaining == 0 {
+                if !state.charge_one() {
                     return false;
                 }
-                *remaining -= 1;
                 if !vc.admits(c) {
                     continue;
                 }
@@ -466,7 +564,7 @@ fn recurse_count<G: GraphView>(
                     rest_indep,
                     rest_bufs,
                     binding,
-                    remaining,
+                    state,
                     total,
                 ) {
                     return false;
@@ -560,15 +658,14 @@ fn extend_all<G: GraphView>(
     rest_depths: &[DepthPlan],
     rest_bufs: &mut [Vec<VertexId>],
     binding: &mut [VertexId],
-    remaining: &mut u64,
+    state: &mut BudgetState,
     visit: &mut dyn FnMut(&[VertexId]) -> bool,
 ) -> bool {
     let vc = cons.get(dp.var);
     'cand: for c in candidates {
-        if *remaining == 0 {
+        if !state.charge_one() {
             return false;
         }
-        *remaining -= 1;
         if !vc.admits(c) {
             continue;
         }
@@ -578,15 +675,7 @@ fn extend_all<G: GraphView>(
             }
         }
         binding[dp.var as usize] = c;
-        if !recurse(
-            graph,
-            cons,
-            rest_depths,
-            rest_bufs,
-            binding,
-            remaining,
-            visit,
-        ) {
+        if !recurse(graph, cons, rest_depths, rest_bufs, binding, state, visit) {
             return false;
         }
     }
@@ -702,6 +791,28 @@ mod tests {
         let g = sample();
         let q = templates::path(2, &[0, 0]);
         let res = count_with_limit(&g, &q, &VarConstraints::none(3), CountBudget::new(1));
+        assert!(res.is_none());
+    }
+
+    #[test]
+    fn expired_deadline_returns_none() {
+        let g = sample();
+        let q = templates::path(2, &[0, 0]);
+        let past = std::time::Instant::now() - std::time::Duration::from_millis(1);
+        let res = count_with_limit(&g, &q, &VarConstraints::none(3), CountBudget::until(past));
+        assert!(res.is_none());
+        // A comfortably distant deadline changes nothing.
+        let future = std::time::Instant::now() + std::time::Duration::from_secs(60);
+        let res = count_with_limit(&g, &q, &VarConstraints::none(3), CountBudget::until(future));
+        assert_eq!(res, Some(2));
+        // Deadlines compose with expansion budgets: whichever trips first
+        // aborts.
+        let res = count_with_limit(
+            &g,
+            &q,
+            &VarConstraints::none(3),
+            CountBudget::new(1).with_deadline(future),
+        );
         assert!(res.is_none());
     }
 

@@ -200,6 +200,35 @@ impl EstimateCache {
         None
     }
 
+    /// [`EstimateCache::lookup_hashed`] for the connection handlers' fast
+    /// path: a verified hit counts as a hit, but a miss is **not**
+    /// counted — the request then takes the full engine path, whose own
+    /// lookup records the authoritative hit-or-miss. Without this split a
+    /// fast-path probe plus the engine probe would count one request
+    /// twice.
+    pub fn peek_hashed(
+        &mut self,
+        dataset: &str,
+        query: &QueryGraph,
+        canonical_hash: u64,
+        epoch: u64,
+    ) -> Option<Option<f64>> {
+        let key = bucket_key(dataset, canonical_hash);
+        if let Some(bucket) = self.lru.get(&key) {
+            for entry in bucket {
+                if entry.dataset == dataset
+                    && entry.epoch == epoch
+                    && entry.query.is_isomorphic(query)
+                {
+                    let value = entry.value;
+                    self.hits += 1;
+                    return Some(value);
+                }
+            }
+        }
+        None
+    }
+
     /// Store an estimate computed at `epoch`. Collision buckets stay tiny
     /// (WL collisions need deliberately adversarial regular graphs), so
     /// the inner scan is a formality.

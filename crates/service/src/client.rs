@@ -11,7 +11,10 @@ use ceg_graph::{LabelId, VertexId};
 use ceg_query::QueryGraph;
 
 use crate::engine::{EngineStats, SnapshotAck, UpdateAck};
-use crate::protocol::{parse_batch_response_header, Request, Response};
+use crate::protocol::{
+    parse_batch_response_header, parse_metric_line, parse_metrics_response_header, Request,
+    Response,
+};
 use crate::registry::CommitOutcome;
 
 /// The answer to one `ESTIMATE` request.
@@ -25,6 +28,25 @@ pub struct EstimateReply {
     pub hits: u64,
     /// Server-wide cache misses after this request.
     pub misses: u64,
+}
+
+/// The typed outcome of one estimate slot: an answer, or one of the
+/// overload rejections the server may send instead. The deadline-aware
+/// client methods return these so callers can distinguish "retry with
+/// backoff" (`Busy`) from "the work exceeded its budget" (`Timeout`)
+/// without string-matching error text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryReply {
+    /// A normal estimate reply.
+    Estimate(EstimateReply),
+    /// Rejected by admission control (queue full) or a draining server.
+    Busy(String),
+    /// Abandoned at its deadline; carries the deadline the server
+    /// enforced, in milliseconds.
+    Timeout {
+        /// The enforced deadline in milliseconds.
+        deadline_ms: u64,
+    },
 }
 
 /// One connection to a running estimation server.
@@ -77,23 +99,62 @@ impl Client {
         }
     }
 
+    /// Map an overload rejection onto the matching `io::ErrorKind` for
+    /// the legacy (non-typed) client methods.
+    fn overload_error(reply: &QueryReply) -> Option<io::Error> {
+        match reply {
+            QueryReply::Estimate(_) => None,
+            QueryReply::Busy(msg) => Some(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                format!("server busy: {msg}"),
+            )),
+            QueryReply::Timeout { deadline_ms } => Some(io::Error::new(
+                io::ErrorKind::TimedOut,
+                format!("estimate exceeded its {deadline_ms}ms deadline"),
+            )),
+        }
+    }
+
     /// Estimate `query` against the named dataset.
+    ///
+    /// `BUSY`/`TIMEOUT` replies surface as `io::Error`s of kind
+    /// `WouldBlock`/`TimedOut`; use [`Client::estimate_with_deadline`]
+    /// for the typed outcomes.
     pub fn estimate(&mut self, dataset: &str, query: &QueryGraph) -> io::Result<EstimateReply> {
+        match self.estimate_with_deadline(dataset, query, None)? {
+            QueryReply::Estimate(reply) => Ok(reply),
+            other => Err(Self::overload_error(&other).expect("non-estimate reply")),
+        }
+    }
+
+    /// Estimate `query`, optionally bounding the server's work to
+    /// `deadline_ms` milliseconds, and return the typed outcome
+    /// (estimate, `BUSY`, or `TIMEOUT`). With `None` the server applies
+    /// its own default deadline, if configured.
+    pub fn estimate_with_deadline(
+        &mut self,
+        dataset: &str,
+        query: &QueryGraph,
+        deadline_ms: Option<u64>,
+    ) -> io::Result<QueryReply> {
         let request = Request::Estimate {
             dataset: dataset.to_string(),
             query: query.clone(),
+            deadline_ms,
         };
         match self.roundtrip(&request)? {
             Response::Estimate {
                 outcome,
                 hits,
                 misses,
-            } => Ok(EstimateReply {
+            } => Ok(QueryReply::Estimate(EstimateReply {
                 value: outcome.value,
                 cached: outcome.cached,
                 hits,
                 misses,
-            }),
+            })),
+            Response::Busy(msg) => Ok(QueryReply::Busy(msg)),
+            Response::Timeout { deadline_ms } => Ok(QueryReply::Timeout { deadline_ms }),
             other => Err(Self::protocol_error(other)),
         }
     }
@@ -109,6 +170,37 @@ impl Client {
         dataset: &str,
         queries: &[QueryGraph],
     ) -> io::Result<Vec<EstimateReply>> {
+        let replies = self.estimate_batch_with_deadline(dataset, queries, None)?;
+        let mut out = Vec::with_capacity(replies.len());
+        let mut first_error: Option<io::Error> = None;
+        for reply in replies {
+            match reply {
+                QueryReply::Estimate(r) => out.push(r),
+                other => {
+                    first_error.get_or_insert_with(|| {
+                        Self::overload_error(&other).expect("non-estimate reply")
+                    });
+                }
+            }
+        }
+        match first_error {
+            Some(err) => Err(err),
+            None => Ok(out),
+        }
+    }
+
+    /// Like [`Client::estimate_batch`], but with an optional whole-batch
+    /// deadline and typed per-slot outcomes: every slot lines up
+    /// index-for-index with `queries` and is an estimate, a `BUSY`, or a
+    /// `TIMEOUT` — an overloaded server never desynchronizes the stream.
+    /// Oversized batches are chunked; the deadline then applies to each
+    /// chunk separately.
+    pub fn estimate_batch_with_deadline(
+        &mut self,
+        dataset: &str,
+        queries: &[QueryGraph],
+        deadline_ms: Option<u64>,
+    ) -> io::Result<Vec<QueryReply>> {
         // Chunk transparently: sending a header past the server's batch
         // cap is an unrecoverable framing error that would drop the
         // connection, so an oversized workload must never reach the wire
@@ -116,7 +208,7 @@ impl Client {
         if queries.len() > crate::protocol::MAX_BATCH_QUERIES {
             let mut replies = Vec::with_capacity(queries.len());
             for chunk in queries.chunks(crate::protocol::MAX_BATCH_QUERIES) {
-                replies.extend(self.estimate_batch(dataset, chunk)?);
+                replies.extend(self.estimate_batch_with_deadline(dataset, chunk, deadline_ms)?);
             }
             return Ok(replies);
         }
@@ -126,6 +218,7 @@ impl Client {
         let request = Request::EstimateBatch {
             dataset: dataset.to_string(),
             queries: queries.to_vec(),
+            deadline_ms,
         };
         writeln!(self.writer, "{}", request.format())?;
         self.writer.flush()?;
@@ -166,12 +259,16 @@ impl Client {
                     outcome,
                     hits,
                     misses,
-                } => replies.push(EstimateReply {
+                } => replies.push(QueryReply::Estimate(EstimateReply {
                     value: outcome.value,
                     cached: outcome.cached,
                     hits,
                     misses,
-                }),
+                })),
+                Response::Busy(msg) => replies.push(QueryReply::Busy(msg)),
+                Response::Timeout { deadline_ms } => {
+                    replies.push(QueryReply::Timeout { deadline_ms })
+                }
                 other => {
                     first_error.get_or_insert_with(|| Self::protocol_error(other));
                 }
@@ -254,6 +351,50 @@ impl Client {
     pub fn stats(&mut self) -> io::Result<EngineStats> {
         match self.roundtrip(&Request::Stats)? {
             Response::Stats(stats) => Ok(stats),
+            other => Err(Self::protocol_error(other)),
+        }
+    }
+
+    /// Fetch the full metrics registry as `(key, value)` pairs (the
+    /// `METRICS` command) — latency histogram quantiles per command,
+    /// queue depths, and the BUSY/timeout/error counters.
+    pub fn metrics(&mut self) -> io::Result<Vec<(String, u64)>> {
+        writeln!(self.writer, "{}", Request::Metrics.format())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let mut next_line = |reader: &mut BufReader<TcpStream>| -> io::Result<String> {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-metrics",
+                ));
+            }
+            Ok(line.trim_end().to_string())
+        };
+        let header = next_line(&mut self.reader)?;
+        if let Some(msg) = header.strip_prefix("ERR") {
+            return Err(io::Error::other(msg.trim().to_string()));
+        }
+        let n = parse_metrics_response_header(&header)
+            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))?;
+        let mut pairs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let text = next_line(&mut self.reader)?;
+            pairs.push(
+                parse_metric_line(&text)
+                    .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))?,
+            );
+        }
+        Ok(pairs)
+    }
+
+    /// Ask the server to drain and shut down (the `SHUTDOWN` command).
+    /// The connection stays usable for `PING`/`STATS`/`METRICS` while
+    /// the drain proceeds; estimates and updates get `BUSY`.
+    pub fn shutdown_server(&mut self) -> io::Result<()> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Draining => Ok(()),
             other => Err(Self::protocol_error(other)),
         }
     }

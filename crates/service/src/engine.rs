@@ -10,12 +10,14 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use ceg_estimators::{CardinalityEstimator, OptimisticEstimator};
 use ceg_graph::{LabelId, VertexId};
-use ceg_query::QueryGraph;
+use ceg_query::{Pattern, QueryGraph};
 
 use crate::cache::EstimateCache;
+use crate::metrics::Metrics;
 use crate::registry::{CommitOutcome, DatasetRegistry};
 
 /// One estimate with its cache provenance.
@@ -25,6 +27,18 @@ pub struct EstimateOutcome {
     pub value: Option<f64>,
     /// True if served from the LRU cache.
     pub cached: bool,
+}
+
+/// The fate of one deadline-bounded query: answered, or abandoned at its
+/// deadline. There is no partial state — a query whose catalog fill was
+/// cut short times out; its half-counted patterns are discarded, never
+/// cached or reported.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryOutcome {
+    /// Answered (computed or cache-served).
+    Done(EstimateOutcome),
+    /// Abandoned: the deadline passed before the answer was ready.
+    TimedOut,
 }
 
 /// Acknowledgement of one buffered `ADD_EDGE`/`DEL_EDGE`.
@@ -53,14 +67,21 @@ pub struct EngineStats {
     pub cache_hits: u64,
     pub cache_misses: u64,
     pub datasets: u64,
+    /// Requests rejected with `BUSY` (admission control or drain).
+    pub busy: u64,
+    /// Requests answered with `TIMEOUT`.
+    pub timeouts: u64,
+    /// Estimate jobs currently queued.
+    pub queued: u64,
 }
 
-/// Shared estimation core: registry + cache + counters.
+/// Shared estimation core: registry + cache + counters + metrics.
 pub struct Engine {
     registry: Arc<DatasetRegistry>,
     cache: Mutex<EstimateCache>,
     requests: AtomicU64,
     batches: AtomicU64,
+    metrics: Arc<Metrics>,
 }
 
 impl Engine {
@@ -72,12 +93,44 @@ impl Engine {
             cache: Mutex::new(EstimateCache::new(cache_capacity)),
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
+            metrics: Arc::new(Metrics::new()),
         }
     }
 
     /// The registry this engine serves from.
     pub fn registry(&self) -> &Arc<DatasetRegistry> {
         &self.registry
+    }
+
+    /// The shared metrics registry (latency histograms, overload
+    /// counters) — the server, `cegcli` and the benches all record here.
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
+    }
+
+    /// Fast-path cache probe: answer `query` from the LRU cache without
+    /// touching the worker pool or the catalog. `None` means "not
+    /// cached" and records nothing — the request then takes the full
+    /// path, whose own lookup counts the authoritative hit-or-miss.
+    ///
+    /// Connection handlers call this before enqueueing, which keeps warm
+    /// traffic responsive even when every worker is grinding on cold
+    /// queries (and is what the overload suite's fairness bound
+    /// measures).
+    pub fn try_cached(&self, dataset: &str, query: &QueryGraph) -> Option<EstimateOutcome> {
+        let entry = self.registry.get(dataset)?;
+        let epoch = entry.epoch();
+        let hash = query.canonical_hash();
+        let value = self
+            .cache
+            .lock()
+            .unwrap()
+            .peek_hashed(dataset, query, hash, epoch)?;
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        Some(EstimateOutcome {
+            value,
+            cached: true,
+        })
     }
 
     /// Estimate one query (a batch of one).
@@ -97,6 +150,32 @@ impl Engine {
         dataset: &str,
         queries: &[QueryGraph],
     ) -> Result<Vec<EstimateOutcome>, String> {
+        let deadlines = vec![None; queries.len()];
+        Ok(self
+            .estimate_batch_deadline(dataset, queries, &deadlines)?
+            .into_iter()
+            .map(|o| match o {
+                QueryOutcome::Done(outcome) => outcome,
+                QueryOutcome::TimedOut => unreachable!("no deadline, no timeout"),
+            })
+            .collect())
+    }
+
+    /// [`Engine::estimate_batch`] with a per-query deadline (`None` =
+    /// unbounded). A query whose deadline has already passed at entry is
+    /// answered `TimedOut` without any work; the rest take the usual
+    /// cache pass, one shared catalog fill (bounded by the **latest**
+    /// deadline among the misses, so no query's counting outlives every
+    /// waiter), and an estimation pass. A miss whose sub-pattern counts
+    /// did not all complete by its deadline is `TimedOut` — partial
+    /// counts are discarded, never cached, never reported.
+    pub fn estimate_batch_deadline(
+        &self,
+        dataset: &str,
+        queries: &[QueryGraph],
+        deadlines: &[Option<Instant>],
+    ) -> Result<Vec<QueryOutcome>, String> {
+        debug_assert_eq!(queries.len(), deadlines.len());
         let entry = self
             .registry
             .get(dataset)
@@ -112,17 +191,23 @@ impl Engine {
         // compute it outside the cache lock so concurrent workers only
         // serialize on the map operations themselves.
         let hashes: Vec<u64> = queries.iter().map(|q| q.canonical_hash()).collect();
-        let mut outcomes: Vec<Option<EstimateOutcome>> = vec![None; queries.len()];
+        let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; queries.len()];
         let mut miss_indices: Vec<usize> = Vec::new();
         {
+            let now = Instant::now();
             let mut cache = self.cache.lock().unwrap();
             for (i, q) in queries.iter().enumerate() {
+                if deadlines[i].is_some_and(|d| now >= d) {
+                    self.metrics.record_timeout();
+                    outcomes[i] = Some(QueryOutcome::TimedOut);
+                    continue;
+                }
                 match cache.lookup_hashed(dataset, q, hashes[i], epoch) {
                     Some(value) => {
-                        outcomes[i] = Some(EstimateOutcome {
+                        outcomes[i] = Some(QueryOutcome::Done(EstimateOutcome {
                             value,
                             cached: true,
-                        })
+                        }))
                     }
                     None => miss_indices.push(i),
                 }
@@ -131,31 +216,63 @@ impl Engine {
         if !miss_indices.is_empty() {
             let miss_queries: Vec<QueryGraph> =
                 miss_indices.iter().map(|&i| queries[i].clone()).collect();
-            entry.ensure_patterns(&miss_queries);
-            let values: Vec<Option<f64>> = entry.with_markov(|table| {
+            // One shared fill for the whole group, bounded by the latest
+            // miss deadline: counting may only be abandoned once *every*
+            // waiting query's deadline has passed, so an early deadline
+            // can never starve a patient query of its patterns. An
+            // unbounded query in the group lifts the bound entirely.
+            let group_deadline = miss_indices
+                .iter()
+                .map(|&i| deadlines[i])
+                .try_fold(None::<Instant>, |acc, d| {
+                    d.map(|d| Some(acc.map_or(d, |a| a.max(d))))
+                })
+                .flatten();
+            entry.ensure_patterns_deadline(&miss_queries, group_deadline);
+            let h = entry.h();
+            // `None` marks a query whose fill was abandoned (incomplete
+            // patterns): completeness is checked under the same catalog
+            // read lock as the estimation, so a concurrent fill cannot
+            // make the two passes disagree.
+            let values: Vec<Option<Option<f64>>> = entry.with_markov(|table| {
                 let mut est = OptimisticEstimator::recommended(table);
                 miss_queries
                     .iter()
                     .map(|q| {
+                        let complete = q
+                            .connected_subsets_up_to(h)
+                            .into_iter()
+                            .all(|mask| table.card(&Pattern::of_subquery(q, mask)).is_some());
+                        if !complete {
+                            return None;
+                        }
                         // The CEG estimators assume connected, non-empty
                         // queries; anything else is unanswerable, not a
                         // panic (wire input is rejected at parse time,
                         // this guards direct API callers).
                         if q.num_edges() == 0 || !q.is_connected() {
-                            None
+                            Some(None)
                         } else {
-                            est.estimate(q)
+                            Some(est.estimate(q))
                         }
                     })
                     .collect()
             });
             let mut cache = self.cache.lock().unwrap();
             for (&i, value) in miss_indices.iter().zip(&values) {
-                cache.store_hashed(dataset, &queries[i], hashes[i], epoch, *value);
-                outcomes[i] = Some(EstimateOutcome {
-                    value: *value,
-                    cached: false,
-                });
+                match value {
+                    Some(value) => {
+                        cache.store_hashed(dataset, &queries[i], hashes[i], epoch, *value);
+                        outcomes[i] = Some(QueryOutcome::Done(EstimateOutcome {
+                            value: *value,
+                            cached: false,
+                        }));
+                    }
+                    None => {
+                        self.metrics.record_timeout();
+                        outcomes[i] = Some(QueryOutcome::TimedOut);
+                    }
+                }
             }
         }
         Ok(outcomes.into_iter().map(|o| o.unwrap()).collect())
@@ -237,7 +354,44 @@ impl Engine {
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
             datasets: self.registry.len() as u64,
+            busy: self.metrics.busy(),
+            timeouts: self.metrics.timeouts(),
+            queued: self.metrics.queued(),
         }
+    }
+
+    /// The full metrics dump behind the `METRICS` wire command: every
+    /// [`Metrics::snapshot`] counter plus engine-level cache and
+    /// per-dataset epoch/pending gauges, as stable `(key, value)` pairs.
+    pub fn metrics_snapshot(&self) -> Vec<(String, u64)> {
+        let mut out = self.metrics.snapshot();
+        let (hits, misses, entries) = {
+            let cache = self.cache.lock().unwrap();
+            (cache.hits(), cache.misses(), cache.len() as u64)
+        };
+        out.push((
+            "requests_total".into(),
+            self.requests.load(Ordering::Relaxed),
+        ));
+        out.push(("batches_total".into(), self.batches.load(Ordering::Relaxed)));
+        out.push(("cache_hits".into(), hits));
+        out.push(("cache_misses".into(), misses));
+        out.push(("cache_entries".into(), entries));
+        out.push(("datasets".into(), self.registry.len() as u64));
+        for name in self.registry.names() {
+            if let Some(entry) = self.registry.get(&name) {
+                out.push((format!("dataset_{name}_epoch"), entry.epoch()));
+                out.push((
+                    format!("dataset_{name}_pending_ops"),
+                    entry.pending_len() as u64,
+                ));
+                out.push((
+                    format!("dataset_{name}_catalog_entries"),
+                    entry.catalog_len() as u64,
+                ));
+            }
+        }
+        out
     }
 }
 

@@ -40,7 +40,16 @@
 //!   restores one at boot ([`DatasetRegistry::load_snapshot`]), skipping
 //!   text parsing and catalog construction, and continues the epoch
 //!   sequence so a restarted server answers exactly like the one that
-//!   wrote the snapshot.
+//!   wrote the snapshot,
+//! * **multi-tenant hardening** — per-dataset admission control with
+//!   bounded queues (typed `BUSY` beyond [`ServerConfig::queue_cap`]),
+//!   per-request deadlines (`DEADLINE_MS` or the server default) enforced
+//!   inside the counting kernel with typed `TIMEOUT` replies, a
+//!   lock-free [`metrics`] registry behind the `METRICS` command, and a
+//!   graceful drain (`SHUTDOWN` / SIGTERM → final snapshot per dataset,
+//!   typed rejections for in-flight clients, exit 0). Every accepted
+//!   request is answered with an estimate, `BUSY`, `TIMEOUT`, or `ERR` —
+//!   never silently dropped.
 //!
 //! # Example
 //!
@@ -70,18 +79,20 @@
 pub mod cache;
 pub mod client;
 pub mod engine;
+pub mod metrics;
 pub mod pool;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
 pub use cache::{EstimateCache, LruCache};
-pub use client::{Client, EstimateReply};
-pub use engine::{Engine, EngineStats, EstimateOutcome, SnapshotAck, UpdateAck};
+pub use client::{Client, EstimateReply, QueryReply};
+pub use engine::{Engine, EngineStats, EstimateOutcome, QueryOutcome, SnapshotAck, UpdateAck};
+pub use metrics::{Command, Histogram, Metrics};
 pub use pool::{run_scoped, WorkerPool};
 pub use protocol::{Request, Response, MAX_BATCH_QUERIES};
 pub use registry::{
     CommitOutcome, DatasetEntry, DatasetRegistry, MAX_PENDING_OPS, MAX_UPDATE_LABEL,
     MAX_UPDATE_VERTEX,
 };
-pub use server::{Server, ServerConfig};
+pub use server::{DrainReport, Server, ServerConfig};

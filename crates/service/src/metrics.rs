@@ -1,0 +1,346 @@
+//! Lock-free service metrics: latency histograms per wire command, queue
+//! depths, and overload counters.
+//!
+//! Everything here is plain atomics — recording a sample on the request
+//! path is a handful of relaxed `fetch_add`s, never a lock — so the
+//! metrics layer cannot itself become a contention point under the very
+//! overload it is meant to make visible. One [`Metrics`] instance lives
+//! on the [`crate::Engine`] and is shared by the TCP server, `cegcli`,
+//! the benches and the tests.
+//!
+//! The [`METRICS` wire command](crate::protocol) dumps
+//! [`Metrics::snapshot`] as parseable `<key> <value>` lines; the key
+//! reference lives in `docs/ARCHITECTURE.md` ("Overload & lifecycle").
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log2 microsecond buckets: bucket `i` covers latencies in
+/// `[2^(i-1), 2^i)` µs (bucket 0 is `< 1µs`), so bucket 31 tops out
+/// above half an hour — far beyond any latency this service can produce.
+const BUCKETS: usize = 32;
+
+/// A lock-free log2-bucketed latency histogram (microsecond resolution).
+///
+/// Quantiles come back as the upper bound of the bucket the quantile
+/// falls in — within 2× of the true value, which is exactly the fidelity
+/// an overload dashboard needs (is p99 1ms or 1s?), at the cost of one
+/// relaxed `fetch_add` per sample.
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+fn bucket_of(micros: u64) -> usize {
+    ((u64::BITS - micros.leading_zeros()) as usize).min(BUCKETS - 1)
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u64::MAX as u128) as u64;
+        self.buckets[bucket_of(micros)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Samples recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all recorded samples, in microseconds.
+    pub fn sum_micros(&self) -> u64 {
+        self.sum_micros.load(Ordering::Relaxed)
+    }
+
+    /// The upper bound (in µs) of the bucket holding quantile `q` in
+    /// `[0, 1]`, or 0 with no samples. Monotone in `q`.
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (BUCKETS - 1)
+    }
+}
+
+/// The wire commands we track latency for, one histogram each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    Estimate,
+    EstimateBatch,
+    AddEdge,
+    DelEdge,
+    Commit,
+    Snapshot,
+    Stats,
+    Metrics,
+    Ping,
+}
+
+impl Command {
+    const ALL: [Command; 9] = [
+        Command::Estimate,
+        Command::EstimateBatch,
+        Command::AddEdge,
+        Command::DelEdge,
+        Command::Commit,
+        Command::Snapshot,
+        Command::Stats,
+        Command::Metrics,
+        Command::Ping,
+    ];
+
+    /// The snake_case metrics-key fragment for this command.
+    pub fn key(self) -> &'static str {
+        match self {
+            Command::Estimate => "estimate",
+            Command::EstimateBatch => "estimate_batch",
+            Command::AddEdge => "add_edge",
+            Command::DelEdge => "del_edge",
+            Command::Commit => "commit",
+            Command::Snapshot => "snapshot",
+            Command::Stats => "stats",
+            Command::Metrics => "metrics",
+            Command::Ping => "ping",
+        }
+    }
+
+    fn index(self) -> usize {
+        Command::ALL
+            .iter()
+            .position(|c| *c == self)
+            .expect("every command is in ALL")
+    }
+}
+
+/// The service-wide metrics registry.
+pub struct Metrics {
+    /// Wall-clock request latency per command (parse to last reply byte
+    /// flushed), recorded by the connection handlers.
+    latency: [Histogram; 9],
+    /// Time estimate jobs spent queued before a worker picked them up.
+    queue_wait: Histogram,
+    /// Requests rejected with `BUSY` (admission control or drain).
+    busy: AtomicU64,
+    /// Requests answered with `TIMEOUT` (deadline exceeded).
+    timeouts: AtomicU64,
+    /// Requests answered with `ERR`.
+    errors: AtomicU64,
+    /// Estimate jobs currently queued (admitted, not yet finished by a
+    /// worker).
+    queued: AtomicU64,
+    /// High-water mark of `queued`.
+    queued_peak: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            latency: Default::default(),
+            queue_wait: Histogram::new(),
+            busy: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            queued_peak: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The latency histogram of one command.
+    pub fn latency(&self, cmd: Command) -> &Histogram {
+        &self.latency[cmd.index()]
+    }
+
+    /// Record one request's wall-clock latency.
+    pub fn record_latency(&self, cmd: Command, latency: Duration) {
+        self.latency(cmd).record(latency);
+    }
+
+    /// The queue-wait histogram (enqueue to worker dequeue).
+    pub fn queue_wait(&self) -> &Histogram {
+        &self.queue_wait
+    }
+
+    /// Count one `BUSY` rejection.
+    pub fn record_busy(&self) {
+        self.busy.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one `TIMEOUT` reply.
+    pub fn record_timeout(&self) {
+        self.timeouts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one `ERR` reply.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One estimate job was admitted to a queue.
+    pub fn job_enqueued(&self) {
+        let now = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queued_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// One admitted job finished (answered, BUSY-rejected at dequeue, or
+    /// dropped with its permit).
+    pub fn job_finished(&self) {
+        self.queued.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// `BUSY` rejections so far.
+    pub fn busy(&self) -> u64 {
+        self.busy.load(Ordering::Relaxed)
+    }
+
+    /// `TIMEOUT` replies so far.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// `ERR` replies so far.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Estimate jobs currently queued.
+    pub fn queued(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of the queue gauge.
+    pub fn queued_peak(&self) -> u64 {
+        self.queued_peak.load(Ordering::Relaxed)
+    }
+
+    /// Dump every counter as sorted-stable `(key, value)` pairs — the
+    /// payload of the `METRICS` wire reply. Keys are snake_case and
+    /// stable across releases; values are plain integers (latencies in
+    /// microseconds).
+    pub fn snapshot(&self) -> Vec<(String, u64)> {
+        let mut out: Vec<(String, u64)> = vec![
+            ("busy_total".into(), self.busy()),
+            ("timeout_total".into(), self.timeouts()),
+            ("error_total".into(), self.errors()),
+            ("queued".into(), self.queued()),
+            ("queued_peak".into(), self.queued_peak()),
+            ("queue_wait_count".into(), self.queue_wait.count()),
+            ("queue_wait_sum_us".into(), self.queue_wait.sum_micros()),
+            (
+                "queue_wait_p50_us".into(),
+                self.queue_wait.quantile_micros(0.50),
+            ),
+            (
+                "queue_wait_p99_us".into(),
+                self.queue_wait.quantile_micros(0.99),
+            ),
+        ];
+        for cmd in Command::ALL {
+            let h = self.latency(cmd);
+            let k = cmd.key();
+            out.push((format!("latency_{k}_count"), h.count()));
+            out.push((format!("latency_{k}_sum_us"), h.sum_micros()));
+            out.push((format!("latency_{k}_p50_us"), h.quantile_micros(0.50)));
+            out.push((format!("latency_{k}_p99_us"), h.quantile_micros(0.99)));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2_micros() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(1024), 11);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_bound_recorded_samples() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile_micros(0.99), 0);
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100));
+        }
+        h.record(Duration::from_millis(100));
+        assert_eq!(h.count(), 100);
+        // p50 lands in the 100µs bucket: upper bound within 2× above.
+        let p50 = h.quantile_micros(0.50);
+        assert!((100..=256).contains(&p50), "p50={p50}");
+        // p100 must see the 100ms straggler.
+        let p100 = h.quantile_micros(1.0);
+        assert!(p100 >= 100_000, "p100={p100}");
+        // Monotone in q.
+        assert!(h.quantile_micros(0.5) <= h.quantile_micros(0.99));
+        assert!(h.quantile_micros(0.99) <= h.quantile_micros(1.0));
+    }
+
+    #[test]
+    fn queue_gauge_tracks_peak() {
+        let m = Metrics::new();
+        m.job_enqueued();
+        m.job_enqueued();
+        m.job_finished();
+        m.job_enqueued();
+        assert_eq!(m.queued(), 2);
+        assert_eq!(m.queued_peak(), 2);
+        m.job_finished();
+        m.job_finished();
+        assert_eq!(m.queued(), 0);
+        assert_eq!(m.queued_peak(), 2);
+    }
+
+    #[test]
+    fn snapshot_has_stable_parseable_keys() {
+        let m = Metrics::new();
+        m.record_busy();
+        m.record_timeout();
+        m.record_latency(Command::Estimate, Duration::from_micros(50));
+        let snap = m.snapshot();
+        let get = |k: &str| {
+            snap.iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing key {k}"))
+        };
+        assert_eq!(get("busy_total"), 1);
+        assert_eq!(get("timeout_total"), 1);
+        assert_eq!(get("latency_estimate_count"), 1);
+        assert_eq!(get("latency_ping_count"), 0);
+        // Keys are unique.
+        let mut keys: Vec<&str> = snap.iter().map(|(k, _)| k.as_str()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), snap.len());
+    }
+}

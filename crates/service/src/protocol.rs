@@ -9,17 +9,36 @@
 //! client -> server                                server -> client
 //! -----------------------------------------------------------------------
 //! PING                                            PONG
-//! ESTIMATE <ds> <nv> <ne> (<src> <dst> <lbl>)*    EST <value|none> cache=<hit|miss> hits=<n> misses=<n>
-//! ESTIMATE_BATCH <ds> <n>                         BATCH <n>
-//!   then n lines: <nv> <ne> (<src> <dst> <lbl>)*    then n ordered EST/ERR lines
+//! ESTIMATE <ds> [DEADLINE_MS=<ms>] <nv> <ne> (<src> <dst> <lbl>)*
+//!                                                 EST <value|none> cache=<hit|miss> hits=<n> misses=<n>
+//! ESTIMATE_BATCH <ds> <n> [DEADLINE_MS=<ms>]      BATCH <n>
+//!   then n lines: <nv> <ne> (<src> <dst> <lbl>)*    then n ordered EST/BUSY/TIMEOUT/ERR lines
 //! ADD_EDGE <ds> <src> <dst> <lbl>                 OK epoch=<n> pending=<n>
 //! DEL_EDGE <ds> <src> <dst> <lbl>                 OK epoch=<n> pending=<n>
 //! COMMIT <ds>                                     COMMITTED epoch=<n> added=<n> deleted=<n> recounted=<n> rebased=<0|1>
 //! SNAPSHOT <ds> <path>                            SNAPSHOTTED epoch=<n> bytes=<n>
-//! STATS                                           STATS requests=<n> batches=<n> hits=<n> misses=<n> datasets=<n>
+//! STATS                                           STATS requests=<n> batches=<n> hits=<n> misses=<n> datasets=<n> busy=<n> timeouts=<n> queued=<n>
+//! METRICS                                         METRICS <n>, then n lines: <key> <value>
+//! SHUTDOWN                                        DRAINING
 //! QUIT                                            BYE
+//! (estimate rejected by admission/drain)          BUSY <message>
+//! (estimate abandoned at its deadline)            TIMEOUT deadline_ms=<ms>
 //! (anything malformed)                            ERR <message>
 //! ```
+//!
+//! # Overload & lifecycle commands
+//!
+//! `DEADLINE_MS` bounds one estimate (or a whole batch) in wall-clock
+//! milliseconds from the moment the server parses it; a request that
+//! cannot be answered in time gets a typed `TIMEOUT` reply, never a
+//! partial line. `BUSY` is the admission-control rejection: the
+//! per-dataset queue is full (or the server is draining) and the request
+//! was refused *before* consuming worker time — clients retry with
+//! backoff. `METRICS` dumps the whole metrics registry as `<key> <value>`
+//! lines under a counted header (same framing discipline as `BATCH`).
+//! `SHUTDOWN` asks the server to drain: the reply `DRAINING` confirms,
+//! new work is BUSY-rejected, and the process writes final snapshots and
+//! exits once in-flight work settles (see `cegcli serve`).
 //!
 //! `ESTIMATE_BATCH` is the only multi-line request: its header announces
 //! how many query lines follow (each the `<nv> <ne> <triples>` tail of an
@@ -69,13 +88,24 @@ pub enum Request {
     Ping,
     /// Counter snapshot.
     Stats,
-    /// Estimate one query against a named dataset.
-    Estimate { dataset: String, query: QueryGraph },
+    /// Full metrics-registry dump.
+    Metrics,
+    /// Ask the server to drain and shut down.
+    Shutdown,
+    /// Estimate one query against a named dataset, optionally bounded by
+    /// a wall-clock deadline in milliseconds.
+    Estimate {
+        dataset: String,
+        query: QueryGraph,
+        deadline_ms: Option<u64>,
+    },
     /// Estimate an ordered batch of queries against one dataset in a
-    /// single round-trip (the only multi-line request).
+    /// single round-trip (the only multi-line request). The deadline, if
+    /// any, covers the whole batch.
     EstimateBatch {
         dataset: String,
         queries: Vec<QueryGraph>,
+        deadline_ms: Option<u64>,
     },
     /// Persist the dataset's committed graph + catalog + epoch to a
     /// `.cegsnap` file on the server's filesystem.
@@ -190,6 +220,20 @@ fn parse_query_tokens<'a>(
     Ok(query)
 }
 
+/// Parse an optional `DEADLINE_MS=<ms>` token. Returns `Ok(None)` if the
+/// token is absent (`tok` was `None` or not a deadline attribute — the
+/// caller decides what the token means then), `Ok(Some(ms))` on a valid
+/// deadline, and an error on a malformed value.
+fn parse_deadline_token(ctx: &str, tok: Option<&str>) -> Result<Option<u64>, String> {
+    match tok.and_then(|t| t.strip_prefix("DEADLINE_MS=")) {
+        None => Ok(None),
+        Some(rest) => rest
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{ctx}: bad DEADLINE_MS value")),
+    }
+}
+
 /// Append a query in its wire encoding `<nv> <ne> (<src> <dst> <lbl>)*`.
 fn format_query_tokens(line: &mut String, query: &QueryGraph) {
     line.push_str(&format!("{} {}", query.num_vars(), query.num_edges()));
@@ -198,11 +242,11 @@ fn format_query_tokens(line: &mut String, query: &QueryGraph) {
     }
 }
 
-/// Parse an `ESTIMATE_BATCH <ds> <n>` header line, validating the count
-/// against [`MAX_BATCH_QUERIES`]. The server uses this to learn how many
-/// query lines to read before it can hand the whole text to
-/// [`Request::parse`].
-pub fn parse_batch_header(line: &str) -> Result<(String, usize), String> {
+/// Parse an `ESTIMATE_BATCH <ds> <n> [DEADLINE_MS=<ms>]` header line,
+/// validating the count against [`MAX_BATCH_QUERIES`]. The server uses
+/// this to learn how many query lines to read before it can hand the
+/// whole text to [`Request::parse`].
+pub fn parse_batch_header(line: &str) -> Result<(String, usize, Option<u64>), String> {
     let mut it = line.split_whitespace();
     match it.next() {
         Some("ESTIMATE_BATCH") => {}
@@ -217,7 +261,9 @@ pub fn parse_batch_header(line: &str) -> Result<(String, usize), String> {
         .ok_or("ESTIMATE_BATCH: missing query count")?
         .parse()
         .map_err(|_| "ESTIMATE_BATCH: bad query count")?;
-    if it.next().is_some() {
+    let tail = it.next();
+    let deadline_ms = parse_deadline_token("ESTIMATE_BATCH", tail)?;
+    if (tail.is_some() && deadline_ms.is_none()) || it.next().is_some() {
         return Err("ESTIMATE_BATCH: trailing tokens".into());
     }
     if n == 0 {
@@ -228,7 +274,7 @@ pub fn parse_batch_header(line: &str) -> Result<(String, usize), String> {
             "ESTIMATE_BATCH: query count {n} exceeds the limit of {MAX_BATCH_QUERIES}"
         ));
     }
-    Ok((dataset, n))
+    Ok((dataset, n, deadline_ms))
 }
 
 /// Render the `BATCH <n>` response header that precedes a batch's `n`
@@ -255,6 +301,45 @@ pub fn parse_batch_response_header(line: &str) -> Result<usize, String> {
     Ok(n)
 }
 
+/// Render the `METRICS <n>` response header that precedes `n`
+/// `<key> <value>` lines.
+pub fn metrics_response_header(n: usize) -> String {
+    format!("METRICS {n}")
+}
+
+/// Parse a `METRICS <n>` response header.
+pub fn parse_metrics_response_header(line: &str) -> Result<usize, String> {
+    let mut it = line.split_whitespace();
+    match it.next() {
+        Some("METRICS") => {}
+        _ => return Err(format!("expected METRICS header, got `{line}`")),
+    }
+    let n: usize = it
+        .next()
+        .ok_or("METRICS: missing count")?
+        .parse()
+        .map_err(|_| "METRICS: bad count")?;
+    if it.next().is_some() {
+        return Err("METRICS: trailing tokens".into());
+    }
+    Ok(n)
+}
+
+/// Parse one `<key> <value>` line of a `METRICS` reply body.
+pub fn parse_metric_line(line: &str) -> Result<(String, u64), String> {
+    let mut it = line.split_whitespace();
+    let key = it.next().ok_or("metric line: missing key")?.to_string();
+    let value: u64 = it
+        .next()
+        .ok_or("metric line: missing value")?
+        .parse()
+        .map_err(|_| format!("metric line: bad value for `{key}`"))?;
+    if it.next().is_some() {
+        return Err("metric line: trailing tokens".into());
+    }
+    Ok((key, value))
+}
+
 impl Request {
     /// Parse one request. Input is a single line for every command except
     /// `ESTIMATE_BATCH`, whose header line is followed by the announced
@@ -264,7 +349,7 @@ impl Request {
         let mut lines = input.lines();
         let line = lines.next().unwrap_or("");
         if line.split_whitespace().next() == Some("ESTIMATE_BATCH") {
-            let (dataset, n) = parse_batch_header(line)?;
+            let (dataset, n, deadline_ms) = parse_batch_header(line)?;
             let mut queries = Vec::with_capacity(n);
             for i in 0..n {
                 let qline = lines
@@ -276,7 +361,11 @@ impl Request {
             if lines.next().is_some() {
                 return Err("ESTIMATE_BATCH: trailing lines after the batch".into());
             }
-            return Ok(Request::EstimateBatch { dataset, queries });
+            return Ok(Request::EstimateBatch {
+                dataset,
+                queries,
+                deadline_ms,
+            });
         }
         let request = Self::parse_single_line(&mut line.split_whitespace())?;
         if lines.next().is_some() {
@@ -293,6 +382,8 @@ impl Request {
         match it.next() {
             Some("PING") => Ok(Request::Ping),
             Some("STATS") => Ok(Request::Stats),
+            Some("METRICS") => Ok(Request::Metrics),
+            Some("SHUTDOWN") => Ok(Request::Shutdown),
             Some("QUIT") => Ok(Request::Quit),
             Some("ADD_EDGE") => {
                 let (dataset, src, dst, label) = parse_update("ADD_EDGE", &mut it)?;
@@ -321,8 +412,20 @@ impl Request {
             }
             Some("ESTIMATE") => {
                 let dataset = it.next().ok_or("ESTIMATE: missing dataset")?.to_string();
-                let query = parse_query_tokens("ESTIMATE", it)?;
-                Ok(Request::Estimate { dataset, query })
+                // The deadline attribute is optional; if the next token
+                // isn't one, it is the start of the query encoding.
+                let first = it.next().ok_or("ESTIMATE: missing num_vars")?;
+                let deadline_ms = parse_deadline_token("ESTIMATE", Some(first))?;
+                let query = if deadline_ms.is_some() {
+                    parse_query_tokens("ESTIMATE", it)?
+                } else {
+                    parse_query_tokens("ESTIMATE", &mut std::iter::once(first).chain(it))?
+                };
+                Ok(Request::Estimate {
+                    dataset,
+                    query,
+                    deadline_ms,
+                })
             }
             Some("SNAPSHOT") => {
                 let dataset = it.next().ok_or("SNAPSHOT: missing dataset")?.to_string();
@@ -344,10 +447,19 @@ impl Request {
         match self {
             Request::Ping => "PING".into(),
             Request::Stats => "STATS".into(),
+            Request::Metrics => "METRICS".into(),
+            Request::Shutdown => "SHUTDOWN".into(),
             Request::Quit => "QUIT".into(),
             Request::Snapshot { dataset, path } => format!("SNAPSHOT {dataset} {path}"),
-            Request::EstimateBatch { dataset, queries } => {
+            Request::EstimateBatch {
+                dataset,
+                queries,
+                deadline_ms,
+            } => {
                 let mut text = format!("ESTIMATE_BATCH {dataset} {}", queries.len());
+                if let Some(ms) = deadline_ms {
+                    text.push_str(&format!(" DEADLINE_MS={ms}"));
+                }
                 for q in queries {
                     text.push('\n');
                     format_query_tokens(&mut text, q);
@@ -367,8 +479,15 @@ impl Request {
                 label,
             } => format!("DEL_EDGE {dataset} {src} {dst} {label}"),
             Request::Commit { dataset } => format!("COMMIT {dataset}"),
-            Request::Estimate { dataset, query } => {
+            Request::Estimate {
+                dataset,
+                query,
+                deadline_ms,
+            } => {
                 let mut line = format!("ESTIMATE {dataset} ");
+                if let Some(ms) = deadline_ms {
+                    line.push_str(&format!("DEADLINE_MS={ms} "));
+                }
                 format_query_tokens(&mut line, query);
                 line
             }
@@ -393,6 +512,17 @@ pub enum Response {
     Committed(CommitOutcome),
     /// Result of a `SNAPSHOT`: the persisted epoch and file size.
     Snapshotted(SnapshotAck),
+    /// Admission-control rejection: the request was refused before any
+    /// worker time was spent on it (queue full, or server draining).
+    Busy(String),
+    /// The request's deadline passed before an answer was produced.
+    Timeout {
+        /// The deadline the request carried (or the server default), in
+        /// milliseconds — echoed so clients can correlate.
+        deadline_ms: u64,
+    },
+    /// Acknowledgement of `SHUTDOWN`: the server is draining.
+    Draining,
     Error(String),
     Bye,
 }
@@ -403,7 +533,12 @@ impl Response {
         match self {
             Response::Pong => "PONG".into(),
             Response::Bye => "BYE".into(),
+            Response::Draining => "DRAINING".into(),
             Response::Error(msg) => format!("ERR {msg}"),
+            Response::Busy(msg) => format!("BUSY {msg}"),
+            Response::Timeout { deadline_ms } => {
+                format!("TIMEOUT deadline_ms={deadline_ms}")
+            }
             Response::Estimate {
                 outcome,
                 hits,
@@ -417,8 +552,16 @@ impl Response {
                 format!("EST {value} cache={cache} hits={hits} misses={misses}")
             }
             Response::Stats(s) => format!(
-                "STATS requests={} batches={} hits={} misses={} datasets={}",
-                s.requests, s.batches, s.cache_hits, s.cache_misses, s.datasets
+                "STATS requests={} batches={} hits={} misses={} datasets={} \
+                 busy={} timeouts={} queued={}",
+                s.requests,
+                s.batches,
+                s.cache_hits,
+                s.cache_misses,
+                s.datasets,
+                s.busy,
+                s.timeouts,
+                s.queued
             ),
             Response::Updated(ack) => {
                 format!("OK epoch={} pending={}", ack.epoch, ack.pending)
@@ -439,11 +582,24 @@ impl Response {
         match it.next() {
             Some("PONG") => Ok(Response::Pong),
             Some("BYE") => Ok(Response::Bye),
+            Some("DRAINING") => Ok(Response::Draining),
             Some("ERR") => {
                 let rest = line.trim_start();
                 Ok(Response::Error(
                     rest.strip_prefix("ERR").unwrap_or(rest).trim().to_string(),
                 ))
+            }
+            Some("BUSY") => {
+                let rest = line.trim_start();
+                Ok(Response::Busy(
+                    rest.strip_prefix("BUSY").unwrap_or(rest).trim().to_string(),
+                ))
+            }
+            Some("TIMEOUT") => {
+                let deadline_ms = kv(it.next(), "deadline_ms")?
+                    .parse()
+                    .map_err(|_| "TIMEOUT: bad deadline_ms")?;
+                Ok(Response::Timeout { deadline_ms })
             }
             Some("EST") => {
                 let value_tok = it.next().ok_or("EST: missing value")?;
@@ -528,12 +684,24 @@ impl Response {
                 let datasets = kv(it.next(), "datasets")?
                     .parse()
                     .map_err(|_| "STATS: bad datasets")?;
+                let busy = kv(it.next(), "busy")?
+                    .parse()
+                    .map_err(|_| "STATS: bad busy")?;
+                let timeouts = kv(it.next(), "timeouts")?
+                    .parse()
+                    .map_err(|_| "STATS: bad timeouts")?;
+                let queued = kv(it.next(), "queued")?
+                    .parse()
+                    .map_err(|_| "STATS: bad queued")?;
                 Ok(Response::Stats(EngineStats {
                     requests,
                     batches,
                     cache_hits,
                     cache_misses,
                     datasets,
+                    busy,
+                    timeouts,
+                    queued,
                 }))
             }
             Some(other) => Err(format!("unknown response `{other}`")),
@@ -560,6 +728,7 @@ mod tests {
         let req = Request::Estimate {
             dataset: "imdb".into(),
             query: templates::path(2, &[3, 4]),
+            deadline_ms: None,
         };
         let line = req.format();
         assert_eq!(line, "ESTIMATE imdb 3 2 0 1 3 1 2 4");
@@ -567,8 +736,30 @@ mod tests {
     }
 
     #[test]
+    fn estimate_deadline_roundtrip() {
+        let req = Request::Estimate {
+            dataset: "imdb".into(),
+            query: templates::path(2, &[3, 4]),
+            deadline_ms: Some(250),
+        };
+        let line = req.format();
+        assert_eq!(line, "ESTIMATE imdb DEADLINE_MS=250 3 2 0 1 3 1 2 4");
+        assert_eq!(Request::parse(&line).unwrap(), req);
+        // A malformed deadline value is rejected, not silently treated as
+        // the start of the query.
+        assert!(Request::parse("ESTIMATE imdb DEADLINE_MS=abc 3 2 0 1 3 1 2 4").is_err());
+        assert!(Request::parse("ESTIMATE imdb DEADLINE_MS= 3 2 0 1 3 1 2 4").is_err());
+    }
+
+    #[test]
     fn simple_requests_roundtrip() {
-        for req in [Request::Ping, Request::Stats, Request::Quit] {
+        for req in [
+            Request::Ping,
+            Request::Stats,
+            Request::Metrics,
+            Request::Shutdown,
+            Request::Quit,
+        ] {
             assert_eq!(Request::parse(&req.format()).unwrap(), req);
         }
     }
@@ -645,6 +836,7 @@ mod tests {
         let req = Request::EstimateBatch {
             dataset: "imdb".into(),
             queries: vec![templates::path(2, &[3, 4]), templates::path(2, &[0, 1])],
+            deadline_ms: None,
         };
         let text = req.format();
         assert_eq!(
@@ -654,8 +846,29 @@ mod tests {
         assert_eq!(Request::parse(&text).unwrap(), req);
         assert_eq!(
             parse_batch_header(text.lines().next().unwrap()).unwrap(),
-            ("imdb".to_string(), 2)
+            ("imdb".to_string(), 2, None)
         );
+    }
+
+    #[test]
+    fn estimate_batch_deadline_roundtrips() {
+        let req = Request::EstimateBatch {
+            dataset: "imdb".into(),
+            queries: vec![templates::path(2, &[3, 4])],
+            deadline_ms: Some(1500),
+        };
+        let text = req.format();
+        assert_eq!(
+            text,
+            "ESTIMATE_BATCH imdb 1 DEADLINE_MS=1500\n3 2 0 1 3 1 2 4"
+        );
+        assert_eq!(Request::parse(&text).unwrap(), req);
+        assert_eq!(
+            parse_batch_header(text.lines().next().unwrap()).unwrap(),
+            ("imdb".to_string(), 1, Some(1500))
+        );
+        assert!(parse_batch_header("ESTIMATE_BATCH ds 1 DEADLINE_MS=x").is_err());
+        assert!(parse_batch_header("ESTIMATE_BATCH ds 1 DEADLINE_MS=5 junk").is_err());
     }
 
     #[test]
@@ -764,10 +977,32 @@ mod tests {
                 cache_hits: 6,
                 cache_misses: 4,
                 datasets: 2,
+                busy: 3,
+                timeouts: 1,
+                queued: 5,
             }),
+            Response::Busy("queue full for dataset `imdb`".into()),
+            Response::Timeout { deadline_ms: 250 },
+            Response::Draining,
         ];
         for r in responses {
             assert_eq!(Response::parse(&r.format()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn metrics_response_header_roundtrips() {
+        assert_eq!(metrics_response_header(12), "METRICS 12");
+        assert_eq!(parse_metrics_response_header("METRICS 12").unwrap(), 12);
+        for line in ["METRICS", "METRICS x", "METRICS 1 2", "BATCH 3"] {
+            assert!(parse_metrics_response_header(line).is_err(), "{line:?}");
+        }
+        assert_eq!(
+            parse_metric_line("busy_total 7").unwrap(),
+            ("busy_total".to_string(), 7)
+        );
+        for line in ["", "key", "key x", "key 1 2"] {
+            assert!(parse_metric_line(line).is_err(), "{line:?}");
         }
     }
 

@@ -40,7 +40,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use ceg_catalog::io::load_markov;
-use ceg_catalog::{count_patterns, MarkovTable};
+use ceg_catalog::{count_patterns_budgeted, MarkovTable};
 use ceg_graph::io::load_graph;
 use ceg_graph::{FxHashMap, FxHashSet, GraphDelta, LabelId, LabeledGraph, OverlayGraph, VertexId};
 use ceg_query::{Pattern, QueryGraph};
@@ -395,6 +395,21 @@ impl DatasetEntry {
     /// before the insert are discarded and recounted, so a stale count
     /// can never enter a newer epoch's catalog.
     pub fn ensure_patterns(&self, queries: &[QueryGraph]) -> usize {
+        self.ensure_patterns_deadline(queries, None)
+    }
+
+    /// [`DatasetEntry::ensure_patterns`] under an optional wall-clock
+    /// deadline: counting stops at the deadline (mid-pattern, via the
+    /// kernel's [`ceg_exec::CountBudget`] hook), only *completed* counts
+    /// are inserted, and the stale-epoch retry loop gives up once the
+    /// deadline has passed. Callers check
+    /// [`DatasetEntry::patterns_complete`] afterwards to tell a fully
+    /// provisioned query from one whose fill was abandoned.
+    pub fn ensure_patterns_deadline(
+        &self,
+        queries: &[QueryGraph],
+        deadline: Option<std::time::Instant>,
+    ) -> usize {
         loop {
             let (missing, base, overlay, epoch) = {
                 let st = self.state.read().unwrap();
@@ -413,17 +428,35 @@ impl DatasetEntry {
                 }
                 (missing, st.base.clone(), st.overlay.clone(), st.epoch)
             };
+            let budget = match deadline {
+                Some(d) => ceg_exec::CountBudget::until(d),
+                None => ceg_exec::CountBudget::UNLIMITED,
+            };
             let counts = if overlay.is_empty() {
-                count_patterns(&*base, &missing, self.jobs)
+                count_patterns_budgeted(&*base, &missing, self.jobs, budget)
             } else {
-                count_patterns(&OverlayGraph::new(&base, &overlay), &missing, self.jobs)
+                count_patterns_budgeted(
+                    &OverlayGraph::new(&base, &overlay),
+                    &missing,
+                    self.jobs,
+                    budget,
+                )
             };
             let mut st = self.state.write().unwrap();
             if st.epoch != epoch {
-                continue; // a commit landed mid-count: the counts may be stale
+                // A commit landed mid-count: the counts may be stale.
+                // Retry — unless the deadline has passed, in which case
+                // the caller is about to time the request out anyway.
+                if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
+                    return 0;
+                }
+                continue;
             }
             let mut added = 0;
             for (pat, card) in missing.into_iter().zip(counts) {
+                // Abandoned counts insert nothing: a partial count must
+                // never enter the catalog as if it were exact.
+                let Some(card) = card else { continue };
                 if st.markov.card(&pat).is_none() {
                     st.markov.insert(pat, card);
                     added += 1;
@@ -431,6 +464,18 @@ impl DatasetEntry {
             }
             return added;
         }
+    }
+
+    /// True when every connected sub-pattern (≤ `h` edges) of `query` is
+    /// present in the catalog — i.e. an estimate of `query` needs no
+    /// further counting. A deadline-bounded fill that was abandoned
+    /// leaves this false for the affected queries.
+    pub fn patterns_complete(&self, query: &QueryGraph) -> bool {
+        let st = self.state.read().unwrap();
+        query
+            .connected_subsets_up_to(self.h)
+            .into_iter()
+            .all(|mask| st.markov.card(&Pattern::of_subquery(query, mask)).is_some())
     }
 
     /// Catalog size (stored patterns) right now.

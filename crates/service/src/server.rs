@@ -1,39 +1,58 @@
-//! The TCP front end: accept loop, connection handlers, batching workers.
+//! The TCP front end: accept loop, connection handlers, batching workers,
+//! admission control and the drain lifecycle.
 //!
 //! Request lifecycle:
 //!
 //! 1. A connection handler thread reads one protocol line and parses it.
-//! 2. `ESTIMATE` requests are spread round-robin over the worker-pool
-//!    shards, carrying a reply channel. (Round-robin rather than
+//! 2. `ESTIMATE` requests first try the estimate cache inline (a cache
+//!    hit never waits behind queued cold work), then pass admission
+//!    control: each dataset has a bounded in-flight budget
+//!    ([`ServerConfig::queue_cap`]) and a full queue answers `BUSY`
+//!    immediately instead of queueing without bound. Admitted jobs are
+//!    spread round-robin over the worker-pool shards, carrying a reply
+//!    channel and their deadline. (Round-robin rather than
 //!    pin-by-dataset: the common deployment serves one dataset, which a
 //!    dataset pin would serialize onto a single worker.)
 //! 3. The shard's worker drains its queue into a batch (up to
-//!    `batch_max`), groups the batch by dataset, and runs each group
-//!    through [`Engine::estimate_batch`] — one cache pass, one catalog
-//!    fill, one estimation pass for the whole group.
+//!    `batch_max`), drops jobs whose deadline already passed (typed
+//!    `TIMEOUT`) or that arrived after a drain began (typed `BUSY`),
+//!    groups the rest by dataset, and runs each group through
+//!    [`Engine::estimate_batch_deadline`] — one cache pass, one catalog
+//!    fill, one estimation pass for the whole group, with the deadline
+//!    checked between plan depths inside the counting kernel.
 //! 4. Each reply flows back over its channel; the handler writes one
-//!    response line. `PING`/`STATS` are answered inline by the handler.
+//!    response line. `PING`/`STATS`/`METRICS` are answered inline by the
+//!    handler; `SHUTDOWN` flips the drain flag and answers `DRAINING`.
+//!
+//! Every accepted request is answered with exactly one of: an estimate,
+//! a typed `BUSY`, a typed `TIMEOUT`, or an `ERR` — nothing is silently
+//! dropped, which is what makes the overload tests assertable.
 //!
 //! Concurrency discipline: the graph is immutable, the Markov catalog is
 //! behind an `RwLock` written only by batch fills, the cache behind a
 //! `Mutex` held for lookups/stores only — never during counting or
-//! estimation.
+//! estimation. Admission counters and the metrics registry are plain
+//! atomics.
 
+use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
 
 use ceg_query::QueryGraph;
 
-use crate::engine::Engine;
+use crate::engine::{Engine, QueryOutcome};
+use crate::metrics::{Command, Metrics};
 use crate::pool::WorkerPool;
 use crate::protocol::{Request, Response};
 use crate::registry::DatasetRegistry;
 
 /// Server tuning knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Worker threads (= queue shards) for estimation requests.
     pub workers: usize,
@@ -41,6 +60,20 @@ pub struct ServerConfig {
     pub batch_max: usize,
     /// LRU estimate-cache capacity in hash buckets (0 disables caching).
     pub cache_capacity: usize,
+    /// Admission control: maximum estimate jobs in flight (queued or
+    /// running) per dataset. Requests beyond the cap get a typed `BUSY`
+    /// instead of queueing without bound.
+    pub queue_cap: usize,
+    /// Deadline applied to estimates that don't carry their own
+    /// `DEADLINE_MS`. `None` means unbounded (seed behaviour).
+    pub default_deadline_ms: Option<u64>,
+    /// Where [`Server::drain`] writes one final `<dataset>.cegsnap` per
+    /// dataset. `None` skips the final snapshots.
+    pub drain_snapshot_dir: Option<PathBuf>,
+    /// How long [`Server::drain`] waits for admitted jobs to settle
+    /// before abandoning them (they still get typed replies from the
+    /// workers; this just bounds process exit).
+    pub drain_grace_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -51,8 +84,132 @@ impl Default for ServerConfig {
                 .max(2),
             batch_max: 32,
             cache_capacity: 4096,
+            queue_cap: 1024,
+            default_deadline_ms: Some(30_000),
+            drain_snapshot_dir: None,
+            drain_grace_ms: 5_000,
         }
     }
+}
+
+/// Per-dataset bounded admission: a job may enter the worker queues only
+/// while the dataset's in-flight count is below the cap. The permit is
+/// RAII — dropping the job (answered, rejected, or abandoned) releases
+/// its slot, so the bound cannot leak.
+struct Admission {
+    cap: usize,
+    counters: Mutex<HashMap<String, Arc<AtomicUsize>>>,
+}
+
+impl Admission {
+    fn new(cap: usize) -> Self {
+        Admission {
+            cap,
+            counters: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Try to admit one job for `dataset`; `None` means the queue is
+    /// full and the caller must answer `BUSY`.
+    fn try_admit(&self, dataset: &str, metrics: &Arc<Metrics>) -> Option<AdmissionPermit> {
+        let counter = {
+            let mut map = self.counters.lock().expect("admission map poisoned");
+            match map.get(dataset) {
+                Some(c) => c.clone(),
+                None => {
+                    let c = Arc::new(AtomicUsize::new(0));
+                    map.insert(dataset.to_string(), c.clone());
+                    c
+                }
+            }
+        };
+        // Exact bound: a compare-exchange loop never overshoots the cap,
+        // unlike fetch_add-then-undo.
+        let mut cur = counter.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.cap {
+                return None;
+            }
+            match counter.compare_exchange_weak(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        metrics.job_enqueued();
+        Some(AdmissionPermit {
+            counter,
+            metrics: metrics.clone(),
+        })
+    }
+}
+
+/// RAII admission slot: released on drop, wherever the job ends up.
+struct AdmissionPermit {
+    counter: Arc<AtomicUsize>,
+    metrics: Arc<Metrics>,
+}
+
+impl Drop for AdmissionPermit {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::Relaxed);
+        self.metrics.job_finished();
+    }
+}
+
+/// The drain flag plus a condvar so `cegcli serve` can block on "has
+/// anyone asked us to shut down?" instead of polling.
+struct Lifecycle {
+    draining: AtomicBool,
+    signal: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Lifecycle {
+    fn new() -> Self {
+        Lifecycle {
+            draining: AtomicBool::new(false),
+            signal: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn request_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        let mut flag = self.signal.lock().expect("lifecycle lock poisoned");
+        *flag = true;
+        self.cv.notify_all();
+    }
+
+    fn drain_requested(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn wait_drain_requested(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut flag = self.signal.lock().expect("lifecycle lock poisoned");
+        while !*flag {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (guard, _) = self
+                .cv
+                .wait_timeout(flag, deadline - now)
+                .expect("lifecycle lock poisoned");
+            flag = guard;
+        }
+        true
+    }
+}
+
+/// State shared by the accept loop, every connection handler and the
+/// workers.
+struct Shared {
+    engine: Arc<Engine>,
+    admission: Admission,
+    lifecycle: Lifecycle,
+    default_deadline_ms: Option<u64>,
 }
 
 /// One queued estimation request.
@@ -60,14 +217,34 @@ struct EstimateJob {
     dataset: String,
     query: QueryGraph,
     reply: mpsc::Sender<Response>,
+    /// Absolute deadline plus the millisecond value to echo in `TIMEOUT`.
+    deadline: Option<(Instant, u64)>,
+    enqueued_at: Instant,
+    /// Held for the job's whole queued+running life; dropping it releases
+    /// the dataset's admission slot.
+    _permit: AdmissionPermit,
+}
+
+/// What [`Server::drain`] did.
+#[derive(Debug)]
+pub struct DrainReport {
+    /// `(dataset, path, bytes)` for each final snapshot written.
+    pub snapshots: Vec<(String, PathBuf, u64)>,
+    /// Jobs still in flight when the grace period expired (their typed
+    /// replies are the workers' job; this only bounds process exit).
+    pub abandoned: u64,
 }
 
 /// A running estimation server. [`Server::shutdown`] (or dropping the
 /// server) stops accepting and joins the accept thread; the worker pool
 /// lives until the last open connection is done with it, so in-flight
-/// requests are always answered.
+/// requests are always answered. [`Server::drain`] is the graceful
+/// variant: flip the drain flag first so in-flight work resolves to
+/// typed replies, then write final snapshots.
 pub struct Server {
     engine: Arc<Engine>,
+    shared: Arc<Shared>,
+    config: ServerConfig,
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
@@ -85,17 +262,23 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let engine = Arc::new(Engine::new(registry, config.cache_capacity));
+        let shared = Arc::new(Shared {
+            engine: engine.clone(),
+            admission: Admission::new(config.queue_cap.max(1)),
+            lifecycle: Lifecycle::new(),
+            default_deadline_ms: config.default_deadline_ms,
+        });
         let pool = {
-            let engine = engine.clone();
+            let shared = shared.clone();
             Arc::new(WorkerPool::new(
                 config.workers,
                 config.batch_max,
-                move |batch| handle_batch(&engine, batch),
+                move |batch| handle_batch(&shared, batch),
             ))
         };
         let stop = Arc::new(AtomicBool::new(false));
         let accept = {
-            let engine = engine.clone();
+            let shared = shared.clone();
             let pool = pool.clone();
             let stop = stop.clone();
             thread::Builder::new()
@@ -106,18 +289,25 @@ impl Server {
                             break;
                         }
                         let Ok(stream) = stream else { continue };
-                        let engine = engine.clone();
+                        let shared = shared.clone();
                         let pool = pool.clone();
+                        // Small stacks: the handler only parses lines and
+                        // shuttles replies, and a fleet of idle
+                        // connections should cost kilobytes, not the 8MB
+                        // Linux default, apiece.
                         let _ = thread::Builder::new()
                             .name("ceg-conn".into())
+                            .stack_size(CONN_STACK_BYTES)
                             .spawn(move || {
-                                let _ = serve_connection(stream, &engine, &pool);
+                                let _ = serve_connection(stream, &shared, &pool);
                             });
                     }
                 })?
         };
         Ok(Server {
             engine,
+            shared,
+            config,
             addr,
             stop,
             accept: Some(accept),
@@ -133,6 +323,64 @@ impl Server {
     /// The shared engine (counters, registry) — handy in tests and benches.
     pub fn engine(&self) -> &Arc<Engine> {
         &self.engine
+    }
+
+    /// Flip the drain flag (as the wire `SHUTDOWN` command does): new
+    /// work is BUSY-rejected from this point on. The caller still owns
+    /// the actual teardown via [`Server::drain`].
+    pub fn request_drain(&self) {
+        self.shared.lifecycle.request_drain();
+    }
+
+    /// Has anyone (wire `SHUTDOWN`, signal handler, or
+    /// [`Server::request_drain`]) asked for a drain?
+    pub fn drain_requested(&self) -> bool {
+        self.shared.lifecycle.drain_requested()
+    }
+
+    /// Block up to `timeout` for a drain request; `true` if one arrived.
+    /// `cegcli serve` sits in this instead of a poll loop.
+    pub fn wait_drain_requested(&self, timeout: Duration) -> bool {
+        self.shared.lifecycle.wait_drain_requested(timeout)
+    }
+
+    /// Gracefully drain and stop: reject new work, stop accepting, wait
+    /// up to the grace period for admitted jobs to resolve into typed
+    /// replies, then write one final snapshot per dataset into
+    /// `drain_snapshot_dir` (if configured).
+    pub fn drain(mut self) -> io::Result<DrainReport> {
+        self.shared.lifecycle.request_drain();
+        // Stop accepting before snapshotting; existing connections keep
+        // their typed-reply guarantee via the drained workers.
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let grace_until = Instant::now() + Duration::from_millis(self.config.drain_grace_ms);
+        let metrics = self.engine.metrics().clone();
+        while metrics.queued() > 0 && Instant::now() < grace_until {
+            thread::sleep(Duration::from_millis(1));
+        }
+        let abandoned = metrics.queued();
+        let mut snapshots = Vec::new();
+        if let Some(dir) = self.config.drain_snapshot_dir.clone() {
+            std::fs::create_dir_all(&dir)?;
+            for name in self.engine.registry().names() {
+                let Some(entry) = self.engine.registry().get(&name) else {
+                    continue;
+                };
+                let path = dir.join(format!("{name}.cegsnap"));
+                let (_epoch, bytes) = entry.write_snapshot(&path)?;
+                snapshots.push((name, path, bytes));
+            }
+        }
+        // Dropping `self` releases the pool handle; workers exit once the
+        // remaining connection handlers drop theirs.
+        Ok(DrainReport {
+            snapshots,
+            abandoned,
+        })
     }
 
     /// Stop accepting new connections and join the accept thread. Worker
@@ -167,6 +415,19 @@ impl Drop for Server {
 /// newline would grow the read buffer without bound.
 const MAX_LINE_BYTES: u64 = 64 * 1024;
 
+/// Stream-buffer capacity per direction. Small on purpose: an idle
+/// connection holds exactly two of these plus a (shrunk) line buffer.
+const STREAM_BUF_BYTES: usize = 4 * 1024;
+
+/// The line buffer is shrunk back to this after any request that grew it
+/// (a big batch, an overlong-garbage line), so idle connections don't pin
+/// up to [`MAX_LINE_BYTES`] each.
+const IDLE_LINE_CAP: usize = 1024;
+
+/// Connection-handler stack size. The handler parses lines and shuttles
+/// channel replies — nothing recursive.
+const CONN_STACK_BYTES: usize = 256 * 1024;
+
 /// Outcome of reading one capped request line.
 enum LineRead {
     /// A complete line (newline stripped is up to the caller).
@@ -191,22 +452,73 @@ fn read_request_line(reader: &mut BufReader<TcpStream>, line: &mut String) -> io
     Ok(LineRead::Line)
 }
 
+/// The latency bucket a request is recorded under (`None` for `QUIT` and
+/// `SHUTDOWN`, which are lifecycle events rather than served commands).
+fn command_of(req: &Request) -> Option<Command> {
+    Some(match req {
+        Request::Ping => Command::Ping,
+        Request::Stats => Command::Stats,
+        Request::Metrics => Command::Metrics,
+        Request::Estimate { .. } => Command::Estimate,
+        Request::EstimateBatch { .. } => Command::EstimateBatch,
+        Request::AddEdge { .. } => Command::AddEdge,
+        Request::DelEdge { .. } => Command::DelEdge,
+        Request::Commit { .. } => Command::Commit,
+        Request::Snapshot { .. } => Command::Snapshot,
+        Request::Quit | Request::Shutdown => return None,
+    })
+}
+
+/// Resolve a request's effective deadline: its own `DEADLINE_MS`, else
+/// the server default, else unbounded. A value so large the clock cannot
+/// represent it is treated as unbounded rather than panicking.
+fn effective_deadline(request_ms: Option<u64>, default_ms: Option<u64>) -> Option<(Instant, u64)> {
+    let ms = request_ms.or(default_ms)?;
+    let at = Instant::now().checked_add(Duration::from_millis(ms))?;
+    Some((at, ms))
+}
+
+/// Write one reply line and flush. The single funnel for `ERR`
+/// accounting: every error actually sent to a client is counted exactly
+/// once here, no matter which layer produced it.
+fn write_reply(
+    writer: &mut BufWriter<TcpStream>,
+    metrics: &Metrics,
+    response: &Response,
+) -> io::Result<()> {
+    if matches!(response, Response::Error(_)) {
+        metrics.record_error();
+    }
+    writeln!(writer, "{}", response.format())?;
+    writer.flush()
+}
+
+/// An ordered slot of a batch reply: answered inline (cache hit or
+/// rejection) or still owed by a worker.
+enum Slot {
+    Ready(Response),
+    Pending(mpsc::Receiver<Response>),
+}
+
 /// Per-connection loop: one request in, one response out (a batch counts
-/// as one request with one multi-line response). Estimates are spread
-/// round-robin over the queue shards; workers regroup their drained
-/// batches by dataset, so same-dataset requests that arrive together
-/// still amortize (and one hot dataset is not pinned to one worker).
+/// as one request with one multi-line response). Estimates try the cache
+/// inline, then admission control, then the queue shards; workers regroup
+/// their drained batches by dataset, so same-dataset requests that arrive
+/// together still amortize (and one hot dataset is not pinned to one
+/// worker).
 fn serve_connection(
     stream: TcpStream,
-    engine: &Arc<Engine>,
+    shared: &Arc<Shared>,
     pool: &Arc<WorkerPool<EstimateJob>>,
 ) -> io::Result<()> {
     // One write syscall per response line, and no Nagle delay on it:
     // an unbuffered `writeln!` issues several small writes per line,
     // which interacts with delayed ACKs into ~40ms per round-trip.
     stream.set_nodelay(true)?;
-    let mut writer = BufWriter::new(stream.try_clone()?);
-    let mut reader = BufReader::new(stream);
+    let engine = &shared.engine;
+    let metrics = engine.metrics().clone();
+    let mut writer = BufWriter::with_capacity(STREAM_BUF_BYTES, stream.try_clone()?);
+    let mut reader = BufReader::with_capacity(STREAM_BUF_BYTES, stream);
     let mut line = String::new();
     loop {
         match read_request_line(&mut reader, &mut line)? {
@@ -214,12 +526,11 @@ fn serve_connection(
             LineRead::TooLong => {
                 // Overlong line: refuse and drop the connection — the
                 // rest of the stream is the same unterminated line.
-                writeln!(
-                    writer,
-                    "{}",
-                    Response::Error("request line too long".into()).format()
+                write_reply(
+                    &mut writer,
+                    &metrics,
+                    &Response::Error("request line too long".into()),
                 )?;
-                writer.flush()?;
                 break;
             }
             LineRead::Line => {}
@@ -227,6 +538,7 @@ fn serve_connection(
         if line.trim().is_empty() {
             continue;
         }
+        let started = Instant::now();
         // ESTIMATE_BATCH is the one multi-line request: its header says
         // how many query lines follow. Read them (still one capped line
         // at a time) before parsing, so the stream stays framed even
@@ -237,21 +549,19 @@ fn serve_connection(
         if request_text.split_whitespace().next() == Some("ESTIMATE_BATCH") {
             match crate::protocol::parse_batch_header(&request_text) {
                 Err(msg) => {
-                    writeln!(writer, "{}", Response::Error(msg).format())?;
-                    writer.flush()?;
+                    write_reply(&mut writer, &metrics, &Response::Error(msg))?;
                     break;
                 }
-                Ok((_, n)) => {
+                Ok((_, n, _)) => {
                     for _ in 0..n {
                         match read_request_line(&mut reader, &mut line)? {
                             LineRead::Eof => return Ok(()),
                             LineRead::TooLong => {
-                                writeln!(
-                                    writer,
-                                    "{}",
-                                    Response::Error("request line too long".into()).format()
+                                write_reply(
+                                    &mut writer,
+                                    &metrics,
+                                    &Response::Error("request line too long".into()),
                                 )?;
-                                writer.flush()?;
                                 return Ok(());
                             }
                             LineRead::Line => {
@@ -265,14 +575,58 @@ fn serve_connection(
                 }
             }
         }
-        let response = match Request::parse(&request_text) {
-            Err(msg) => Response::Error(msg),
-            Ok(Request::Ping) => Response::Pong,
-            Ok(Request::Stats) => Response::Stats(engine.stats()),
-            Ok(Request::Quit) => {
-                writeln!(writer, "{}", Response::Bye.format())?;
+        // A big request (batch lines, overlong garbage) may have grown
+        // the reusable line buffer to MAX_LINE_BYTES; give it back so an
+        // idle connection holds only the small stream buffers.
+        if line.capacity() > IDLE_LINE_CAP {
+            line.shrink_to(IDLE_LINE_CAP);
+        }
+        let parsed = Request::parse(&request_text);
+        drop(request_text);
+        let cmd = parsed.as_ref().ok().and_then(command_of);
+        let draining = shared.lifecycle.drain_requested();
+        match parsed {
+            Err(msg) => write_reply(&mut writer, &metrics, &Response::Error(msg))?,
+            Ok(Request::Ping) => write_reply(&mut writer, &metrics, &Response::Pong)?,
+            Ok(Request::Stats) => {
+                write_reply(&mut writer, &metrics, &Response::Stats(engine.stats()))?
+            }
+            Ok(Request::Metrics) => {
+                let snap = engine.metrics_snapshot();
+                writeln!(
+                    writer,
+                    "{}",
+                    crate::protocol::metrics_response_header(snap.len())
+                )?;
+                for (key, value) in snap {
+                    writeln!(writer, "{key} {value}")?;
+                }
                 writer.flush()?;
+            }
+            Ok(Request::Shutdown) => {
+                shared.lifecycle.request_drain();
+                write_reply(&mut writer, &metrics, &Response::Draining)?;
+            }
+            Ok(Request::Quit) => {
+                write_reply(&mut writer, &metrics, &Response::Bye)?;
                 break;
+            }
+            // During a drain every state-touching command is rejected
+            // with a typed BUSY: the final snapshots must see a frozen
+            // registry, and estimate queues are being emptied.
+            Ok(
+                Request::AddEdge { .. }
+                | Request::DelEdge { .. }
+                | Request::Commit { .. }
+                | Request::Snapshot { .. }
+                | Request::Estimate { .. },
+            ) if draining => {
+                metrics.record_busy();
+                write_reply(
+                    &mut writer,
+                    &metrics,
+                    &Response::Busy("server draining".into()),
+                )?;
             }
             // Updates are answered inline by the handler: buffering an
             // edge is a cheap mutex push, and COMMIT is the explicitly
@@ -283,87 +637,200 @@ fn serve_connection(
                 src,
                 dst,
                 label,
-            }) => match engine.add_edge(&dataset, src, dst, label) {
-                Ok(ack) => Response::Updated(ack),
-                Err(msg) => Response::Error(msg),
-            },
+            }) => {
+                let resp = match engine.add_edge(&dataset, src, dst, label) {
+                    Ok(ack) => Response::Updated(ack),
+                    Err(msg) => Response::Error(msg),
+                };
+                write_reply(&mut writer, &metrics, &resp)?;
+            }
             Ok(Request::DelEdge {
                 dataset,
                 src,
                 dst,
                 label,
-            }) => match engine.del_edge(&dataset, src, dst, label) {
-                Ok(ack) => Response::Updated(ack),
-                Err(msg) => Response::Error(msg),
-            },
-            Ok(Request::Commit { dataset }) => match engine.commit(&dataset) {
-                Ok(outcome) => Response::Committed(outcome),
-                Err(msg) => Response::Error(msg),
-            },
+            }) => {
+                let resp = match engine.del_edge(&dataset, src, dst, label) {
+                    Ok(ack) => Response::Updated(ack),
+                    Err(msg) => Response::Error(msg),
+                };
+                write_reply(&mut writer, &metrics, &resp)?;
+            }
+            Ok(Request::Commit { dataset }) => {
+                let resp = match engine.commit(&dataset) {
+                    Ok(outcome) => Response::Committed(outcome),
+                    Err(msg) => Response::Error(msg),
+                };
+                write_reply(&mut writer, &metrics, &resp)?;
+            }
             // SNAPSHOT holds the dataset's state read lock while it
             // writes the file; answered inline like COMMIT — the client
             // opted into its latency.
-            Ok(Request::Snapshot { dataset, path }) => match engine.snapshot(&dataset, &path) {
-                Ok(ack) => Response::Snapshotted(ack),
-                Err(msg) => Response::Error(msg),
-            },
-            // A batch fans its queries across the pool shards (each
+            Ok(Request::Snapshot { dataset, path }) => {
+                let resp = match engine.snapshot(&dataset, &path) {
+                    Ok(ack) => Response::Snapshotted(ack),
+                    Err(msg) => Response::Error(msg),
+                };
+                write_reply(&mut writer, &metrics, &resp)?;
+            }
+            // A batch fans its cache misses across the pool shards (each
             // worker still regroups by dataset) and streams the answers
             // back in request order under a BATCH header — one wire
-            // round-trip, pool-level parallelism.
-            Ok(Request::EstimateBatch { dataset, queries }) => {
-                let receivers: Vec<_> = queries
+            // round-trip, pool-level parallelism. Cache hits and
+            // admission rejections are resolved inline so they never
+            // wait behind queued cold work.
+            Ok(Request::EstimateBatch {
+                dataset,
+                queries,
+                deadline_ms,
+            }) => {
+                let slots: Vec<Slot> = queries
                     .into_iter()
                     .map(|query| {
-                        let (tx, rx) = mpsc::channel();
-                        pool.submit(EstimateJob {
-                            dataset: dataset.clone(),
-                            query,
-                            reply: tx,
-                        });
-                        rx
+                        if draining {
+                            metrics.record_busy();
+                            return Slot::Ready(Response::Busy("server draining".into()));
+                        }
+                        if let Some(outcome) = engine.try_cached(&dataset, &query) {
+                            let stats = engine.stats();
+                            return Slot::Ready(Response::Estimate {
+                                outcome,
+                                hits: stats.cache_hits,
+                                misses: stats.cache_misses,
+                            });
+                        }
+                        match shared.admission.try_admit(&dataset, &metrics) {
+                            None => {
+                                metrics.record_busy();
+                                Slot::Ready(Response::Busy(format!(
+                                    "queue full for dataset `{dataset}`"
+                                )))
+                            }
+                            Some(permit) => {
+                                let (tx, rx) = mpsc::channel();
+                                pool.submit(EstimateJob {
+                                    dataset: dataset.clone(),
+                                    query,
+                                    reply: tx,
+                                    deadline: effective_deadline(
+                                        deadline_ms,
+                                        shared.default_deadline_ms,
+                                    ),
+                                    enqueued_at: Instant::now(),
+                                    _permit: permit,
+                                });
+                                Slot::Pending(rx)
+                            }
+                        }
                     })
                     .collect();
                 writeln!(
                     writer,
                     "{}",
-                    crate::protocol::batch_response_header(receivers.len())
+                    crate::protocol::batch_response_header(slots.len())
                 )?;
                 // Flush per line: answers stream back as workers finish,
                 // they are not held until the whole batch completes.
                 writer.flush()?;
-                for rx in receivers {
-                    let reply = rx
-                        .recv()
-                        .unwrap_or_else(|_| Response::Error("server shutting down".into()));
-                    writeln!(writer, "{}", reply.format())?;
-                    writer.flush()?;
+                for slot in slots {
+                    let reply = match slot {
+                        Slot::Ready(resp) => resp,
+                        Slot::Pending(rx) => rx
+                            .recv()
+                            .unwrap_or_else(|_| Response::Error("server shutting down".into())),
+                    };
+                    write_reply(&mut writer, &metrics, &reply)?;
                 }
-                continue;
             }
-            Ok(Request::Estimate { dataset, query }) => {
-                let (tx, rx) = mpsc::channel();
-                pool.submit(EstimateJob {
-                    dataset,
-                    query,
-                    reply: tx,
-                });
-                rx.recv()
-                    .unwrap_or_else(|_| Response::Error("server shutting down".into()))
+            Ok(Request::Estimate {
+                dataset,
+                query,
+                deadline_ms,
+            }) => {
+                let resp = if let Some(outcome) = engine.try_cached(&dataset, &query) {
+                    let stats = engine.stats();
+                    Response::Estimate {
+                        outcome,
+                        hits: stats.cache_hits,
+                        misses: stats.cache_misses,
+                    }
+                } else {
+                    match shared.admission.try_admit(&dataset, &metrics) {
+                        None => {
+                            metrics.record_busy();
+                            Response::Busy(format!("queue full for dataset `{dataset}`"))
+                        }
+                        Some(permit) => {
+                            let (tx, rx) = mpsc::channel();
+                            pool.submit(EstimateJob {
+                                dataset,
+                                query,
+                                reply: tx,
+                                deadline: effective_deadline(
+                                    deadline_ms,
+                                    shared.default_deadline_ms,
+                                ),
+                                enqueued_at: Instant::now(),
+                                _permit: permit,
+                            });
+                            rx.recv()
+                                .unwrap_or_else(|_| Response::Error("server shutting down".into()))
+                        }
+                    }
+                };
+                write_reply(&mut writer, &metrics, &resp)?;
             }
         };
-        writeln!(writer, "{}", response.format())?;
-        writer.flush()?;
+        if let Some(c) = cmd {
+            metrics.record_latency(c, started.elapsed());
+        }
     }
     Ok(())
 }
 
-/// Worker handler: group a drained batch by dataset and estimate each
-/// group in one engine call.
-fn handle_batch(engine: &Engine, batch: Vec<EstimateJob>) {
+/// Send a job its reply, releasing the admission slot *first*: once the
+/// reply line is observable on the wire, the client's very next request
+/// (a sequential STATS, say) must already see the queue gauge settled.
+fn respond(job: EstimateJob, response: Response) {
+    let EstimateJob {
+        reply,
+        _permit: permit,
+        ..
+    } = job;
+    drop(permit);
+    let _ = reply.send(response);
+}
+
+/// Worker handler: resolve drained jobs whose deadline already passed or
+/// that a drain overtook, then group the rest by dataset and estimate
+/// each group in one engine call.
+fn handle_batch(shared: &Shared, batch: Vec<EstimateJob>) {
+    let engine = &shared.engine;
+    let metrics = engine.metrics();
+    let now = Instant::now();
+    let draining = shared.lifecycle.drain_requested();
     // Group while preserving arrival order within each dataset.
     let mut groups: Vec<(String, Vec<EstimateJob>)> = Vec::new();
     for job in batch {
+        metrics
+            .queue_wait()
+            .record(now.saturating_duration_since(job.enqueued_at));
+        if draining {
+            // A drain raced the queue: reject rather than start cold
+            // work the process is trying to finish.
+            metrics.record_busy();
+            respond(job, Response::Busy("server draining".into()));
+            continue;
+        }
+        if let Some((at, ms)) = job.deadline {
+            if now >= at {
+                // Dead on arrival at dequeue — the typed TIMEOUT costs
+                // nothing, running the estimate anyway would.
+                metrics.record_timeout();
+                respond(job, Response::Timeout { deadline_ms: ms });
+                continue;
+            }
+        }
         match groups.iter_mut().find(|(ds, _)| *ds == job.dataset) {
             Some((_, jobs)) => jobs.push(job),
             None => groups.push((job.dataset.clone(), vec![job])),
@@ -371,20 +838,29 @@ fn handle_batch(engine: &Engine, batch: Vec<EstimateJob>) {
     }
     for (dataset, jobs) in groups {
         let queries: Vec<QueryGraph> = jobs.iter().map(|j| j.query.clone()).collect();
-        match engine.estimate_batch(&dataset, &queries) {
+        let deadlines: Vec<Option<Instant>> =
+            jobs.iter().map(|j| j.deadline.map(|(at, _)| at)).collect();
+        match engine.estimate_batch_deadline(&dataset, &queries, &deadlines) {
             Ok(outcomes) => {
                 let stats = engine.stats();
                 for (job, outcome) in jobs.into_iter().zip(outcomes) {
-                    let _ = job.reply.send(Response::Estimate {
-                        outcome,
-                        hits: stats.cache_hits,
-                        misses: stats.cache_misses,
-                    });
+                    let reply = match outcome {
+                        QueryOutcome::Done(outcome) => Response::Estimate {
+                            outcome,
+                            hits: stats.cache_hits,
+                            misses: stats.cache_misses,
+                        },
+                        // The engine already counted this timeout.
+                        QueryOutcome::TimedOut => Response::Timeout {
+                            deadline_ms: job.deadline.map_or(0, |(_, ms)| ms),
+                        },
+                    };
+                    respond(job, reply);
                 }
             }
             Err(msg) => {
                 for job in jobs {
-                    let _ = job.reply.send(Response::Error(msg.clone()));
+                    respond(job, Response::Error(msg.clone()));
                 }
             }
         }

@@ -10,10 +10,16 @@
 //! cegcli explain  <graph.edges> <queries.wl> <query-index>   # CEG_O as DOT
 //! cegcli serve    <addr> <graph.edges> [markov.file|-] [h]   # estimation server
 //! cegcli serve    <addr> --snapshot <file.cegsnap>           # restore from snapshot
-//! cegcli query    <addr> <queries.wl> [dataset] [--batch]    # remote estimates
+//! cegcli query    <addr> <queries.wl> [dataset] [--batch] [--deadline-ms N]
 //! cegcli update   <addr> <updates.upd> [dataset]             # live graph updates
 //! cegcli snapshot <addr> <out.cegsnap> [dataset]             # persist server state
+//! cegcli metrics  <addr>                                     # dump metrics registry
+//! cegcli shutdown <addr>                                     # graceful drain
 //! ```
+//!
+//! `serve` drains gracefully on SIGTERM or a wire `SHUTDOWN`: it stops
+//! accepting, lets in-flight work resolve to typed replies, writes one
+//! final snapshot per dataset into `--drain-dir` (if given), and exits 0.
 //!
 //! Exit discipline: argument errors print the offending subcommand's
 //! usage on stderr and exit 2; runtime failures (I/O, server errors)
@@ -151,14 +157,16 @@ const USAGE_LINES: &[(&str, &str)] = &[
     ("explain", "cegcli explain <graph.edges> <queries.wl> <query-index>"),
     (
         "serve",
-        "cegcli serve <addr> (<graph.edges> [markov.file|-] [h] | --snapshot <file.cegsnap>) [--jobs N]",
+        "cegcli serve <addr> (<graph.edges> [markov.file|-] [h] | --snapshot <file.cegsnap>) [--jobs N] [--drain-dir <dir>]",
     ),
     (
         "query",
-        "cegcli query <addr> <queries.wl> [dataset] [--batch]",
+        "cegcli query <addr> <queries.wl> [dataset] [--batch] [--deadline-ms N]",
     ),
     ("update", "cegcli update <addr> <updates.upd> [dataset]"),
     ("snapshot", "cegcli snapshot <addr> <out.cegsnap> [dataset]"),
+    ("metrics", "cegcli metrics <addr>"),
+    ("shutdown", "cegcli shutdown <addr>"),
 ];
 
 fn usage_for(cmd: &str) -> Option<&'static str> {
@@ -204,6 +212,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "query" => in_cmd("query", query_cmd(rest)),
         "update" => in_cmd("update", update_cmd(rest)),
         "snapshot" => in_cmd("snapshot", snapshot_cmd(rest)),
+        "metrics" => in_cmd("metrics", metrics_cmd(rest)),
+        "shutdown" => in_cmd("shutdown", shutdown_cmd(rest)),
         other => Err(top(format!("unknown command `{other}`"))),
     }
 }
@@ -465,15 +475,43 @@ fn explain(args: &[String]) -> CmdResult {
     Ok(())
 }
 
-/// Run the estimation server until killed. The graph (and optional
-/// persisted Markov catalog) is loaded once and registered as dataset
-/// `default`; without a catalog (omitted or `-`), statistics are counted
-/// on demand at hop depth `h` (default 2, like `cegcli stats`) as
-/// requests arrive and kept warm. `--jobs N` counts missing patterns on
-/// up to `N` worker threads (`--jobs 0` = all cores).
+/// SIGTERM (and nothing else) flips this; the serve loop notices and
+/// starts a graceful drain. A signal handler may only do async-signal-safe
+/// work, which a relaxed store into a static atomic is.
+static SIGTERM_RECEIVED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_signum: i32) {
+    SIGTERM_RECEIVED.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Install the SIGTERM handler via the raw libc `signal(2)` symbol — the
+/// build environment has no crates-registry access, so no `libc`/`signal-hook`.
+#[cfg(unix)]
+fn install_sigterm_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_sigterm_handler() {}
+
+/// Run the estimation server until a drain is requested (SIGTERM or the
+/// wire `SHUTDOWN` command), then exit 0 after writing one final
+/// snapshot per dataset into `--drain-dir` (if given). The graph (and
+/// optional persisted Markov catalog) is loaded once and registered as
+/// dataset `default`; without a catalog (omitted or `-`), statistics are
+/// counted on demand at hop depth `h` (default 2, like `cegcli stats`)
+/// as requests arrive and kept warm. `--jobs N` counts missing patterns
+/// on up to `N` worker threads (`--jobs 0` = all cores).
 fn serve(args: &[String]) -> CmdResult {
     let (args, jobs) = take_jobs(args)?;
     let (args, snapshot_path) = take_opt(&args, "snapshot")?;
+    let (args, drain_dir) = take_opt(&args, "drain-dir")?;
     let args = &args[..];
     let addr = arg(args, 0, "listen address")?;
     let registry = Arc::new(DatasetRegistry::with_jobs(jobs));
@@ -514,8 +552,11 @@ fn serve(args: &[String]) -> CmdResult {
             entry
         }
     };
-    let config = ServerConfig::default();
-    let server = Server::start(registry, addr, config).map_err(CmdError::runtime)?;
+    let config = ServerConfig {
+        drain_snapshot_dir: drain_dir.map(std::path::PathBuf::from),
+        ..ServerConfig::default()
+    };
+    let server = Server::start(registry, addr, config.clone()).map_err(CmdError::runtime)?;
     let (num_vertices, num_edges) = entry.graph_summary();
     println!(
         "serving `default` ({} vertices, {} edges, {} catalog entries, epoch {}) on {} \
@@ -535,18 +576,49 @@ fn serve(args: &[String]) -> CmdResult {
             ""
         },
     );
-    // Serve until the process is killed.
+    // Serve until a drain is requested: SIGTERM flips the static flag
+    // (checked every wakeup), the wire SHUTDOWN command trips the
+    // server's own condvar directly.
+    install_sigterm_handler();
     loop {
-        std::thread::park();
+        if SIGTERM_RECEIVED.load(std::sync::atomic::Ordering::Relaxed) {
+            server.request_drain();
+        }
+        if server.wait_drain_requested(std::time::Duration::from_millis(200)) {
+            break;
+        }
     }
+    println!("drain requested, shutting down...");
+    let report = server.drain().map_err(CmdError::runtime)?;
+    for (name, path, bytes) in &report.snapshots {
+        println!(
+            "final snapshot of `{name}` -> {} ({bytes} bytes)",
+            path.display()
+        );
+    }
+    if report.abandoned > 0 {
+        println!("{} in-flight requests abandoned at drain", report.abandoned);
+    }
+    println!("drained, exiting");
+    Ok(())
 }
 
 /// Send every query of a workload file to a running server and print the
 /// estimates next to the stored ground truth. With `--batch`, the whole
 /// workload travels as one `ESTIMATE_BATCH` — a single wire round-trip
-/// instead of one per query.
+/// instead of one per query. `--deadline-ms N` bounds each request (the
+/// whole batch, with `--batch`); overload rejections print as `busy` /
+/// `timeout` rows rather than aborting the run.
 fn query_cmd(args: &[String]) -> CmdResult {
+    use cegraph::service::QueryReply;
     let (args, batch) = take_flag(args, "batch");
+    let (args, deadline) = take_opt(&args, "deadline-ms")?;
+    let deadline_ms: Option<u64> = deadline
+        .map(|s| {
+            s.parse()
+                .map_err(|_| format!("bad --deadline-ms value `{s}`"))
+        })
+        .transpose()?;
     // Arguments first, filesystem second (see `workload`).
     let addr = arg(&args, 0, "server address")?;
     let workload_path = arg(&args, 1, "workload path")?;
@@ -556,17 +628,17 @@ fn query_cmd(args: &[String]) -> CmdResult {
     }
     let queries = load_workload(workload_path).map_err(CmdError::runtime)?;
     let mut client = Client::connect(addr).map_err(CmdError::runtime)?;
-    let replies: Vec<cegraph::service::EstimateReply> = if batch {
+    let replies: Vec<QueryReply> = if batch {
         let qs: Vec<_> = queries.iter().map(|wq| wq.query.clone()).collect();
         client
-            .estimate_batch(dataset, &qs)
+            .estimate_batch_with_deadline(dataset, &qs, deadline_ms)
             .map_err(CmdError::runtime)?
     } else {
         let mut replies = Vec::with_capacity(queries.len());
         for wq in &queries {
             replies.push(
                 client
-                    .estimate(dataset, &wq.query)
+                    .estimate_with_deadline(dataset, &wq.query, deadline_ms)
                     .map_err(CmdError::runtime)?,
             );
         }
@@ -576,7 +648,21 @@ fn query_cmd(args: &[String]) -> CmdResult {
         "{:<20} {:>14} {:>14} {:>9} {:>6}",
         "template", "estimate", "truth", "log10-q", "cache"
     );
+    let (mut busy, mut timeouts) = (0usize, 0usize);
     for (wq, reply) in queries.iter().zip(&replies) {
+        let reply = match reply {
+            QueryReply::Estimate(r) => r,
+            QueryReply::Busy(_) => {
+                busy += 1;
+                println!("{:<20} {:>14} {:>14.1}", wq.template, "busy", wq.truth);
+                continue;
+            }
+            QueryReply::Timeout { .. } => {
+                timeouts += 1;
+                println!("{:<20} {:>14} {:>14.1}", wq.template, "timeout", wq.truth);
+                continue;
+            }
+        };
         let cache = if reply.cached { "hit" } else { "miss" };
         match reply.value {
             Some(e) => println!(
@@ -592,6 +678,9 @@ fn query_cmd(args: &[String]) -> CmdResult {
                 wq.template, "-", wq.truth, "-", cache
             ),
         }
+    }
+    if busy + timeouts > 0 {
+        println!("{busy} busy rejections, {timeouts} timeouts");
     }
     let stats = client.stats().map_err(CmdError::runtime)?;
     println!(
@@ -661,6 +750,38 @@ fn snapshot_cmd(args: &[String]) -> CmdResult {
         "snapshot of `{dataset}` at epoch {} -> {path} ({} bytes)",
         ack.epoch, ack.bytes
     );
+    client.quit().map_err(CmdError::runtime)?;
+    Ok(())
+}
+
+/// Dump a running server's metrics registry (latency quantiles per
+/// command, queue depths, BUSY/timeout/error counters) as `<key> <value>`
+/// lines — grep-friendly for dashboards and CI smoke checks.
+fn metrics_cmd(args: &[String]) -> CmdResult {
+    let addr = arg(args, 0, "server address")?;
+    if args.len() > 1 {
+        return Err(CmdError::usage("unexpected extra arguments"));
+    }
+    let mut client = Client::connect(addr).map_err(CmdError::runtime)?;
+    let pairs = client.metrics().map_err(CmdError::runtime)?;
+    for (key, value) in &pairs {
+        println!("{key} {value}");
+    }
+    client.quit().map_err(CmdError::runtime)?;
+    Ok(())
+}
+
+/// Ask a running server to drain gracefully: it stops accepting work,
+/// answers in-flight clients with typed replies, writes its final
+/// snapshots (if configured with `--drain-dir`) and exits 0.
+fn shutdown_cmd(args: &[String]) -> CmdResult {
+    let addr = arg(args, 0, "server address")?;
+    if args.len() > 1 {
+        return Err(CmdError::usage("unexpected extra arguments"));
+    }
+    let mut client = Client::connect(addr).map_err(CmdError::runtime)?;
+    client.shutdown_server().map_err(CmdError::runtime)?;
+    println!("server at {addr} is draining");
     client.quit().map_err(CmdError::runtime)?;
     Ok(())
 }

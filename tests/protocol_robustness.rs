@@ -28,6 +28,7 @@ fn start_server() -> Server {
             workers: 2,
             batch_max: 4,
             cache_capacity: 64,
+            ..ServerConfig::default()
         },
     )
     .unwrap()

@@ -21,6 +21,7 @@ fn start_server(workers: usize) -> (Server, Vec<WorkloadQuery>) {
         workers,
         batch_max: 16,
         cache_capacity: 1024,
+        ..ServerConfig::default()
     };
     let server = Server::start(registry, "127.0.0.1:0", config).expect("bind ephemeral port");
     (server, queries)

@@ -30,6 +30,7 @@ fn config() -> ServerConfig {
         workers: 2,
         batch_max: 8,
         cache_capacity: 256,
+        ..ServerConfig::default()
     }
 }
 

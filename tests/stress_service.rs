@@ -69,6 +69,7 @@ fn concurrent_mixed_workload_keeps_every_invariant() {
             workers: 4,
             batch_max: 8,
             cache_capacity: 512,
+            ..ServerConfig::default()
         },
     )
     .unwrap();
