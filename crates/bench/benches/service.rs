@@ -7,7 +7,10 @@
 //!
 //! * `one-at-a-time/*` — one `Engine::estimate` call per query,
 //! * `batched/*` — one `Engine::estimate_batch` call for the workload,
-//! * `cached/*` — the same traffic against a warm LRU (all hits).
+//! * `cached/*` — the same traffic against a warm LRU (all hits),
+//! * `explain_overhead/*` — the warm traffic with (`traced`) and without
+//!   (`untraced`) a live per-request `Trace`, isolating what an
+//!   `EXPLAIN_ESTIMATE` costs over a plain `ESTIMATE`.
 //!
 //! The first two run with caching disabled (capacity 0) so they measure
 //! the estimation path, not the cache.
@@ -74,6 +77,24 @@ fn bench_service(c: &mut Criterion) {
     });
     group.bench_function("cached/job", |b| {
         b.iter(|| black_box(cached.estimate_batch("bench", black_box(&queries)).unwrap()));
+    });
+    // Tracing overhead, isolated: the same warm-cache traffic answered
+    // through `Engine::explain` (a live `Trace` recording every span and
+    // counter) vs the plain untraced path. The delta is what one
+    // EXPLAIN_ESTIMATE costs over an ESTIMATE.
+    group.bench_function("explain_overhead/untraced", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(cached.estimate("bench", black_box(q)).unwrap());
+            }
+        });
+    });
+    group.bench_function("explain_overhead/traced", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(cached.explain("bench", black_box(q), None).unwrap());
+            }
+        });
     });
     group.finish();
 

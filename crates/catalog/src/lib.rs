@@ -25,5 +25,8 @@ pub mod summary;
 pub use ccr::{CcrKey, CcrTable};
 pub use charsets::CharacteristicSets;
 pub use degree::{DegreeStats, JoinStats};
-pub use markov::{count_patterns, count_patterns_budgeted, default_build_parallelism, MarkovTable};
+pub use markov::{
+    count_patterns, count_patterns_budgeted, count_patterns_budgeted_stats,
+    default_build_parallelism, FillStats, MarkovTable,
+};
 pub use summary::SummaryGraph;

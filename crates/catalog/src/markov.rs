@@ -194,6 +194,35 @@ pub fn count_patterns(
     .collect()
 }
 
+/// Profiling summary of one catalog fill: how many patterns were
+/// counted, where the time went, and the counting kernel's aggregated
+/// [`ceg_exec::KernelStats`]. Collected by
+/// [`count_patterns_budgeted_stats`]; the estimation service surfaces it
+/// through `EXPLAIN_ESTIMATE`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FillStats {
+    /// Patterns whose count completed (abandoned patterns excluded).
+    pub patterns_counted: u64,
+    /// Summed per-pattern fill time in microseconds (CPU-side: across
+    /// parallel workers this exceeds the wall-clock fill time).
+    pub total_micros: u64,
+    /// The single most expensive pattern's fill time in microseconds.
+    pub max_pattern_micros: u64,
+    /// Kernel profiling counters aggregated over every pattern counted.
+    pub kernel: ceg_exec::KernelStats,
+}
+
+impl FillStats {
+    /// Fold another fill's stats into this one (sums everywhere except
+    /// `max_pattern_micros`, which takes the max).
+    pub fn absorb(&mut self, other: &FillStats) {
+        self.patterns_counted += other.patterns_counted;
+        self.total_micros += other.total_micros;
+        self.max_pattern_micros = self.max_pattern_micros.max(other.max_pattern_micros);
+        self.kernel.absorb(&other.kernel);
+    }
+}
+
 /// [`count_patterns`] under a [`ceg_exec::CountBudget`] (expansion cap
 /// and/or wall-clock deadline, applied per pattern): `counts[i]` is `None`
 /// when pattern `i`'s count was abandoned. The estimation service uses the
@@ -205,12 +234,45 @@ pub fn count_patterns_budgeted(
     parallelism: usize,
     budget: ceg_exec::CountBudget,
 ) -> Vec<Option<u64>> {
+    count_patterns_budgeted_stats(graph, patterns, parallelism, budget).0
+}
+
+/// [`count_patterns_budgeted`] that also reports the fill's
+/// [`FillStats`] (per-pattern fill times and aggregated kernel
+/// counters).
+pub fn count_patterns_budgeted_stats(
+    graph: &(impl GraphView + Sync),
+    patterns: &[Pattern],
+    parallelism: usize,
+    budget: ceg_exec::CountBudget,
+) -> (Vec<Option<u64>>, FillStats) {
     let count_one = |pat: &Pattern| {
         let pq = pat.to_query();
-        ceg_exec::count_with_limit(graph, &pq, &VarConstraints::none(pq.num_vars()), budget)
+        let started = std::time::Instant::now();
+        let (count, kernel) = ceg_exec::count_with_limit_stats(
+            graph,
+            &pq,
+            &VarConstraints::none(pq.num_vars()),
+            budget,
+        );
+        (count, kernel, started.elapsed().as_micros() as u64)
     };
     if parallelism <= 1 || patterns.len() <= 1 {
-        return patterns.iter().map(count_one).collect();
+        let mut stats = FillStats::default();
+        let counts = patterns
+            .iter()
+            .map(|pat| {
+                let (count, kernel, micros) = count_one(pat);
+                stats.kernel.absorb(&kernel);
+                stats.total_micros += micros;
+                stats.max_pattern_micros = stats.max_pattern_micros.max(micros);
+                if count.is_some() {
+                    stats.patterns_counted += 1;
+                }
+                count
+            })
+            .collect();
+        return (counts, stats);
     }
     use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
     let counts: Vec<AtomicU64> = (0..patterns.len()).map(|_| AtomicU64::new(0)).collect();
@@ -218,23 +280,36 @@ pub fn count_patterns_budgeted(
         .map(|_| AtomicBool::new(false))
         .collect();
     let cursor = AtomicUsize::new(0);
+    let stats = std::sync::Mutex::new(FillStats::default());
     std::thread::scope(|scope| {
         for _ in 0..parallelism.min(patterns.len()) {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                let Some(pat) = patterns.get(i) else { break };
-                if let Some(c) = count_one(pat) {
-                    counts[i].store(c, Ordering::Relaxed);
-                    done[i].store(true, Ordering::Relaxed);
+            scope.spawn(|| {
+                // Workers accumulate locally and merge once at exit, so
+                // the stats mutex is off the counting path.
+                let mut local = FillStats::default();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(pat) = patterns.get(i) else { break };
+                    let (count, kernel, micros) = count_one(pat);
+                    local.kernel.absorb(&kernel);
+                    local.total_micros += micros;
+                    local.max_pattern_micros = local.max_pattern_micros.max(micros);
+                    if let Some(c) = count {
+                        local.patterns_counted += 1;
+                        counts[i].store(c, Ordering::Relaxed);
+                        done[i].store(true, Ordering::Relaxed);
+                    }
                 }
+                stats.lock().expect("fill stats poisoned").absorb(&local);
             });
         }
     });
-    counts
+    let counts = counts
         .into_iter()
         .zip(done)
         .map(|(c, d)| d.into_inner().then(|| c.into_inner()))
-        .collect()
+        .collect();
+    (counts, stats.into_inner().expect("fill stats poisoned"))
 }
 
 /// Default worker count for catalog construction when the caller has no
@@ -383,6 +458,38 @@ mod tests {
         for (pat, &c) in pats.iter().zip(&serial) {
             assert_eq!(c, count(&g, &pat.to_query()), "pattern {pat}");
         }
+    }
+
+    #[test]
+    fn budgeted_fill_stats_cover_all_patterns() {
+        let g = toy();
+        let q = templates::path(3, &[0, 1, 2]);
+        let pats: Vec<Pattern> = q
+            .connected_subsets_up_to(2)
+            .into_iter()
+            .map(|m| Pattern::of_subquery(&q, m))
+            .collect();
+        for parallelism in [1, 4] {
+            let (counts, stats) = count_patterns_budgeted_stats(
+                &g,
+                &pats,
+                parallelism,
+                ceg_exec::CountBudget::UNLIMITED,
+            );
+            assert!(counts.iter().all(|c| c.is_some()));
+            assert_eq!(stats.patterns_counted, pats.len() as u64);
+            assert!(stats.kernel.candidates > 0, "kernel visited candidates");
+            assert!(stats.max_pattern_micros <= stats.total_micros);
+            assert_eq!(
+                counts,
+                count_patterns_budgeted(&g, &pats, parallelism, ceg_exec::CountBudget::UNLIMITED,)
+            );
+        }
+        // An exhausted budget counts nothing but still reports the work.
+        let (counts, stats) =
+            count_patterns_budgeted_stats(&g, &pats, 1, ceg_exec::CountBudget::new(0));
+        assert!(counts.iter().all(|c| c.is_none()));
+        assert_eq!(stats.patterns_counted, 0);
     }
 
     #[test]

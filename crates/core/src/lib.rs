@@ -19,7 +19,9 @@
 //!   to both pessimistic and optimistic estimators (Sections 5.2.1–5.2.2),
 //! * [`oracle`] — the P* oracle that picks the best path per query
 //!   (Section 6.2.3),
-//! * [`lp`] — a small simplex solver backing the literal LPs.
+//! * [`lp`] — a small simplex solver backing the literal LPs,
+//! * [`trace`] — the per-request span/counter recorder the estimation
+//!   service threads through the pipeline (zero-alloc when disabled).
 //!
 //! # Example
 //!
@@ -66,8 +68,10 @@ pub mod dbplp;
 pub mod lp;
 pub mod oracle;
 pub mod render;
+pub mod trace;
 
 pub use ceg::{Aggr, Ceg, CegEdge, Heuristic, PathLen};
 pub use ceg_m::{molp_bound, molp_lp_bound, molp_min_path, MolpInstance};
 pub use ceg_o::CegO;
 pub use ceg_ocr::build_ceg_ocr;
+pub use trace::{SpanStart, Trace};

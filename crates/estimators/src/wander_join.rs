@@ -157,8 +157,16 @@ impl CardinalityEstimator for WanderJoinEstimator<'_> {
         for _ in 0..n {
             sum += self.walk(query, &order);
         }
-        Some(sum / n as f64)
+        finite_or_none(sum / n as f64)
     }
+}
+
+/// Long walks over high-degree vertices multiply candidate-set sizes
+/// until the HT weight overflows f64 — a degenerate sample, not an
+/// estimate. Report "cannot answer" rather than leak `inf`/`NaN` into
+/// caches and wire replies.
+fn finite_or_none(mean: f64) -> Option<f64> {
+    mean.is_finite().then_some(mean)
 }
 
 #[cfg(test)]
@@ -242,6 +250,19 @@ mod tests {
         let g = toy();
         let wj = WanderJoinEstimator::new(&g, 0.25, 0);
         assert_eq!(wj.name(), "WJ(25%)");
+    }
+
+    #[test]
+    fn wj_clamps_non_finite_means_to_none() {
+        // The overflow itself needs ~2^1024 candidate products — not
+        // constructible from a test graph — so the clamp is pinned
+        // directly on the guard the estimate path funnels through.
+        assert_eq!(finite_or_none(f64::INFINITY), None);
+        assert_eq!(finite_or_none(f64::NEG_INFINITY), None);
+        assert_eq!(finite_or_none(f64::NAN), None);
+        assert_eq!(finite_or_none(0.0), Some(0.0));
+        assert_eq!(finite_or_none(42.5), Some(42.5));
+        assert_eq!(finite_or_none(f64::MAX), Some(f64::MAX));
     }
 
     #[test]

@@ -19,8 +19,43 @@ use ceg_graph::{GraphView, LabelId, VertexId};
 use ceg_query::{QueryGraph, VarId};
 
 use crate::constraints::{VarConstraint, VarConstraints};
-use crate::intersect::intersect_k_into;
+use crate::intersect::{intersect_k_into, intersect_k_into_profiled};
 use crate::order::variable_order;
+
+/// Profiling counters from one counting run. Plain `u64` fields bumped
+/// inline by the kernel — no allocation, no atomics, no globals — so the
+/// cost over an unprofiled run is a handful of register increments per
+/// candidate, and `tests/alloc_guard.rs` still holds.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Candidate vertices tried (each one charged against the budget).
+    pub candidates: u64,
+    /// Pairwise intersection steps that ran as a linear two-pointer merge.
+    pub merge_intersections: u64,
+    /// Pairwise intersection steps that ran as a gallop
+    /// (length ratio at least [`crate::intersect::GALLOP_RATIO`]).
+    pub gallop_intersections: u64,
+    /// Independent-suffix products taken instead of enumerating bindings.
+    pub suffix_shortcuts: u64,
+    /// Total expansions charged against the budget (candidates plus
+    /// suffix-product bulk charges).
+    pub budget_consumed: u64,
+    /// Deepest binding depth reached (number of bound variables).
+    pub deepest_level: u64,
+}
+
+impl KernelStats {
+    /// Fold `other` into `self`: counters add, `deepest_level` takes the
+    /// maximum. Used to aggregate per-pattern runs into a fill total.
+    pub fn absorb(&mut self, other: &KernelStats) {
+        self.candidates += other.candidates;
+        self.merge_intersections += other.merge_intersections;
+        self.gallop_intersections += other.gallop_intersections;
+        self.suffix_shortcuts += other.suffix_shortcuts;
+        self.budget_consumed = self.budget_consumed.saturating_add(other.budget_consumed);
+        self.deepest_level = self.deepest_level.max(other.deepest_level);
+    }
+}
 
 /// Work budget for a counting run: the maximum number of candidate
 /// extensions the matcher may try, plus an optional wall-clock deadline.
@@ -76,6 +111,7 @@ struct BudgetState {
     remaining: u64,
     deadline: Option<std::time::Instant>,
     until_check: u32,
+    stats: KernelStats,
 }
 
 impl BudgetState {
@@ -84,6 +120,7 @@ impl BudgetState {
             remaining: budget.max_expansions,
             deadline: budget.deadline,
             until_check: DEADLINE_CHECK_INTERVAL,
+            stats: KernelStats::default(),
         }
     }
 
@@ -101,6 +138,8 @@ impl BudgetState {
             return false;
         }
         self.remaining -= 1;
+        self.stats.candidates += 1;
+        self.stats.budget_consumed += 1;
         self.check_deadline()
     }
 
@@ -112,6 +151,8 @@ impl BudgetState {
             return false;
         }
         self.remaining -= n;
+        self.stats.suffix_shortcuts += 1;
+        self.stats.budget_consumed = self.stats.budget_consumed.saturating_add(n);
         self.check_deadline()
     }
 
@@ -161,6 +202,17 @@ pub fn count_with_limit<G: GraphView>(
     budget: CountBudget,
 ) -> Option<u64> {
     CountPlan::new(graph, query, cons).count_with_limit(budget)
+}
+
+/// [`count_with_limit`] that also returns the kernel's profiling
+/// counters for the run (collected either way; this form reports them).
+pub fn count_with_limit_stats<G: GraphView>(
+    graph: &G,
+    query: &QueryGraph,
+    cons: &VarConstraints,
+    budget: CountBudget,
+) -> (Option<u64>, KernelStats) {
+    CountPlan::new(graph, query, cons).count_with_limit_stats(budget)
 }
 
 /// Enumerate homomorphisms, invoking `visit` with the binding indexed by
@@ -369,10 +421,18 @@ impl<'a, G: GraphView> CountPlan<'a, G> {
     /// only reference the bound prefix, their contribution is the product
     /// of candidate-set sizes (charged against the budget in one step).
     pub fn count_with_limit(&mut self, budget: CountBudget) -> Option<u64> {
+        self.count_with_limit_stats(budget).0
+    }
+
+    /// [`CountPlan::count_with_limit`] that also reports the kernel's
+    /// [`KernelStats`] for the run (meaningful for complete and aborted
+    /// runs alike — an aborted run reports the work done before the
+    /// budget tripped).
+    pub fn count_with_limit_stats(&mut self, budget: CountBudget) -> (Option<u64>, KernelStats) {
         let mut total = 0u64;
         let mut state = BudgetState::new(budget);
         if state.expired_at_entry() {
-            return None;
+            return (None, state.stats);
         }
         let complete = recurse_count(
             self.graph,
@@ -383,8 +443,9 @@ impl<'a, G: GraphView> CountPlan<'a, G> {
             &mut self.binding,
             &mut state,
             &mut total,
+            0,
         );
-        complete.then_some(total)
+        (complete.then_some(total), state.stats)
     }
 
     /// Enumerate homomorphisms; see [`enumerate`].
@@ -518,6 +579,7 @@ fn recurse_count<G: GraphView>(
     binding: &mut [VertexId],
     state: &mut BudgetState,
     total: &mut u64,
+    level: u32,
 ) -> bool {
     if depths.is_empty() {
         *total += 1;
@@ -527,7 +589,7 @@ fn recurse_count<G: GraphView>(
         // On u64 overflow of the product or the running total, fall
         // through to plain enumeration (which matches the old kernel's
         // behaviour of grinding within the budget).
-        if let Some(prod) = suffix_product(graph, depths, bufs, binding) {
+        if let Some(prod) = suffix_product(graph, depths, bufs, binding, &mut state.stats) {
             if let Some(t) = total.checked_add(prod) {
                 if !state.charge_many(prod) {
                     return false;
@@ -557,6 +619,9 @@ fn recurse_count<G: GraphView>(
                     }
                 }
                 binding[dp.var as usize] = c;
+                if state.stats.deepest_level < (level + 1) as u64 {
+                    state.stats.deepest_level = (level + 1) as u64;
+                }
                 if !recurse_count(
                     graph,
                     cons,
@@ -566,6 +631,7 @@ fn recurse_count<G: GraphView>(
                     binding,
                     state,
                     total,
+                    level + 1,
                 ) {
                     return false;
                 }
@@ -590,7 +656,12 @@ fn recurse_count<G: GraphView>(
             for (i, pe) in dp.edges.iter().enumerate() {
                 lists[i] = neighbor_slice(graph, pe, binding);
             }
-            intersect_k_into(&mut lists[..k], buf);
+            intersect_k_into_profiled(
+                &mut lists[..k],
+                buf,
+                &mut state.stats.merge_intersections,
+                &mut state.stats.gallop_intersections,
+            );
             extend!(buf.iter().copied())
         }
     }
@@ -603,6 +674,7 @@ fn suffix_product<G: GraphView>(
     depths: &[DepthPlan],
     bufs: &mut [Vec<VertexId>],
     binding: &[VertexId],
+    stats: &mut KernelStats,
 ) -> Option<u64> {
     let mut prod = 1u64;
     for (dp, buf) in depths.iter().zip(bufs.iter_mut()) {
@@ -620,7 +692,12 @@ fn suffix_product<G: GraphView>(
                 for (i, pe) in dp.edges.iter().enumerate() {
                     lists[i] = neighbor_slice(graph, pe, binding);
                 }
-                intersect_k_into(&mut lists[..k], buf);
+                intersect_k_into_profiled(
+                    &mut lists[..k],
+                    buf,
+                    &mut stats.merge_intersections,
+                    &mut stats.gallop_intersections,
+                );
                 buf.len()
             }
         };
@@ -900,6 +977,48 @@ mod tests {
         let g = sample();
         let q = QueryGraph::new(4, vec![QueryEdge::new(0, 1, 0), QueryEdge::new(2, 3, 1)]);
         assert_eq!(count(&g, &q), 3 * 2);
+    }
+
+    #[test]
+    fn kernel_stats_reflect_the_work_done() {
+        let g = sample();
+        let q = templates::path(2, &[0, 0]);
+        let cons = VarConstraints::none(3);
+        let (count, stats) = count_with_limit_stats(&g, &q, &cons, CountBudget::UNLIMITED);
+        assert_eq!(count, Some(2));
+        assert!(stats.candidates > 0, "candidates were visited");
+        assert!(stats.budget_consumed >= stats.candidates);
+        assert!(stats.deepest_level >= 1, "at least one variable bound");
+        assert!(stats.deepest_level <= 3);
+
+        // A 2-star's leaves form an independent suffix: the product
+        // shortcut must fire and charge in bulk.
+        let star = templates::star(2, &[0, 0]);
+        let cons = VarConstraints::none(3);
+        let (count, stats) = count_with_limit_stats(&g, &star, &cons, CountBudget::UNLIMITED);
+        assert!(count.is_some());
+        assert!(stats.suffix_shortcuts > 0, "independent suffix shortcut");
+        assert!(stats.budget_consumed >= stats.candidates);
+
+        // An aborted run still reports the work done before the trip.
+        let (aborted, stats) = count_with_limit_stats(&g, &q, &cons, CountBudget::new(1));
+        assert!(aborted.is_none());
+        assert_eq!(stats.budget_consumed, 1);
+
+        // Multi-constraint depths classify their intersections.
+        let tri = templates::cycle(3, &[0, 0, 0]);
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 0);
+        b.add_edge(1, 2, 0);
+        b.add_edge(2, 0, 0);
+        let tg = b.build();
+        let cons = VarConstraints::none(3);
+        let (count, stats) = count_with_limit_stats(&tg, &tri, &cons, CountBudget::UNLIMITED);
+        assert_eq!(count, Some(3));
+        assert!(
+            stats.merge_intersections + stats.gallop_intersections > 0,
+            "the closing triangle edge intersects two lists"
+        );
     }
 
     #[test]

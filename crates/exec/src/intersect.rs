@@ -22,6 +22,22 @@ pub use ceg_graph::intersect::{gallop, intersect_into, refine_in_place, GALLOP_R
 /// copied verbatim (callers on the hot path iterate a single slice
 /// directly instead).
 pub fn intersect_k_into(lists: &mut [&[VertexId]], out: &mut Vec<VertexId>) {
+    let (mut merges, mut gallops) = (0u64, 0u64);
+    intersect_k_into_profiled(lists, out, &mut merges, &mut gallops);
+}
+
+/// [`intersect_k_into`] that also counts each pairwise step by the
+/// strategy the two-slice primitives will pick for it: `merges` for
+/// linear two-pointer merges, `gallops` for galloping (length ratio at
+/// least [`GALLOP_RATIO`]). The classification mirrors the dispatch in
+/// [`intersect_into`] / [`refine_in_place`] exactly, so profiling adds
+/// one length compare per pairwise step and nothing to the element loop.
+pub fn intersect_k_into_profiled(
+    lists: &mut [&[VertexId]],
+    out: &mut Vec<VertexId>,
+    merges: &mut u64,
+    gallops: &mut u64,
+) {
     out.clear();
     match lists.len() {
         0 => {}
@@ -31,10 +47,20 @@ pub fn intersect_k_into(lists: &mut [&[VertexId]], out: &mut Vec<VertexId>) {
             if lists[0].is_empty() {
                 return;
             }
+            if lists[1].len() / lists[0].len() >= GALLOP_RATIO {
+                *gallops += 1;
+            } else {
+                *merges += 1;
+            }
             intersect_into(lists[0], lists[1], out);
             for l in &lists[2..] {
                 if out.is_empty() {
                     return;
+                }
+                if l.len() / out.len() >= GALLOP_RATIO {
+                    *gallops += 1;
+                } else {
+                    *merges += 1;
                 }
                 refine_in_place(out, l);
             }
@@ -93,6 +119,29 @@ mod tests {
         dedup.dedup();
         assert_eq!(got, dedup);
         assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn profiled_counts_match_strategy_dispatch() {
+        let large: Vec<VertexId> = (0..1000).map(|i| i * 2).collect();
+        let mut out = Vec::new();
+        // Comparable lengths: one merge, no gallop.
+        let (mut m, mut g) = (0, 0);
+        let mut ls: Vec<&[VertexId]> = vec![&[1, 2, 3], &[2, 3, 4]];
+        intersect_k_into_profiled(&mut ls, &mut out, &mut m, &mut g);
+        assert_eq!((m, g), (1, 0));
+        assert_eq!(out, vec![2, 3]);
+        // Skewed pair: classified as a gallop.
+        let (mut m, mut g) = (0, 0);
+        let mut ls: Vec<&[VertexId]> = vec![&[500], &large];
+        intersect_k_into_profiled(&mut ls, &mut out, &mut m, &mut g);
+        assert_eq!((m, g), (0, 1));
+        // Three-way with a skewed refine: one merge seed + one gallop.
+        let (mut m, mut g) = (0, 0);
+        let mut ls: Vec<&[VertexId]> = vec![&[2, 500], &[2, 500, 501], &large];
+        intersect_k_into_profiled(&mut ls, &mut out, &mut m, &mut g);
+        assert_eq!((m, g), (1, 1));
+        assert_eq!(out, vec![2, 500]);
     }
 
     #[test]

@@ -26,8 +26,11 @@ pub mod order;
 pub mod tree_count;
 
 pub use constraints::{VarConstraint, VarConstraints};
-pub use count::{count, count_constrained, count_with_limit, enumerate, CountBudget, CountPlan};
-pub use intersect::intersect_k_into;
+pub use count::{
+    count, count_constrained, count_with_limit, count_with_limit_stats, enumerate, CountBudget,
+    CountPlan, KernelStats,
+};
+pub use intersect::{intersect_k_into, intersect_k_into_profiled};
 pub use naive::count_naive;
 pub use order::variable_order;
 pub use tree_count::{count_tree_dp, exact_count};

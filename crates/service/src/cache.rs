@@ -118,6 +118,21 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
     }
 }
 
+/// What a cache probe found — the distinction `EXPLAIN_ESTIMATE` and the
+/// metrics surface: a verified hit, a miss caused *only* by a stale epoch
+/// (an isomorphic entry exists but was computed before the last commit),
+/// or a cold miss (no isomorphic entry at all).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ProbeOutcome {
+    /// Verified hit at the current epoch; carries the cached estimate.
+    Hit(Option<f64>),
+    /// An isomorphic entry exists but at an older epoch — invalidated by
+    /// a committed graph update.
+    StaleMiss,
+    /// No isomorphic entry cached.
+    ColdMiss,
+}
+
 /// One cached estimate: the dataset it belongs to, the query it answers
 /// (kept for exact verification), the dataset **epoch** the estimate was
 /// computed against, and the estimator's result — `None` is cached too,
@@ -144,6 +159,7 @@ pub struct EstimateCache {
     lru: LruCache<u64, Vec<CachedEstimate>>,
     hits: u64,
     misses: u64,
+    stale_misses: u64,
 }
 
 fn bucket_key(dataset: &str, canonical_hash: u64) -> u64 {
@@ -160,6 +176,7 @@ impl EstimateCache {
             lru: LruCache::new(capacity),
             hits: 0,
             misses: 0,
+            stale_misses: 0,
         }
     }
 
@@ -183,21 +200,45 @@ impl EstimateCache {
         canonical_hash: u64,
         epoch: u64,
     ) -> Option<Option<f64>> {
+        match self.probe_hashed(dataset, query, canonical_hash, epoch) {
+            ProbeOutcome::Hit(value) => Some(value),
+            ProbeOutcome::StaleMiss | ProbeOutcome::ColdMiss => None,
+        }
+    }
+
+    /// [`EstimateCache::lookup_hashed`] reporting *why* a miss missed: a
+    /// [`ProbeOutcome::StaleMiss`] found an isomorphic entry stranded at
+    /// an older epoch, a [`ProbeOutcome::ColdMiss`] found nothing at all.
+    /// Counters are updated exactly as in `lookup_hashed` (stale misses
+    /// additionally bump their own counter).
+    pub fn probe_hashed(
+        &mut self,
+        dataset: &str,
+        query: &QueryGraph,
+        canonical_hash: u64,
+        epoch: u64,
+    ) -> ProbeOutcome {
         let key = bucket_key(dataset, canonical_hash);
+        let mut stale = false;
         if let Some(bucket) = self.lru.get(&key) {
             for entry in bucket {
-                if entry.dataset == dataset
-                    && entry.epoch == epoch
-                    && entry.query.is_isomorphic(query)
-                {
-                    let value = entry.value;
-                    self.hits += 1;
-                    return Some(value);
+                if entry.dataset == dataset && entry.query.is_isomorphic(query) {
+                    if entry.epoch == epoch {
+                        let value = entry.value;
+                        self.hits += 1;
+                        return ProbeOutcome::Hit(value);
+                    }
+                    stale = true;
                 }
             }
         }
         self.misses += 1;
-        None
+        if stale {
+            self.stale_misses += 1;
+            ProbeOutcome::StaleMiss
+        } else {
+            ProbeOutcome::ColdMiss
+        }
     }
 
     /// [`EstimateCache::lookup_hashed`] for the connection handlers' fast
@@ -281,6 +322,12 @@ impl EstimateCache {
     /// Misses so far.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// The subset of misses caused by a stale-epoch entry (an isomorphic
+    /// query was cached, but a commit invalidated it).
+    pub fn stale_misses(&self) -> u64 {
+        self.stale_misses
     }
 
     /// Number of cached hash buckets.
@@ -400,6 +447,28 @@ mod tests {
         assert_eq!(cache.len(), 1, "replaced, not duplicated");
         // And the old epoch can no longer hit either.
         assert_eq!(cache.lookup("ds", &q, 0), None);
+    }
+
+    #[test]
+    fn probe_distinguishes_stale_from_cold_misses() {
+        let mut cache = EstimateCache::new(16);
+        let q = templates::path(2, &[0, 1]);
+        let h = q.canonical_hash();
+        assert_eq!(cache.probe_hashed("ds", &q, h, 0), ProbeOutcome::ColdMiss);
+        cache.store("ds", &q, 0, Some(7.0));
+        assert_eq!(
+            cache.probe_hashed("ds", &q, h, 0),
+            ProbeOutcome::Hit(Some(7.0))
+        );
+        assert_eq!(cache.probe_hashed("ds", &q, h, 1), ProbeOutcome::StaleMiss);
+        let other = templates::path(2, &[5, 6]);
+        assert_eq!(
+            cache.probe_hashed("ds", &other, other.canonical_hash(), 1),
+            ProbeOutcome::ColdMiss
+        );
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.stale_misses(), 1);
     }
 
     #[test]

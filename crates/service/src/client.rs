@@ -10,10 +10,11 @@ use std::net::{TcpStream, ToSocketAddrs};
 use ceg_graph::{LabelId, VertexId};
 use ceg_query::QueryGraph;
 
-use crate::engine::{EngineStats, SnapshotAck, UpdateAck};
+use crate::engine::{EngineStats, SlowQueryEntry, SnapshotAck, UpdateAck};
 use crate::protocol::{
-    parse_batch_response_header, parse_metric_line, parse_metrics_response_header, Request,
-    Response,
+    parse_batch_response_header, parse_explain_response_header, parse_metric_line,
+    parse_metrics_prom_response_header, parse_metrics_response_header, parse_slowlog_entry,
+    parse_slowlog_response_header, split_id, ExplainItem, Request, Response,
 };
 use crate::registry::CommitOutcome;
 
@@ -49,6 +50,39 @@ pub enum QueryReply {
     },
 }
 
+/// The answer to one `EXPLAIN_ESTIMATE` request: the same typed outcome
+/// an `ESTIMATE` would produce, plus the server-side trace that produced
+/// it — named wall-clock spans and named counters, in recording order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainReply {
+    /// The estimate outcome — bit-identical to what `ESTIMATE` returns
+    /// for the same query against the same server state.
+    pub reply: QueryReply,
+    /// The request id the server assigned (echoed as the `id=` tail on
+    /// the reply header; the same id tags the SLOWLOG entry if the
+    /// request was slow).
+    pub id: Option<u64>,
+    /// Wall-clock spans as `(name, micros)`, e.g. `("catalog_fill", 412)`.
+    pub spans: Vec<(String, u64)>,
+    /// Counters as `(name, value)`, e.g. `("cache_cold_miss", 1)`.
+    pub counters: Vec<(String, u64)>,
+}
+
+impl ExplainReply {
+    /// Look up a span duration by name.
+    pub fn span(&self, name: &str) -> Option<u64> {
+        self.spans.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Look up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+}
+
 /// One connection to a running estimation server.
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -69,9 +103,11 @@ impl Client {
         })
     }
 
-    fn roundtrip(&mut self, request: &Request) -> io::Result<Response> {
-        writeln!(self.writer, "{}", request.format())?;
-        self.writer.flush()?;
+    /// Read one reply line, trimmed, without its ` id=<n>` tail. The
+    /// server stamps every reply line (and counted-reply header) with the
+    /// request id; parsers reject trailing tokens, so the tail is split
+    /// off here, once, for every read path.
+    fn read_reply_line(&mut self) -> io::Result<(String, Option<u64>)> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
             return Err(io::Error::new(
@@ -79,8 +115,15 @@ impl Client {
                 "server closed the connection",
             ));
         }
-        Response::parse(line.trim_end())
-            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))
+        let (body, id) = split_id(line.trim_end());
+        Ok((body.to_string(), id))
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> io::Result<Response> {
+        writeln!(self.writer, "{}", request.format())?;
+        self.writer.flush()?;
+        let (body, _id) = self.read_reply_line()?;
+        Response::parse(&body).map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))
     }
 
     fn protocol_error(response: Response) -> io::Error {
@@ -222,18 +265,7 @@ impl Client {
         };
         writeln!(self.writer, "{}", request.format())?;
         self.writer.flush()?;
-        let mut line = String::new();
-        let mut next_line = |reader: &mut BufReader<TcpStream>| -> io::Result<String> {
-            line.clear();
-            if reader.read_line(&mut line)? == 0 {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "server closed the connection mid-batch",
-                ));
-            }
-            Ok(line.trim_end().to_string())
-        };
-        let header = next_line(&mut self.reader)?;
+        let (header, _id) = self.read_reply_line()?;
         if let Some(msg) = header.strip_prefix("ERR") {
             return Err(io::Error::other(msg.trim().to_string()));
         }
@@ -251,7 +283,7 @@ impl Client {
         let mut replies = Vec::with_capacity(n);
         let mut first_error: Option<io::Error> = None;
         for _ in 0..n {
-            let text = next_line(&mut self.reader)?;
+            let (text, _id) = self.read_reply_line()?;
             match Response::parse(&text)
                 .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))?
             {
@@ -361,18 +393,7 @@ impl Client {
     pub fn metrics(&mut self) -> io::Result<Vec<(String, u64)>> {
         writeln!(self.writer, "{}", Request::Metrics.format())?;
         self.writer.flush()?;
-        let mut line = String::new();
-        let mut next_line = |reader: &mut BufReader<TcpStream>| -> io::Result<String> {
-            line.clear();
-            if reader.read_line(&mut line)? == 0 {
-                return Err(io::Error::new(
-                    io::ErrorKind::UnexpectedEof,
-                    "server closed the connection mid-metrics",
-                ));
-            }
-            Ok(line.trim_end().to_string())
-        };
-        let header = next_line(&mut self.reader)?;
+        let (header, _id) = self.read_reply_line()?;
         if let Some(msg) = header.strip_prefix("ERR") {
             return Err(io::Error::other(msg.trim().to_string()));
         }
@@ -380,13 +401,131 @@ impl Client {
             .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))?;
         let mut pairs = Vec::with_capacity(n);
         for _ in 0..n {
-            let text = next_line(&mut self.reader)?;
+            let (text, _id) = self.read_reply_line()?;
             pairs.push(
                 parse_metric_line(&text)
                     .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))?,
             );
         }
         Ok(pairs)
+    }
+
+    /// Estimate one query and return the outcome **plus** the server-side
+    /// trace that produced it (the `EXPLAIN_ESTIMATE` command). The
+    /// estimate is exactly what [`Client::estimate_with_deadline`] would
+    /// return for the same query at the same moment — explain changes
+    /// what is reported, never what is computed.
+    pub fn explain(
+        &mut self,
+        dataset: &str,
+        query: &QueryGraph,
+        deadline_ms: Option<u64>,
+    ) -> io::Result<ExplainReply> {
+        let request = Request::ExplainEstimate {
+            dataset: dataset.to_string(),
+            query: query.clone(),
+            deadline_ms,
+        };
+        writeln!(self.writer, "{}", request.format())?;
+        self.writer.flush()?;
+        let (header, id) = self.read_reply_line()?;
+        if let Some(msg) = header.strip_prefix("ERR") {
+            return Err(io::Error::other(msg.trim().to_string()));
+        }
+        let n = parse_explain_response_header(&header)
+            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "EXPLAIN reply announced zero lines",
+            ));
+        }
+        let (first, _id) = self.read_reply_line()?;
+        let reply = match Response::parse(&first)
+            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))?
+        {
+            Response::Estimate {
+                outcome,
+                hits,
+                misses,
+            } => QueryReply::Estimate(EstimateReply {
+                value: outcome.value,
+                cached: outcome.cached,
+                hits,
+                misses,
+            }),
+            Response::Timeout { deadline_ms } => QueryReply::Timeout { deadline_ms },
+            Response::Busy(msg) => QueryReply::Busy(msg),
+            other => return Err(Self::protocol_error(other)),
+        };
+        let mut spans = Vec::new();
+        let mut counters = Vec::new();
+        for _ in 1..n {
+            let (text, _id) = self.read_reply_line()?;
+            match ExplainItem::parse(&text)
+                .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))?
+            {
+                ExplainItem::Span { name, micros } => spans.push((name, micros)),
+                ExplainItem::Counter { name, value } => counters.push((name, value)),
+            }
+        }
+        Ok(ExplainReply {
+            reply,
+            id,
+            spans,
+            counters,
+        })
+    }
+
+    /// Fetch the most recent slow-query log entries, newest first (the
+    /// `SLOWLOG` command). `n` bounds the count; `None` returns the whole
+    /// ring (at most the server's ring capacity).
+    pub fn slowlog(&mut self, n: Option<usize>) -> io::Result<Vec<SlowQueryEntry>> {
+        writeln!(self.writer, "{}", Request::SlowLog { n }.format())?;
+        self.writer.flush()?;
+        let (header, _id) = self.read_reply_line()?;
+        if let Some(msg) = header.strip_prefix("ERR") {
+            return Err(io::Error::other(msg.trim().to_string()));
+        }
+        let count = parse_slowlog_response_header(&header)
+            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))?;
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let (text, _id) = self.read_reply_line()?;
+            entries.push(
+                parse_slowlog_entry(&text)
+                    .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))?,
+            );
+        }
+        Ok(entries)
+    }
+
+    /// Fetch the metrics registry in Prometheus text exposition format
+    /// (the `METRICS_PROM` command), one exposition line per element.
+    pub fn metrics_prom(&mut self) -> io::Result<Vec<String>> {
+        writeln!(self.writer, "{}", Request::MetricsProm.format())?;
+        self.writer.flush()?;
+        let (header, _id) = self.read_reply_line()?;
+        if let Some(msg) = header.strip_prefix("ERR") {
+            return Err(io::Error::other(msg.trim().to_string()));
+        }
+        let n = parse_metrics_prom_response_header(&header)
+            .map_err(|msg| io::Error::new(io::ErrorKind::InvalidData, msg))?;
+        let mut lines = Vec::with_capacity(n);
+        for _ in 0..n {
+            // Exposition lines are served verbatim (no id tail): read
+            // raw rather than through `read_reply_line`, which would
+            // mangle a label value that happened to end in ` id=<n>`.
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-exposition",
+                ));
+            }
+            lines.push(line.trim_end().to_string());
+        }
+        Ok(lines)
     }
 
     /// Ask the server to drain and shut down (the `SHUTDOWN` command).

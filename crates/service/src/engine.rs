@@ -8,17 +8,50 @@
 //! same type, so the batched path is measurable without a socket in the
 //! way.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use ceg_core::trace::Trace;
 use ceg_estimators::{CardinalityEstimator, OptimisticEstimator};
 use ceg_graph::{LabelId, VertexId};
 use ceg_query::{Pattern, QueryGraph};
 
-use crate::cache::EstimateCache;
+use crate::cache::{EstimateCache, ProbeOutcome};
 use crate::metrics::Metrics;
 use crate::registry::{CommitOutcome, DatasetRegistry};
+
+/// Entries kept in the slow-query ring buffer (oldest evicted first).
+const SLOWLOG_CAP: usize = 128;
+
+/// Default slow-query threshold: batches slower than this are logged.
+pub const DEFAULT_SLOW_QUERY_THRESHOLD_MS: u64 = 250;
+
+/// One slow-query record: which query was slow, where its batch spent
+/// the time, and the epoch it ran against. Kept in a bounded ring
+/// ([`Engine::slowlog`]) and surfaced by the `SLOWLOG` wire command and
+/// the drain report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQueryEntry {
+    /// Request id the server assigned at accept time (0 for direct API
+    /// callers that have none).
+    pub id: u64,
+    /// Dataset the query ran against.
+    pub dataset: String,
+    /// Committed epoch at execution time.
+    pub epoch: u64,
+    /// Total batch latency in microseconds.
+    pub micros: u64,
+    /// Microseconds in the cache pass (including cache-lock wait).
+    pub cache_us: u64,
+    /// Microseconds filling missing catalog patterns.
+    pub fill_us: u64,
+    /// Microseconds in the estimation pass.
+    pub estimate_us: u64,
+    /// The query, in wire grammar (`<vars> <src> <dst> <label> ...`).
+    pub query: String,
+}
 
 /// One estimate with its cache provenance.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -82,6 +115,8 @@ pub struct Engine {
     requests: AtomicU64,
     batches: AtomicU64,
     metrics: Arc<Metrics>,
+    slowlog: Mutex<VecDeque<SlowQueryEntry>>,
+    slow_threshold_us: AtomicU64,
 }
 
 impl Engine {
@@ -94,7 +129,28 @@ impl Engine {
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             metrics: Arc::new(Metrics::new()),
+            slowlog: Mutex::new(VecDeque::new()),
+            slow_threshold_us: AtomicU64::new(DEFAULT_SLOW_QUERY_THRESHOLD_MS * 1000),
         }
+    }
+
+    /// Set the slow-query threshold: batches whose wall-clock latency
+    /// reaches `ms` milliseconds are recorded in the slow-query ring.
+    /// `u64::MAX / 1000` or larger effectively disables the log.
+    pub fn set_slow_query_threshold_ms(&self, ms: u64) {
+        self.slow_threshold_us
+            .store(ms.saturating_mul(1000), Ordering::Relaxed);
+    }
+
+    /// Current slow-query threshold in milliseconds.
+    pub fn slow_query_threshold_ms(&self) -> u64 {
+        self.slow_threshold_us.load(Ordering::Relaxed) / 1000
+    }
+
+    /// The most recent `n` slow-query records, newest first.
+    pub fn slowlog(&self, n: usize) -> Vec<SlowQueryEntry> {
+        let log = self.slowlog.lock().unwrap();
+        log.iter().rev().take(n).cloned().collect()
     }
 
     /// The registry this engine serves from.
@@ -175,7 +231,57 @@ impl Engine {
         queries: &[QueryGraph],
         deadlines: &[Option<Instant>],
     ) -> Result<Vec<QueryOutcome>, String> {
+        self.batch_inner(dataset, queries, deadlines, None, None)
+    }
+
+    /// [`Engine::estimate_batch_deadline`] with the server's per-request
+    /// ids attached (they label slow-query records).
+    pub fn estimate_batch_deadline_ids(
+        &self,
+        dataset: &str,
+        queries: &[QueryGraph],
+        deadlines: &[Option<Instant>],
+        ids: &[u64],
+    ) -> Result<Vec<QueryOutcome>, String> {
+        self.batch_inner(dataset, queries, deadlines, Some(ids), None)
+    }
+
+    /// Estimate one query with an **enabled** [`Trace`]: the result is
+    /// bit-identical to [`Engine::estimate`] (same cache, same catalog,
+    /// same estimator), plus the recorded span/counter breakdown. This
+    /// is the handler behind `EXPLAIN_ESTIMATE`.
+    pub fn explain(
+        &self,
+        dataset: &str,
+        query: &QueryGraph,
+        deadline: Option<Instant>,
+    ) -> Result<(QueryOutcome, Trace), String> {
+        let mut trace = Trace::enabled();
+        let outcomes = self.batch_inner(
+            dataset,
+            std::slice::from_ref(query),
+            &[deadline],
+            None,
+            Some(&mut trace),
+        )?;
+        Ok((outcomes.into_iter().next().unwrap(), trace))
+    }
+
+    /// The one batched estimation path everything above funnels into.
+    /// `ids` (when given) label slow-query records with the server's
+    /// request ids; `trace` (when given) records the span/counter
+    /// breakdown. Both are `None` on the hot path, which then differs
+    /// from the pre-trace code by four `Instant::now` calls per batch.
+    fn batch_inner(
+        &self,
+        dataset: &str,
+        queries: &[QueryGraph],
+        deadlines: &[Option<Instant>],
+        ids: Option<&[u64]>,
+        mut trace: Option<&mut Trace>,
+    ) -> Result<Vec<QueryOutcome>, String> {
         debug_assert_eq!(queries.len(), deadlines.len());
+        let started = Instant::now();
         let entry = self
             .registry
             .get(dataset)
@@ -193,26 +299,50 @@ impl Engine {
         let hashes: Vec<u64> = queries.iter().map(|q| q.canonical_hash()).collect();
         let mut outcomes: Vec<Option<QueryOutcome>> = vec![None; queries.len()];
         let mut miss_indices: Vec<usize> = Vec::new();
+        let (mut hits, mut stale_misses, mut cold_misses) = (0u64, 0u64, 0u64);
+        let cache_started = Instant::now();
+        let lock_wait_us;
         {
             let now = Instant::now();
-            let mut cache = self.cache.lock().unwrap();
+            let cache = self.cache.lock().unwrap();
+            lock_wait_us = now.elapsed().as_micros() as u64;
+            let mut cache = cache;
             for (i, q) in queries.iter().enumerate() {
                 if deadlines[i].is_some_and(|d| now >= d) {
                     self.metrics.record_timeout();
                     outcomes[i] = Some(QueryOutcome::TimedOut);
                     continue;
                 }
-                match cache.lookup_hashed(dataset, q, hashes[i], epoch) {
-                    Some(value) => {
+                match cache.probe_hashed(dataset, q, hashes[i], epoch) {
+                    ProbeOutcome::Hit(value) => {
+                        hits += 1;
                         outcomes[i] = Some(QueryOutcome::Done(EstimateOutcome {
                             value,
                             cached: true,
-                        }))
+                        }));
                     }
-                    None => miss_indices.push(i),
+                    ProbeOutcome::StaleMiss => {
+                        stale_misses += 1;
+                        miss_indices.push(i);
+                    }
+                    ProbeOutcome::ColdMiss => {
+                        cold_misses += 1;
+                        miss_indices.push(i);
+                    }
                 }
             }
         }
+        let cache_us = cache_started.elapsed().as_micros() as u64;
+        if let Some(t) = trace.as_deref_mut() {
+            t.counter("epoch", epoch);
+            t.record_span_micros("lock_wait", lock_wait_us);
+            t.record_span_micros("cache_probe", cache_us);
+            t.counter("cache_hit", hits);
+            t.counter("cache_stale_miss", stale_misses);
+            t.counter("cache_cold_miss", cold_misses);
+        }
+        let mut fill_us = 0u64;
+        let mut estimate_us = 0u64;
         if !miss_indices.is_empty() {
             let miss_queries: Vec<QueryGraph> =
                 miss_indices.iter().map(|&i| queries[i].clone()).collect();
@@ -228,12 +358,36 @@ impl Engine {
                     d.map(|d| Some(acc.map_or(d, |a| a.max(d))))
                 })
                 .flatten();
-            entry.ensure_patterns_deadline(&miss_queries, group_deadline);
+            let fill_started = Instant::now();
+            let ensured = entry.ensure_patterns_deadline_stats(&miss_queries, group_deadline);
+            fill_us = fill_started.elapsed().as_micros() as u64;
+            self.metrics.record_kernel(&ensured.fill.kernel);
+            if let Some(t) = trace.as_deref_mut() {
+                if ensured.fill.patterns_counted > 0 {
+                    t.record_span_micros("catalog_fill", fill_us);
+                }
+                t.counter("view_overlay", ensured.overlay as u64);
+                t.counter("catalog_patterns_counted", ensured.fill.patterns_counted);
+                t.counter("catalog_patterns_added", ensured.added as u64);
+                t.counter(
+                    "catalog_fill_max_pattern_us",
+                    ensured.fill.max_pattern_micros,
+                );
+                let k = &ensured.fill.kernel;
+                t.counter("kernel_candidates", k.candidates);
+                t.counter("kernel_intersect_merge", k.merge_intersections);
+                t.counter("kernel_intersect_gallop", k.gallop_intersections);
+                t.counter("kernel_suffix_shortcuts", k.suffix_shortcuts);
+                t.counter("kernel_budget_consumed", k.budget_consumed);
+                t.counter("kernel_deepest_level", k.deepest_level);
+            }
             let h = entry.h();
             // `None` marks a query whose fill was abandoned (incomplete
             // patterns): completeness is checked under the same catalog
             // read lock as the estimation, so a concurrent fill cannot
             // make the two passes disagree.
+            let estimate_started = Instant::now();
+            let mut degenerate = 0u64;
             let values: Vec<Option<Option<f64>>> = entry.with_markov(|table| {
                 let mut est = OptimisticEstimator::recommended(table);
                 miss_queries
@@ -253,11 +407,29 @@ impl Engine {
                         if q.num_edges() == 0 || !q.is_connected() {
                             Some(None)
                         } else {
-                            Some(est.estimate(q))
+                            // A degenerate catalog (zero-count patterns
+                            // dividing each other) can surface NaN/inf;
+                            // that is "cannot answer", never a number we
+                            // put on the wire.
+                            match est.estimate(q) {
+                                Some(v) if !v.is_finite() => {
+                                    degenerate += 1;
+                                    Some(None)
+                                }
+                                v => Some(v),
+                            }
                         }
                     })
                     .collect()
             });
+            estimate_us = estimate_started.elapsed().as_micros() as u64;
+            for _ in 0..degenerate {
+                self.metrics.record_estimator_degenerate();
+            }
+            if let Some(t) = trace {
+                t.record_span_micros("estimate", estimate_us);
+                t.counter("estimator_degenerate", degenerate);
+            }
             let mut cache = self.cache.lock().unwrap();
             for (&i, value) in miss_indices.iter().zip(&values) {
                 match value {
@@ -275,7 +447,56 @@ impl Engine {
                 }
             }
         }
+        let total_us = started.elapsed().as_micros() as u64;
+        let threshold_us = self.slow_threshold_us.load(Ordering::Relaxed);
+        if total_us >= threshold_us && !miss_indices.is_empty() {
+            self.record_slow(
+                dataset,
+                epoch,
+                total_us,
+                cache_us,
+                fill_us,
+                estimate_us,
+                queries,
+                &miss_indices,
+                ids,
+            );
+        }
         Ok(outcomes.into_iter().map(|o| o.unwrap()).collect())
+    }
+
+    /// Push one slow-query record per cache-missing query of a batch that
+    /// crossed the threshold (hits were served from the cache and did not
+    /// cause the latency). The ring holds [`SLOWLOG_CAP`] entries.
+    #[allow(clippy::too_many_arguments)]
+    fn record_slow(
+        &self,
+        dataset: &str,
+        epoch: u64,
+        total_us: u64,
+        cache_us: u64,
+        fill_us: u64,
+        estimate_us: u64,
+        queries: &[QueryGraph],
+        miss_indices: &[usize],
+        ids: Option<&[u64]>,
+    ) {
+        let mut log = self.slowlog.lock().unwrap();
+        for &i in miss_indices {
+            if log.len() == SLOWLOG_CAP {
+                log.pop_front();
+            }
+            log.push_back(SlowQueryEntry {
+                id: ids.map_or(0, |ids| ids.get(i).copied().unwrap_or(0)),
+                dataset: dataset.to_string(),
+                epoch,
+                micros: total_us,
+                cache_us,
+                fill_us,
+                estimate_us,
+                query: crate::protocol::format_query(&queries[i]),
+            });
+        }
     }
 
     /// Buffer an edge insertion on a dataset (visible after `COMMIT`).
@@ -365,9 +586,14 @@ impl Engine {
     /// per-dataset epoch/pending gauges, as stable `(key, value)` pairs.
     pub fn metrics_snapshot(&self) -> Vec<(String, u64)> {
         let mut out = self.metrics.snapshot();
-        let (hits, misses, entries) = {
+        let (hits, misses, stale, entries) = {
             let cache = self.cache.lock().unwrap();
-            (cache.hits(), cache.misses(), cache.len() as u64)
+            (
+                cache.hits(),
+                cache.misses(),
+                cache.stale_misses(),
+                cache.len() as u64,
+            )
         };
         out.push((
             "requests_total".into(),
@@ -376,6 +602,7 @@ impl Engine {
         out.push(("batches_total".into(), self.batches.load(Ordering::Relaxed)));
         out.push(("cache_hits".into(), hits));
         out.push(("cache_misses".into(), misses));
+        out.push(("cache_stale_misses".into(), stale));
         out.push(("cache_entries".into(), entries));
         out.push(("datasets".into(), self.registry.len() as u64));
         for name in self.registry.names() {
@@ -389,6 +616,66 @@ impl Engine {
                     format!("dataset_{name}_catalog_entries"),
                     entry.catalog_len() as u64,
                 ));
+            }
+        }
+        out
+    }
+
+    /// The Prometheus text-exposition dump behind `METRICS_PROM`: every
+    /// [`Metrics::prom_lines`] family plus engine-level cache counters
+    /// and per-dataset gauges (dataset names become label values, so the
+    /// family set is stable regardless of what is registered).
+    pub fn metrics_prom(&self) -> Vec<String> {
+        let mut out = self.metrics.prom_lines();
+        let (hits, misses, stale, entries) = {
+            let cache = self.cache.lock().unwrap();
+            (
+                cache.hits(),
+                cache.misses(),
+                cache.stale_misses(),
+                cache.len() as u64,
+            )
+        };
+        let counters = [
+            ("ceg_requests_total", self.requests.load(Ordering::Relaxed)),
+            ("ceg_batches_total", self.batches.load(Ordering::Relaxed)),
+            ("ceg_cache_hits_total", hits),
+            ("ceg_cache_misses_total", misses),
+            ("ceg_cache_stale_misses_total", stale),
+        ];
+        for (name, value) in counters {
+            out.push(format!("# TYPE {name} counter"));
+            out.push(format!("{name} {value}"));
+        }
+        let gauges = [
+            ("ceg_cache_entries", entries),
+            ("ceg_datasets", self.registry.len() as u64),
+        ];
+        for (name, value) in gauges {
+            out.push(format!("# TYPE {name} gauge"));
+            out.push(format!("{name} {value}"));
+        }
+        // Per-dataset families are omitted entirely when no dataset is
+        // registered — a `# TYPE` line with zero samples is invalid
+        // exposition (and our own checker rejects it).
+        let names = self.registry.names();
+        if !names.is_empty() {
+            for (family, get) in [
+                ("ceg_dataset_epoch", 0usize),
+                ("ceg_dataset_pending_ops", 1),
+                ("ceg_dataset_catalog_entries", 2),
+            ] {
+                out.push(format!("# TYPE {family} gauge"));
+                for name in &names {
+                    if let Some(entry) = self.registry.get(name) {
+                        let value = match get {
+                            0 => entry.epoch(),
+                            1 => entry.pending_len() as u64,
+                            _ => entry.catalog_len() as u64,
+                        };
+                        out.push(format!("{family}{{dataset=\"{name}\"}} {value}"));
+                    }
+                }
             }
         }
         out

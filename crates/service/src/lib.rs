@@ -49,7 +49,17 @@
 //!   graceful drain (`SHUTDOWN` / SIGTERM → final snapshot per dataset,
 //!   typed rejections for in-flight clients, exit 0). Every accepted
 //!   request is answered with an estimate, `BUSY`, `TIMEOUT`, or `ERR` —
-//!   never silently dropped.
+//!   never silently dropped,
+//! * **observability** — every accepted request gets a monotonic id,
+//!   echoed as an `id=<n>` tail on its reply lines so a slow or failed
+//!   request can be correlated across the wire, the slow-query log and
+//!   the drain report; `EXPLAIN_ESTIMATE` answers like `ESTIMATE` and
+//!   appends the span/counter trace that produced the estimate
+//!   ([`Client::explain`]) via the zero-alloc-when-disabled
+//!   [`ceg_core::trace::Trace`] recorder; a ring-buffer slow-query log
+//!   (`SLOWLOG`, threshold [`ServerConfig::slow_query_threshold_ms`])
+//!   captures over-threshold misses; `METRICS_PROM` exports the whole
+//!   metrics registry in Prometheus text exposition format.
 //!
 //! # Example
 //!
@@ -85,12 +95,15 @@ pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use cache::{EstimateCache, LruCache};
-pub use client::{Client, EstimateReply, QueryReply};
-pub use engine::{Engine, EngineStats, EstimateOutcome, QueryOutcome, SnapshotAck, UpdateAck};
+pub use cache::{EstimateCache, LruCache, ProbeOutcome};
+pub use client::{Client, EstimateReply, ExplainReply, QueryReply};
+pub use engine::{
+    Engine, EngineStats, EstimateOutcome, QueryOutcome, SlowQueryEntry, SnapshotAck, UpdateAck,
+    DEFAULT_SLOW_QUERY_THRESHOLD_MS,
+};
 pub use metrics::{Command, Histogram, Metrics};
 pub use pool::{run_scoped, WorkerPool};
-pub use protocol::{Request, Response, MAX_BATCH_QUERIES};
+pub use protocol::{ExplainItem, Request, Response, MAX_BATCH_QUERIES};
 pub use registry::{
     CommitOutcome, DatasetEntry, DatasetRegistry, MAX_PENDING_OPS, MAX_UPDATE_LABEL,
     MAX_UPDATE_VERTEX,

@@ -62,21 +62,64 @@ impl Histogram {
     }
 
     /// The upper bound (in µs) of the bucket holding quantile `q` in
-    /// `[0, 1]`, or 0 with no samples. Monotone in `q`.
+    /// `[0, 1]`. Monotone in `q`.
+    ///
+    /// Edge cases are pinned: an **empty histogram returns 0** (there is
+    /// no bucket to name), and under concurrent recording the rank is
+    /// computed from the *same* one-pass bucket snapshot it is then
+    /// resolved against — never from the separate `count` atomic, which
+    /// can disagree with the buckets mid-`record` (a torn read that
+    /// previously walked past every bucket and answered the bogus top
+    /// bucket).
     pub fn quantile_micros(&self, q: f64) -> u64 {
-        let total = self.count();
+        let counts = self.bucket_counts();
+        let total: u64 = counts.iter().sum();
         if total == 0 {
             return 0;
         }
-        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
         let mut seen = 0u64;
-        for (i, b) in self.buckets.iter().enumerate() {
-            seen += b.load(Ordering::Relaxed);
+        for (i, c) in counts.iter().enumerate() {
+            seen += c;
             if seen >= rank {
                 return 1u64 << i;
             }
         }
+        // Unreachable: rank <= total == the sum of the scanned counts.
         1u64 << (BUCKETS - 1)
+    }
+
+    /// One relaxed load per bucket, in bucket order — the raw counts
+    /// behind [`Histogram::quantile_micros`] and the Prometheus
+    /// `_bucket` series.
+    pub fn bucket_counts(&self) -> [u64; BUCKETS] {
+        let mut counts = [0u64; BUCKETS];
+        for (c, b) in counts.iter_mut().zip(&self.buckets) {
+            *c = b.load(Ordering::Relaxed);
+        }
+        counts
+    }
+
+    /// Render this histogram as a Prometheus text-exposition family:
+    /// `# TYPE` line, cumulative `_bucket{le="..."}` series (bucket `i`
+    /// has upper bound `2^i` µs; the top bucket is `+Inf`), `_sum` and
+    /// `_count`. `_count` is derived from the same bucket snapshot as
+    /// the series, so the cumulative counts are monotone and consistent
+    /// even under concurrent recording.
+    pub fn prom_into(&self, family: &str, out: &mut Vec<String>) {
+        let counts = self.bucket_counts();
+        out.push(format!("# TYPE {family} histogram"));
+        let mut cum = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            cum += c;
+            if i == BUCKETS - 1 {
+                out.push(format!("{family}_bucket{{le=\"+Inf\"}} {cum}"));
+            } else {
+                out.push(format!("{family}_bucket{{le=\"{}\"}} {cum}", 1u64 << i));
+            }
+        }
+        out.push(format!("{family}_sum {}", self.sum_micros()));
+        out.push(format!("{family}_count {cum}"));
     }
 }
 
@@ -85,25 +128,34 @@ impl Histogram {
 pub enum Command {
     Estimate,
     EstimateBatch,
+    ExplainEstimate,
     AddEdge,
     DelEdge,
     Commit,
     Snapshot,
     Stats,
     Metrics,
+    MetricsProm,
+    SlowLog,
     Ping,
 }
 
+/// Number of tracked commands (the latency-histogram array size).
+const COMMANDS: usize = 12;
+
 impl Command {
-    const ALL: [Command; 9] = [
+    const ALL: [Command; COMMANDS] = [
         Command::Estimate,
         Command::EstimateBatch,
+        Command::ExplainEstimate,
         Command::AddEdge,
         Command::DelEdge,
         Command::Commit,
         Command::Snapshot,
         Command::Stats,
         Command::Metrics,
+        Command::MetricsProm,
+        Command::SlowLog,
         Command::Ping,
     ];
 
@@ -112,12 +164,15 @@ impl Command {
         match self {
             Command::Estimate => "estimate",
             Command::EstimateBatch => "estimate_batch",
+            Command::ExplainEstimate => "explain_estimate",
             Command::AddEdge => "add_edge",
             Command::DelEdge => "del_edge",
             Command::Commit => "commit",
             Command::Snapshot => "snapshot",
             Command::Stats => "stats",
             Command::Metrics => "metrics",
+            Command::MetricsProm => "metrics_prom",
+            Command::SlowLog => "slowlog",
             Command::Ping => "ping",
         }
     }
@@ -134,7 +189,7 @@ impl Command {
 pub struct Metrics {
     /// Wall-clock request latency per command (parse to last reply byte
     /// flushed), recorded by the connection handlers.
-    latency: [Histogram; 9],
+    latency: [Histogram; COMMANDS],
     /// Time estimate jobs spent queued before a worker picked them up.
     queue_wait: Histogram,
     /// Requests rejected with `BUSY` (admission control or drain).
@@ -148,6 +203,15 @@ pub struct Metrics {
     queued: AtomicU64,
     /// High-water mark of `queued`.
     queued_peak: AtomicU64,
+    /// Estimates clamped because an estimator produced `NaN`/`inf` on a
+    /// degenerate catalog (answered `none` instead of garbage).
+    degenerate: AtomicU64,
+    /// Counting-kernel totals, aggregated over every catalog fill.
+    kernel_candidates: AtomicU64,
+    kernel_merge: AtomicU64,
+    kernel_gallop: AtomicU64,
+    kernel_suffix: AtomicU64,
+    kernel_budget: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -160,6 +224,12 @@ impl Default for Metrics {
             errors: AtomicU64::new(0),
             queued: AtomicU64::new(0),
             queued_peak: AtomicU64::new(0),
+            degenerate: AtomicU64::new(0),
+            kernel_candidates: AtomicU64::new(0),
+            kernel_merge: AtomicU64::new(0),
+            kernel_gallop: AtomicU64::new(0),
+            kernel_suffix: AtomicU64::new(0),
+            kernel_budget: AtomicU64::new(0),
         }
     }
 }
@@ -212,6 +282,32 @@ impl Metrics {
         self.queued.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// Count one degenerate (`NaN`/`inf`) estimate clamped to `none`.
+    pub fn record_estimator_degenerate(&self) {
+        self.degenerate.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one counting run's [`ceg_exec::KernelStats`] into the global
+    /// kernel totals (a handful of relaxed `fetch_add`s per catalog
+    /// fill, not per candidate).
+    pub fn record_kernel(&self, stats: &ceg_exec::KernelStats) {
+        self.kernel_candidates
+            .fetch_add(stats.candidates, Ordering::Relaxed);
+        self.kernel_merge
+            .fetch_add(stats.merge_intersections, Ordering::Relaxed);
+        self.kernel_gallop
+            .fetch_add(stats.gallop_intersections, Ordering::Relaxed);
+        self.kernel_suffix
+            .fetch_add(stats.suffix_shortcuts, Ordering::Relaxed);
+        self.kernel_budget
+            .fetch_add(stats.budget_consumed, Ordering::Relaxed);
+    }
+
+    /// Degenerate estimates clamped so far.
+    pub fn estimator_degenerate(&self) -> u64 {
+        self.degenerate.load(Ordering::Relaxed)
+    }
+
     /// `BUSY` rejections so far.
     pub fn busy(&self) -> u64 {
         self.busy.load(Ordering::Relaxed)
@@ -246,8 +342,32 @@ impl Metrics {
             ("busy_total".into(), self.busy()),
             ("timeout_total".into(), self.timeouts()),
             ("error_total".into(), self.errors()),
+            (
+                "estimator_degenerate_total".into(),
+                self.estimator_degenerate(),
+            ),
             ("queued".into(), self.queued()),
             ("queued_peak".into(), self.queued_peak()),
+            (
+                "kernel_candidates_total".into(),
+                self.kernel_candidates.load(Ordering::Relaxed),
+            ),
+            (
+                "kernel_intersect_merge_total".into(),
+                self.kernel_merge.load(Ordering::Relaxed),
+            ),
+            (
+                "kernel_intersect_gallop_total".into(),
+                self.kernel_gallop.load(Ordering::Relaxed),
+            ),
+            (
+                "kernel_suffix_shortcuts_total".into(),
+                self.kernel_suffix.load(Ordering::Relaxed),
+            ),
+            (
+                "kernel_budget_consumed_total".into(),
+                self.kernel_budget.load(Ordering::Relaxed),
+            ),
             ("queue_wait_count".into(), self.queue_wait.count()),
             ("queue_wait_sum_us".into(), self.queue_wait.sum_micros()),
             (
@@ -266,6 +386,63 @@ impl Metrics {
             out.push((format!("latency_{k}_sum_us"), h.sum_micros()));
             out.push((format!("latency_{k}_p50_us"), h.quantile_micros(0.50)));
             out.push((format!("latency_{k}_p99_us"), h.quantile_micros(0.99)));
+        }
+        out
+    }
+
+    /// Render the metrics-owned families in Prometheus text exposition
+    /// format: one `counter`/`gauge` family per scalar, one `histogram`
+    /// family per latency histogram. The engine appends its own families
+    /// (cache, datasets) for the full `METRICS_PROM` payload.
+    pub fn prom_lines(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        let counter = |out: &mut Vec<String>, name: &str, v: u64| {
+            out.push(format!("# TYPE {name} counter"));
+            out.push(format!("{name} {v}"));
+        };
+        let gauge = |out: &mut Vec<String>, name: &str, v: u64| {
+            out.push(format!("# TYPE {name} gauge"));
+            out.push(format!("{name} {v}"));
+        };
+        counter(&mut out, "ceg_busy_total", self.busy());
+        counter(&mut out, "ceg_timeout_total", self.timeouts());
+        counter(&mut out, "ceg_error_total", self.errors());
+        counter(
+            &mut out,
+            "ceg_estimator_degenerate_total",
+            self.estimator_degenerate(),
+        );
+        counter(
+            &mut out,
+            "ceg_kernel_candidates_total",
+            self.kernel_candidates.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "ceg_kernel_intersect_merge_total",
+            self.kernel_merge.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "ceg_kernel_intersect_gallop_total",
+            self.kernel_gallop.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "ceg_kernel_suffix_shortcuts_total",
+            self.kernel_suffix.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "ceg_kernel_budget_consumed_total",
+            self.kernel_budget.load(Ordering::Relaxed),
+        );
+        gauge(&mut out, "ceg_queued", self.queued());
+        gauge(&mut out, "ceg_queued_peak", self.queued_peak());
+        self.queue_wait.prom_into("ceg_queue_wait_micros", &mut out);
+        for cmd in Command::ALL {
+            self.latency(cmd)
+                .prom_into(&format!("ceg_latency_{}_micros", cmd.key()), &mut out);
         }
         out
     }
@@ -303,6 +480,54 @@ mod tests {
         // Monotone in q.
         assert!(h.quantile_micros(0.5) <= h.quantile_micros(0.99));
         assert!(h.quantile_micros(0.99) <= h.quantile_micros(1.0));
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero_at_every_q() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 1.0, -3.0, 7.0] {
+            assert_eq!(h.quantile_micros(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn torn_count_vs_bucket_reads_stay_in_range() {
+        // Simulate the torn read: the bucket stores and the `count`
+        // store in `record` are separate relaxed atomics, so a reader
+        // can observe `count` ahead of the buckets. Force the worst
+        // case by recording via the public API and then bumping `count`
+        // behind the histogram's back.
+        let h = Histogram::new();
+        h.record(Duration::from_micros(100));
+        h.count.fetch_add(1_000, Ordering::Relaxed);
+        // The quantile must resolve against the bucket snapshot — the
+        // single real sample's bucket — never fall through to the bogus
+        // `2^31` top bucket.
+        for q in [0.5, 0.99, 1.0] {
+            let v = h.quantile_micros(q);
+            assert_eq!(v, 128, "q={q}: rank must clamp to the bucket sum");
+        }
+    }
+
+    #[test]
+    fn histogram_prom_rendering_is_cumulative_and_consistent() {
+        let h = Histogram::new();
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_millis(5));
+        let mut lines = Vec::new();
+        h.prom_into("ceg_test_micros", &mut lines);
+        assert_eq!(lines[0], "# TYPE ceg_test_micros histogram");
+        let buckets: Vec<u64> = lines
+            .iter()
+            .filter(|l| l.starts_with("ceg_test_micros_bucket"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(buckets.len(), 32);
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "monotone");
+        assert_eq!(*buckets.last().unwrap(), 3);
+        assert!(lines.iter().any(|l| l == "ceg_test_micros_count 3"));
+        assert!(lines.iter().any(|l| l.contains("_bucket{le=\"+Inf\"} 3")));
     }
 
     #[test]

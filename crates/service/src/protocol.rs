@@ -19,6 +19,11 @@
 //! SNAPSHOT <ds> <path>                            SNAPSHOTTED epoch=<n> bytes=<n>
 //! STATS                                           STATS requests=<n> batches=<n> hits=<n> misses=<n> datasets=<n> busy=<n> timeouts=<n> queued=<n>
 //! METRICS                                         METRICS <n>, then n lines: <key> <value>
+//! METRICS_PROM                                    METRICS_PROM <n>, then n Prometheus exposition lines
+//! EXPLAIN_ESTIMATE <ds> [DEADLINE_MS=<ms>] <query>
+//!                                                 EXPLAIN <n>, then the EST (or TIMEOUT) line,
+//!                                                   then span/counter breakdown lines
+//! SLOWLOG [n]                                     SLOWLOG <n>, then n slow-query record lines
 //! SHUTDOWN                                        DRAINING
 //! QUIT                                            BYE
 //! (estimate rejected by admission/drain)          BUSY <message>
@@ -62,6 +67,26 @@
 //! matches the persisted workload format of `ceg-workload::io`, so a
 //! workload file line maps 1:1 onto an `ESTIMATE` line.
 //!
+//! # Observability commands
+//!
+//! Every reply line (and every `BATCH` body line) carries a trailing
+//! ` id=<n>` token: the per-request id the server assigned when it read
+//! the request. Clients strip it with [`split_id`] before parsing; the
+//! id correlates replies with server-side slow-query records. Counted
+//! body lines under `METRICS`/`METRICS_PROM`/`EXPLAIN`/`SLOWLOG` headers
+//! are *not* stamped — their grammar owns the whole line.
+//!
+//! `EXPLAIN_ESTIMATE` runs the exact same estimation path as `ESTIMATE`
+//! (same cache, same catalog, same estimator — the estimate is
+//! bit-identical) with a per-request trace enabled, and answers with a
+//! counted breakdown: the EST line first, then `span <name> <micros>`
+//! and `counter <name> <value>` lines ([`ExplainItem`]). `SLOWLOG [n]`
+//! returns the newest `n` (default: all) entries of the server's
+//! slow-query ring — requests whose batch latency crossed the
+//! configured threshold — newest first. `METRICS_PROM` is the same
+//! registry as `METRICS` rendered in Prometheus text exposition format
+//! (`# TYPE` lines, `_bucket`/`_sum`/`_count` histogram series).
+//!
 //! `ADD_EDGE`/`DEL_EDGE` buffer into the dataset's pending delta and are
 //! invisible to `ESTIMATE` until a `COMMIT` applies them — which bumps
 //! the dataset epoch and thereby invalidates every cached estimate
@@ -99,6 +124,19 @@ pub enum Request {
         query: QueryGraph,
         deadline_ms: Option<u64>,
     },
+    /// `ESTIMATE` with tracing enabled: same grammar, and the reply is a
+    /// counted `EXPLAIN <n>` breakdown (EST line first, then span and
+    /// counter lines) instead of a single EST line.
+    ExplainEstimate {
+        dataset: String,
+        query: QueryGraph,
+        deadline_ms: Option<u64>,
+    },
+    /// Fetch the most recent `n` slow-query records (all of them when
+    /// `None`).
+    SlowLog { n: Option<usize> },
+    /// Metrics in Prometheus text exposition format.
+    MetricsProm,
     /// Estimate an ordered batch of queries against one dataset in a
     /// single round-trip (the only multi-line request). The deadline, if
     /// any, covers the whole batch.
@@ -242,6 +280,36 @@ fn format_query_tokens(line: &mut String, query: &QueryGraph) {
     }
 }
 
+/// A query's wire encoding as an owned string (slow-query records keep
+/// the query text in exactly the grammar an `ESTIMATE` line would use).
+pub fn format_query(query: &QueryGraph) -> String {
+    let mut s = String::new();
+    format_query_tokens(&mut s, query);
+    s
+}
+
+/// Append the per-request id tail ` id=<n>` the server stamps on every
+/// reply line (and on `ERR`/`BUSY`/`TIMEOUT` lines) so a client can
+/// correlate replies with its requests and server-side slow-query
+/// records. Counted *body* lines (metric/span/slowlog lines under a
+/// header) are never stamped — their grammar has no id tail.
+pub fn append_id(line: &mut String, id: u64) {
+    line.push_str(&format!(" id={id}"));
+}
+
+/// Split a reply line into its payload and the ` id=<n>` tail, if one is
+/// present. Lines without a parseable tail come back unchanged — the
+/// helper never fails, so clients interoperate with servers that do not
+/// stamp ids.
+pub fn split_id(line: &str) -> (&str, Option<u64>) {
+    if let Some((head, tail)) = line.rsplit_once(' ') {
+        if let Some(id) = tail.strip_prefix("id=").and_then(|v| v.parse().ok()) {
+            return (head, Some(id));
+        }
+    }
+    (line, None)
+}
+
 /// Parse an `ESTIMATE_BATCH <ds> <n> [DEADLINE_MS=<ms>]` header line,
 /// validating the count against [`MAX_BATCH_QUERIES`]. The server uses
 /// this to learn how many query lines to read before it can hand the
@@ -340,6 +408,175 @@ pub fn parse_metric_line(line: &str) -> Result<(String, u64), String> {
     Ok((key, value))
 }
 
+/// Render the `EXPLAIN <n>` response header that precedes the EST (or
+/// TIMEOUT) line and the span/counter breakdown of an
+/// `EXPLAIN_ESTIMATE`.
+pub fn explain_response_header(n: usize) -> String {
+    format!("EXPLAIN {n}")
+}
+
+/// Parse an `EXPLAIN <n>` response header.
+pub fn parse_explain_response_header(line: &str) -> Result<usize, String> {
+    let mut it = line.split_whitespace();
+    match it.next() {
+        Some("EXPLAIN") => {}
+        _ => return Err(format!("expected EXPLAIN header, got `{line}`")),
+    }
+    let n: usize = it
+        .next()
+        .ok_or("EXPLAIN: missing count")?
+        .parse()
+        .map_err(|_| "EXPLAIN: bad count")?;
+    if it.next().is_some() {
+        return Err("EXPLAIN: trailing tokens".into());
+    }
+    Ok(n)
+}
+
+/// One line of an `EXPLAIN` breakdown body (after the leading EST line):
+/// a measured span or an accumulated counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExplainItem {
+    /// `span <name> <micros>`
+    Span { name: String, micros: u64 },
+    /// `counter <name> <value>`
+    Counter { name: String, value: u64 },
+}
+
+impl ExplainItem {
+    /// Render as one wire line.
+    pub fn format(&self) -> String {
+        match self {
+            ExplainItem::Span { name, micros } => format!("span {name} {micros}"),
+            ExplainItem::Counter { name, value } => format!("counter {name} {value}"),
+        }
+    }
+
+    /// Parse one breakdown line.
+    pub fn parse(line: &str) -> Result<ExplainItem, String> {
+        let mut it = line.split_whitespace();
+        let kind = it.next().ok_or("explain line: empty")?;
+        let name = it
+            .next()
+            .ok_or(format!("explain line: missing name in `{line}`"))?
+            .to_string();
+        let value: u64 = it
+            .next()
+            .ok_or(format!("explain line: missing value in `{line}`"))?
+            .parse()
+            .map_err(|_| format!("explain line: bad value in `{line}`"))?;
+        if it.next().is_some() {
+            return Err(format!("explain line: trailing tokens in `{line}`"));
+        }
+        match kind {
+            "span" => Ok(ExplainItem::Span {
+                name,
+                micros: value,
+            }),
+            "counter" => Ok(ExplainItem::Counter { name, value }),
+            other => Err(format!("explain line: unknown kind `{other}`")),
+        }
+    }
+}
+
+/// Render the `SLOWLOG <n>` response header that precedes `n` slow-query
+/// record lines.
+pub fn slowlog_response_header(n: usize) -> String {
+    format!("SLOWLOG {n}")
+}
+
+/// Parse a `SLOWLOG <n>` response header.
+pub fn parse_slowlog_response_header(line: &str) -> Result<usize, String> {
+    let mut it = line.split_whitespace();
+    match it.next() {
+        Some("SLOWLOG") => {}
+        _ => return Err(format!("expected SLOWLOG header, got `{line}`")),
+    }
+    let n: usize = it
+        .next()
+        .ok_or("SLOWLOG: missing count")?
+        .parse()
+        .map_err(|_| "SLOWLOG: bad count")?;
+    if it.next().is_some() {
+        return Err("SLOWLOG: trailing tokens".into());
+    }
+    Ok(n)
+}
+
+/// Render one slow-query record as a wire line. The query encoding goes
+/// **last** because it contains spaces; every other field is a fixed
+/// `key=value` token.
+pub fn format_slowlog_entry(e: &crate::engine::SlowQueryEntry) -> String {
+    format!(
+        "id={} dataset={} epoch={} micros={} cache_us={} fill_us={} estimate_us={} query={}",
+        e.id, e.dataset, e.epoch, e.micros, e.cache_us, e.fill_us, e.estimate_us, e.query
+    )
+}
+
+/// Parse one slow-query record line.
+pub fn parse_slowlog_entry(line: &str) -> Result<crate::engine::SlowQueryEntry, String> {
+    let mut it = line.split_whitespace();
+    let id = kv(it.next(), "id")?
+        .parse()
+        .map_err(|_| "slowlog: bad id")?;
+    let dataset = kv(it.next(), "dataset")?.to_string();
+    let epoch = kv(it.next(), "epoch")?
+        .parse()
+        .map_err(|_| "slowlog: bad epoch")?;
+    let micros = kv(it.next(), "micros")?
+        .parse()
+        .map_err(|_| "slowlog: bad micros")?;
+    let cache_us = kv(it.next(), "cache_us")?
+        .parse()
+        .map_err(|_| "slowlog: bad cache_us")?;
+    let fill_us = kv(it.next(), "fill_us")?
+        .parse()
+        .map_err(|_| "slowlog: bad fill_us")?;
+    let estimate_us = kv(it.next(), "estimate_us")?
+        .parse()
+        .map_err(|_| "slowlog: bad estimate_us")?;
+    let first = kv(it.next(), "query")?;
+    let mut query = first.to_string();
+    for tok in it {
+        query.push(' ');
+        query.push_str(tok);
+    }
+    Ok(crate::engine::SlowQueryEntry {
+        id,
+        dataset,
+        epoch,
+        micros,
+        cache_us,
+        fill_us,
+        estimate_us,
+        query,
+    })
+}
+
+/// Render the `METRICS_PROM <n>` response header that precedes `n`
+/// Prometheus text-exposition lines.
+pub fn metrics_prom_response_header(n: usize) -> String {
+    format!("METRICS_PROM {n}")
+}
+
+/// Parse a `METRICS_PROM <n>` response header.
+pub fn parse_metrics_prom_response_header(line: &str) -> Result<usize, String> {
+    let mut it = line.split_whitespace();
+    match it.next() {
+        Some("METRICS_PROM") => {}
+        _ => return Err(format!("expected METRICS_PROM header, got `{line}`")),
+    }
+    let n: usize = it
+        .next()
+        .ok_or("METRICS_PROM: missing count")?
+        .parse()
+        .map_err(|_| "METRICS_PROM: bad count")?;
+    if it.next().is_some() {
+        return Err("METRICS_PROM: trailing tokens".into());
+    }
+    Ok(n)
+}
+
 impl Request {
     /// Parse one request. Input is a single line for every command except
     /// `ESTIMATE_BATCH`, whose header line is followed by the announced
@@ -383,6 +620,25 @@ impl Request {
             Some("PING") => Ok(Request::Ping),
             Some("STATS") => Ok(Request::Stats),
             Some("METRICS") => Ok(Request::Metrics),
+            Some("METRICS_PROM") => {
+                if it.next().is_some() {
+                    return Err("METRICS_PROM: trailing tokens".into());
+                }
+                Ok(Request::MetricsProm)
+            }
+            Some("SLOWLOG") => {
+                let n = match it.next() {
+                    None => None,
+                    Some(tok) => Some(
+                        tok.parse::<usize>()
+                            .map_err(|_| "SLOWLOG: bad entry count".to_string())?,
+                    ),
+                };
+                if it.next().is_some() {
+                    return Err("SLOWLOG: trailing tokens".into());
+                }
+                Ok(Request::SlowLog { n })
+            }
             Some("SHUTDOWN") => Ok(Request::Shutdown),
             Some("QUIT") => Ok(Request::Quit),
             Some("ADD_EDGE") => {
@@ -410,22 +666,33 @@ impl Request {
                 }
                 Ok(Request::Commit { dataset })
             }
-            Some("ESTIMATE") => {
-                let dataset = it.next().ok_or("ESTIMATE: missing dataset")?.to_string();
+            Some(cmd @ ("ESTIMATE" | "EXPLAIN_ESTIMATE")) => {
+                let dataset = it
+                    .next()
+                    .ok_or(format!("{cmd}: missing dataset"))?
+                    .to_string();
                 // The deadline attribute is optional; if the next token
                 // isn't one, it is the start of the query encoding.
-                let first = it.next().ok_or("ESTIMATE: missing num_vars")?;
-                let deadline_ms = parse_deadline_token("ESTIMATE", Some(first))?;
+                let first = it.next().ok_or(format!("{cmd}: missing num_vars"))?;
+                let deadline_ms = parse_deadline_token(cmd, Some(first))?;
                 let query = if deadline_ms.is_some() {
-                    parse_query_tokens("ESTIMATE", it)?
+                    parse_query_tokens(cmd, it)?
                 } else {
-                    parse_query_tokens("ESTIMATE", &mut std::iter::once(first).chain(it))?
+                    parse_query_tokens(cmd, &mut std::iter::once(first).chain(it))?
                 };
-                Ok(Request::Estimate {
-                    dataset,
-                    query,
-                    deadline_ms,
-                })
+                if cmd == "EXPLAIN_ESTIMATE" {
+                    Ok(Request::ExplainEstimate {
+                        dataset,
+                        query,
+                        deadline_ms,
+                    })
+                } else {
+                    Ok(Request::Estimate {
+                        dataset,
+                        query,
+                        deadline_ms,
+                    })
+                }
             }
             Some("SNAPSHOT") => {
                 let dataset = it.next().ok_or("SNAPSHOT: missing dataset")?.to_string();
@@ -491,6 +758,23 @@ impl Request {
                 format_query_tokens(&mut line, query);
                 line
             }
+            Request::ExplainEstimate {
+                dataset,
+                query,
+                deadline_ms,
+            } => {
+                let mut line = format!("EXPLAIN_ESTIMATE {dataset} ");
+                if let Some(ms) = deadline_ms {
+                    line.push_str(&format!("DEADLINE_MS={ms} "));
+                }
+                format_query_tokens(&mut line, query);
+                line
+            }
+            Request::SlowLog { n } => match n {
+                Some(n) => format!("SLOWLOG {n}"),
+                None => "SLOWLOG".into(),
+            },
+            Request::MetricsProm => "METRICS_PROM".into(),
         }
     }
 }
@@ -1004,6 +1288,111 @@ mod tests {
         for line in ["", "key", "key x", "key 1 2"] {
             assert!(parse_metric_line(line).is_err(), "{line:?}");
         }
+    }
+
+    #[test]
+    fn explain_requests_roundtrip() {
+        let req = Request::ExplainEstimate {
+            dataset: "imdb".into(),
+            query: templates::path(2, &[3, 4]),
+            deadline_ms: Some(250),
+        };
+        assert_eq!(
+            req.format(),
+            "EXPLAIN_ESTIMATE imdb DEADLINE_MS=250 3 2 0 1 3 1 2 4"
+        );
+        assert_eq!(Request::parse(&req.format()).unwrap(), req);
+        // Same grammar as ESTIMATE: same rejections.
+        assert!(Request::parse("EXPLAIN_ESTIMATE ds 3 1 0 1").is_err());
+        assert!(Request::parse("EXPLAIN_ESTIMATE ds DEADLINE_MS=x 3 1 0 1 0").is_err());
+    }
+
+    #[test]
+    fn slowlog_and_prom_requests_roundtrip() {
+        for req in [
+            Request::SlowLog { n: None },
+            Request::SlowLog { n: Some(5) },
+            Request::MetricsProm,
+        ] {
+            assert_eq!(Request::parse(&req.format()).unwrap(), req);
+        }
+        assert!(Request::parse("SLOWLOG x").is_err());
+        assert!(Request::parse("SLOWLOG 1 2").is_err());
+        assert!(Request::parse("METRICS_PROM extra").is_err());
+    }
+
+    #[test]
+    fn explain_headers_and_items_roundtrip() {
+        assert_eq!(explain_response_header(9), "EXPLAIN 9");
+        assert_eq!(parse_explain_response_header("EXPLAIN 9").unwrap(), 9);
+        assert!(parse_explain_response_header("EXPLAIN").is_err());
+        assert!(parse_explain_response_header("BATCH 9").is_err());
+        let items = [
+            ExplainItem::Span {
+                name: "catalog_fill".into(),
+                micros: 1234,
+            },
+            ExplainItem::Counter {
+                name: "kernel_candidates".into(),
+                value: 42,
+            },
+        ];
+        for item in items {
+            assert_eq!(ExplainItem::parse(&item.format()).unwrap(), item);
+        }
+        for line in ["", "span x", "counter x y z", "gauge x 1", "span x 1 2"] {
+            assert!(ExplainItem::parse(line).is_err(), "{line:?}");
+        }
+    }
+
+    #[test]
+    fn slowlog_entries_roundtrip() {
+        use crate::engine::SlowQueryEntry;
+        let e = SlowQueryEntry {
+            id: 17,
+            dataset: "imdb".into(),
+            epoch: 3,
+            micros: 312_000,
+            cache_us: 12,
+            fill_us: 300_000,
+            estimate_us: 400,
+            query: "3 2 0 1 3 1 2 4".into(),
+        };
+        let line = format_slowlog_entry(&e);
+        assert_eq!(
+            line,
+            "id=17 dataset=imdb epoch=3 micros=312000 cache_us=12 \
+             fill_us=300000 estimate_us=400 query=3 2 0 1 3 1 2 4"
+        );
+        assert_eq!(parse_slowlog_entry(&line).unwrap(), e);
+        assert_eq!(slowlog_response_header(2), "SLOWLOG 2");
+        assert_eq!(parse_slowlog_response_header("SLOWLOG 2").unwrap(), 2);
+        assert!(parse_slowlog_entry("id=1 dataset=x").is_err());
+    }
+
+    #[test]
+    fn metrics_prom_header_roundtrips() {
+        assert_eq!(metrics_prom_response_header(40), "METRICS_PROM 40");
+        assert_eq!(
+            parse_metrics_prom_response_header("METRICS_PROM 40").unwrap(),
+            40
+        );
+        assert!(parse_metrics_prom_response_header("METRICS 40").is_err());
+    }
+
+    #[test]
+    fn id_tail_appends_and_splits() {
+        let mut line = "EST 42 cache=hit hits=1 misses=0".to_string();
+        append_id(&mut line, 7);
+        assert_eq!(line, "EST 42 cache=hit hits=1 misses=0 id=7");
+        let (payload, id) = split_id(&line);
+        assert_eq!(payload, "EST 42 cache=hit hits=1 misses=0");
+        assert_eq!(id, Some(7));
+        // Lines without a tail pass through untouched.
+        assert_eq!(split_id("PONG"), ("PONG", None));
+        assert_eq!(split_id("ERR bad id=x"), ("ERR bad id=x", None));
+        // The stripped payload still parses.
+        assert!(Response::parse(payload).is_ok());
     }
 
     #[test]

@@ -40,7 +40,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use ceg_catalog::io::load_markov;
-use ceg_catalog::{count_patterns_budgeted, MarkovTable};
+use ceg_catalog::{count_patterns_budgeted_stats, FillStats, MarkovTable};
 use ceg_graph::io::load_graph;
 use ceg_graph::{FxHashMap, FxHashSet, GraphDelta, LabelId, LabeledGraph, OverlayGraph, VertexId};
 use ceg_query::{Pattern, QueryGraph};
@@ -58,6 +58,20 @@ pub struct CommitOutcome {
     pub recounted: usize,
     /// True if the overlay was folded into a fresh base CSR.
     pub rebased: bool,
+}
+
+/// What one [`DatasetEntry::ensure_patterns_deadline_stats`] call did —
+/// the catalog-fill half of an `EXPLAIN_ESTIMATE` breakdown.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct EnsureOutcome {
+    /// Patterns inserted into the catalog by this call.
+    pub added: usize,
+    /// Counting-kernel work done filling them (zero if nothing was
+    /// missing). Accumulated across stale-epoch retries.
+    pub fill: FillStats,
+    /// True if the counts ran on the overlay view (committed delta over
+    /// the base CSR) rather than the base CSR directly.
+    pub overlay: bool,
 }
 
 /// Committed, epoch-versioned dataset state — everything an estimate
@@ -410,6 +424,19 @@ impl DatasetEntry {
         queries: &[QueryGraph],
         deadline: Option<std::time::Instant>,
     ) -> usize {
+        self.ensure_patterns_deadline_stats(queries, deadline).added
+    }
+
+    /// [`DatasetEntry::ensure_patterns_deadline`] reporting what the fill
+    /// actually did: patterns added, the counting kernel's work
+    /// ([`FillStats`]) and whether the counts ran on the overlay view.
+    /// This is the catalog-side evidence an `EXPLAIN_ESTIMATE` renders.
+    pub fn ensure_patterns_deadline_stats(
+        &self,
+        queries: &[QueryGraph],
+        deadline: Option<std::time::Instant>,
+    ) -> EnsureOutcome {
+        let mut outcome = EnsureOutcome::default();
         loop {
             let (missing, base, overlay, epoch) = {
                 let st = self.state.read().unwrap();
@@ -424,7 +451,8 @@ impl DatasetEntry {
                     }
                 }
                 if missing.is_empty() {
-                    return 0;
+                    outcome.overlay = !st.overlay.is_empty();
+                    return outcome;
                 }
                 (missing, st.base.clone(), st.overlay.clone(), st.epoch)
             };
@@ -432,37 +460,38 @@ impl DatasetEntry {
                 Some(d) => ceg_exec::CountBudget::until(d),
                 None => ceg_exec::CountBudget::UNLIMITED,
             };
-            let counts = if overlay.is_empty() {
-                count_patterns_budgeted(&*base, &missing, self.jobs, budget)
+            outcome.overlay = !overlay.is_empty();
+            let (counts, fill) = if overlay.is_empty() {
+                count_patterns_budgeted_stats(&*base, &missing, self.jobs, budget)
             } else {
-                count_patterns_budgeted(
+                count_patterns_budgeted_stats(
                     &OverlayGraph::new(&base, &overlay),
                     &missing,
                     self.jobs,
                     budget,
                 )
             };
+            outcome.fill.absorb(&fill);
             let mut st = self.state.write().unwrap();
             if st.epoch != epoch {
                 // A commit landed mid-count: the counts may be stale.
                 // Retry — unless the deadline has passed, in which case
                 // the caller is about to time the request out anyway.
                 if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
-                    return 0;
+                    return outcome;
                 }
                 continue;
             }
-            let mut added = 0;
             for (pat, card) in missing.into_iter().zip(counts) {
                 // Abandoned counts insert nothing: a partial count must
                 // never enter the catalog as if it were exact.
                 let Some(card) = card else { continue };
                 if st.markov.card(&pat).is_none() {
                     st.markov.insert(pat, card);
-                    added += 1;
+                    outcome.added += 1;
                 }
             }
-            return added;
+            return outcome;
         }
     }
 

@@ -38,14 +38,14 @@ use std::collections::HashMap;
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use ceg_query::QueryGraph;
 
-use crate::engine::{Engine, QueryOutcome};
+use crate::engine::{Engine, QueryOutcome, SlowQueryEntry, DEFAULT_SLOW_QUERY_THRESHOLD_MS};
 use crate::metrics::{Command, Metrics};
 use crate::pool::WorkerPool;
 use crate::protocol::{Request, Response};
@@ -74,6 +74,9 @@ pub struct ServerConfig {
     /// before abandoning them (they still get typed replies from the
     /// workers; this just bounds process exit).
     pub drain_grace_ms: u64,
+    /// Estimate batches at least this slow (wall-clock milliseconds) are
+    /// recorded in the slow-query ring (`SLOWLOG`).
+    pub slow_query_threshold_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -88,6 +91,7 @@ impl Default for ServerConfig {
             default_deadline_ms: Some(30_000),
             drain_snapshot_dir: None,
             drain_grace_ms: 5_000,
+            slow_query_threshold_ms: DEFAULT_SLOW_QUERY_THRESHOLD_MS,
         }
     }
 }
@@ -210,10 +214,16 @@ struct Shared {
     admission: Admission,
     lifecycle: Lifecycle,
     default_deadline_ms: Option<u64>,
+    /// Per-request id source: every request a connection handler reads
+    /// gets the next id, echoed as the ` id=<n>` reply tail and stamped
+    /// on slow-query records.
+    next_request_id: AtomicU64,
 }
 
 /// One queued estimation request.
 struct EstimateJob {
+    /// The request id assigned when the request was read.
+    id: u64,
     dataset: String,
     query: QueryGraph,
     reply: mpsc::Sender<Response>,
@@ -233,6 +243,10 @@ pub struct DrainReport {
     /// Jobs still in flight when the grace period expired (their typed
     /// replies are the workers' job; this only bounds process exit).
     pub abandoned: u64,
+    /// The slow-query ring at drain time, newest first — slow queries
+    /// from the final serving window survive into the shutdown report
+    /// instead of dying with the process.
+    pub slowlog: Vec<SlowQueryEntry>,
 }
 
 /// A running estimation server. [`Server::shutdown`] (or dropping the
@@ -262,11 +276,13 @@ impl Server {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let engine = Arc::new(Engine::new(registry, config.cache_capacity));
+        engine.set_slow_query_threshold_ms(config.slow_query_threshold_ms);
         let shared = Arc::new(Shared {
             engine: engine.clone(),
             admission: Admission::new(config.queue_cap.max(1)),
             lifecycle: Lifecycle::new(),
             default_deadline_ms: config.default_deadline_ms,
+            next_request_id: AtomicU64::new(1),
         });
         let pool = {
             let shared = shared.clone();
@@ -380,6 +396,7 @@ impl Server {
         Ok(DrainReport {
             snapshots,
             abandoned,
+            slowlog: self.engine.slowlog(usize::MAX),
         })
     }
 
@@ -459,7 +476,10 @@ fn command_of(req: &Request) -> Option<Command> {
         Request::Ping => Command::Ping,
         Request::Stats => Command::Stats,
         Request::Metrics => Command::Metrics,
+        Request::MetricsProm => Command::MetricsProm,
+        Request::SlowLog { .. } => Command::SlowLog,
         Request::Estimate { .. } => Command::Estimate,
+        Request::ExplainEstimate { .. } => Command::ExplainEstimate,
         Request::EstimateBatch { .. } => Command::EstimateBatch,
         Request::AddEdge { .. } => Command::AddEdge,
         Request::DelEdge { .. } => Command::DelEdge,
@@ -478,19 +498,35 @@ fn effective_deadline(request_ms: Option<u64>, default_ms: Option<u64>) -> Optio
     Some((at, ms))
 }
 
-/// Write one reply line and flush. The single funnel for `ERR`
-/// accounting: every error actually sent to a client is counted exactly
-/// once here, no matter which layer produced it.
+/// Write one reply line — stamped with the request's ` id=<n>` tail —
+/// and flush. The single funnel for `ERR` accounting: every error
+/// actually sent to a client is counted exactly once here, no matter
+/// which layer produced it.
 fn write_reply(
     writer: &mut BufWriter<TcpStream>,
     metrics: &Metrics,
     response: &Response,
+    id: u64,
 ) -> io::Result<()> {
     if matches!(response, Response::Error(_)) {
         metrics.record_error();
     }
-    writeln!(writer, "{}", response.format())?;
+    let mut line = response.format();
+    crate::protocol::append_id(&mut line, id);
+    writeln!(writer, "{line}")?;
     writer.flush()
+}
+
+/// Write a counted-reply header line with the request's id tail. The
+/// `n` body lines that follow are *not* stamped — their grammar owns
+/// the whole line.
+fn write_counted_header(
+    writer: &mut BufWriter<TcpStream>,
+    mut header: String,
+    id: u64,
+) -> io::Result<()> {
+    crate::protocol::append_id(&mut header, id);
+    writeln!(writer, "{header}")
 }
 
 /// An ordered slot of a batch reply: answered inline (cache hit or
@@ -526,10 +562,12 @@ fn serve_connection(
             LineRead::TooLong => {
                 // Overlong line: refuse and drop the connection — the
                 // rest of the stream is the same unterminated line.
+                let id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
                 write_reply(
                     &mut writer,
                     &metrics,
                     &Response::Error("request line too long".into()),
+                    id,
                 )?;
                 break;
             }
@@ -539,6 +577,10 @@ fn serve_connection(
             continue;
         }
         let started = Instant::now();
+        // The per-request id: assigned the moment a request is read,
+        // echoed on every reply line it produces, and stamped on any
+        // slow-query record it leaves behind.
+        let req_id = shared.next_request_id.fetch_add(1, Ordering::Relaxed);
         // ESTIMATE_BATCH is the one multi-line request: its header says
         // how many query lines follow. Read them (still one capped line
         // at a time) before parsing, so the stream stays framed even
@@ -549,7 +591,7 @@ fn serve_connection(
         if request_text.split_whitespace().next() == Some("ESTIMATE_BATCH") {
             match crate::protocol::parse_batch_header(&request_text) {
                 Err(msg) => {
-                    write_reply(&mut writer, &metrics, &Response::Error(msg))?;
+                    write_reply(&mut writer, &metrics, &Response::Error(msg), req_id)?;
                     break;
                 }
                 Ok((_, n, _)) => {
@@ -561,6 +603,7 @@ fn serve_connection(
                                     &mut writer,
                                     &metrics,
                                     &Response::Error("request line too long".into()),
+                                    req_id,
                                 )?;
                                 return Ok(());
                             }
@@ -586,29 +629,56 @@ fn serve_connection(
         let cmd = parsed.as_ref().ok().and_then(command_of);
         let draining = shared.lifecycle.drain_requested();
         match parsed {
-            Err(msg) => write_reply(&mut writer, &metrics, &Response::Error(msg))?,
-            Ok(Request::Ping) => write_reply(&mut writer, &metrics, &Response::Pong)?,
-            Ok(Request::Stats) => {
-                write_reply(&mut writer, &metrics, &Response::Stats(engine.stats()))?
-            }
+            Err(msg) => write_reply(&mut writer, &metrics, &Response::Error(msg), req_id)?,
+            Ok(Request::Ping) => write_reply(&mut writer, &metrics, &Response::Pong, req_id)?,
+            Ok(Request::Stats) => write_reply(
+                &mut writer,
+                &metrics,
+                &Response::Stats(engine.stats()),
+                req_id,
+            )?,
             Ok(Request::Metrics) => {
                 let snap = engine.metrics_snapshot();
-                writeln!(
-                    writer,
-                    "{}",
-                    crate::protocol::metrics_response_header(snap.len())
+                write_counted_header(
+                    &mut writer,
+                    crate::protocol::metrics_response_header(snap.len()),
+                    req_id,
                 )?;
                 for (key, value) in snap {
                     writeln!(writer, "{key} {value}")?;
                 }
                 writer.flush()?;
             }
+            Ok(Request::MetricsProm) => {
+                let lines = engine.metrics_prom();
+                write_counted_header(
+                    &mut writer,
+                    crate::protocol::metrics_prom_response_header(lines.len()),
+                    req_id,
+                )?;
+                for l in lines {
+                    writeln!(writer, "{l}")?;
+                }
+                writer.flush()?;
+            }
+            Ok(Request::SlowLog { n }) => {
+                let entries = engine.slowlog(n.unwrap_or(usize::MAX));
+                write_counted_header(
+                    &mut writer,
+                    crate::protocol::slowlog_response_header(entries.len()),
+                    req_id,
+                )?;
+                for e in &entries {
+                    writeln!(writer, "{}", crate::protocol::format_slowlog_entry(e))?;
+                }
+                writer.flush()?;
+            }
             Ok(Request::Shutdown) => {
                 shared.lifecycle.request_drain();
-                write_reply(&mut writer, &metrics, &Response::Draining)?;
+                write_reply(&mut writer, &metrics, &Response::Draining, req_id)?;
             }
             Ok(Request::Quit) => {
-                write_reply(&mut writer, &metrics, &Response::Bye)?;
+                write_reply(&mut writer, &metrics, &Response::Bye, req_id)?;
                 break;
             }
             // During a drain every state-touching command is rejected
@@ -619,13 +689,15 @@ fn serve_connection(
                 | Request::DelEdge { .. }
                 | Request::Commit { .. }
                 | Request::Snapshot { .. }
-                | Request::Estimate { .. },
+                | Request::Estimate { .. }
+                | Request::ExplainEstimate { .. },
             ) if draining => {
                 metrics.record_busy();
                 write_reply(
                     &mut writer,
                     &metrics,
                     &Response::Busy("server draining".into()),
+                    req_id,
                 )?;
             }
             // Updates are answered inline by the handler: buffering an
@@ -642,7 +714,7 @@ fn serve_connection(
                     Ok(ack) => Response::Updated(ack),
                     Err(msg) => Response::Error(msg),
                 };
-                write_reply(&mut writer, &metrics, &resp)?;
+                write_reply(&mut writer, &metrics, &resp, req_id)?;
             }
             Ok(Request::DelEdge {
                 dataset,
@@ -654,14 +726,14 @@ fn serve_connection(
                     Ok(ack) => Response::Updated(ack),
                     Err(msg) => Response::Error(msg),
                 };
-                write_reply(&mut writer, &metrics, &resp)?;
+                write_reply(&mut writer, &metrics, &resp, req_id)?;
             }
             Ok(Request::Commit { dataset }) => {
                 let resp = match engine.commit(&dataset) {
                     Ok(outcome) => Response::Committed(outcome),
                     Err(msg) => Response::Error(msg),
                 };
-                write_reply(&mut writer, &metrics, &resp)?;
+                write_reply(&mut writer, &metrics, &resp, req_id)?;
             }
             // SNAPSHOT holds the dataset's state read lock while it
             // writes the file; answered inline like COMMIT — the client
@@ -671,7 +743,70 @@ fn serve_connection(
                     Ok(ack) => Response::Snapshotted(ack),
                     Err(msg) => Response::Error(msg),
                 };
-                write_reply(&mut writer, &metrics, &resp)?;
+                write_reply(&mut writer, &metrics, &resp, req_id)?;
+            }
+            // EXPLAIN_ESTIMATE runs inline on the handler thread (like
+            // COMMIT: the client explicitly opted into its latency) so
+            // the trace covers the complete request with no queue in the
+            // way. The estimate is computed by the exact same engine
+            // path as ESTIMATE.
+            Ok(Request::ExplainEstimate {
+                dataset,
+                query,
+                deadline_ms,
+            }) => {
+                let deadline = effective_deadline(deadline_ms, shared.default_deadline_ms);
+                match engine.explain(&dataset, &query, deadline.map(|(at, _)| at)) {
+                    Err(msg) => write_reply(&mut writer, &metrics, &Response::Error(msg), req_id)?,
+                    Ok((outcome, mut trace)) => {
+                        // Inline execution has no worker queue; the span
+                        // is recorded (as zero) so the breakdown's span
+                        // set is the same shape queued requests report
+                        // in the slow-query log.
+                        trace.record_span_micros("queue_wait", 0);
+                        let stats = engine.stats();
+                        let first = match outcome {
+                            QueryOutcome::Done(outcome) => Response::Estimate {
+                                outcome,
+                                hits: stats.cache_hits,
+                                misses: stats.cache_misses,
+                            },
+                            QueryOutcome::TimedOut => Response::Timeout {
+                                deadline_ms: deadline.map_or(0, |(_, ms)| ms),
+                            },
+                        };
+                        let n = 1 + trace.spans().len() + trace.counters().len();
+                        write_counted_header(
+                            &mut writer,
+                            crate::protocol::explain_response_header(n),
+                            req_id,
+                        )?;
+                        writeln!(writer, "{}", first.format())?;
+                        for &(name, micros) in trace.spans() {
+                            writeln!(
+                                writer,
+                                "{}",
+                                crate::protocol::ExplainItem::Span {
+                                    name: name.into(),
+                                    micros
+                                }
+                                .format()
+                            )?;
+                        }
+                        for &(name, value) in trace.counters() {
+                            writeln!(
+                                writer,
+                                "{}",
+                                crate::protocol::ExplainItem::Counter {
+                                    name: name.into(),
+                                    value
+                                }
+                                .format()
+                            )?;
+                        }
+                        writer.flush()?;
+                    }
+                }
             }
             // A batch fans its cache misses across the pool shards (each
             // worker still regroups by dataset) and streams the answers
@@ -709,6 +844,7 @@ fn serve_connection(
                             Some(permit) => {
                                 let (tx, rx) = mpsc::channel();
                                 pool.submit(EstimateJob {
+                                    id: req_id,
                                     dataset: dataset.clone(),
                                     query,
                                     reply: tx,
@@ -724,10 +860,10 @@ fn serve_connection(
                         }
                     })
                     .collect();
-                writeln!(
-                    writer,
-                    "{}",
-                    crate::protocol::batch_response_header(slots.len())
+                write_counted_header(
+                    &mut writer,
+                    crate::protocol::batch_response_header(slots.len()),
+                    req_id,
                 )?;
                 // Flush per line: answers stream back as workers finish,
                 // they are not held until the whole batch completes.
@@ -739,7 +875,7 @@ fn serve_connection(
                             .recv()
                             .unwrap_or_else(|_| Response::Error("server shutting down".into())),
                     };
-                    write_reply(&mut writer, &metrics, &reply)?;
+                    write_reply(&mut writer, &metrics, &reply, req_id)?;
                 }
             }
             Ok(Request::Estimate {
@@ -763,6 +899,7 @@ fn serve_connection(
                         Some(permit) => {
                             let (tx, rx) = mpsc::channel();
                             pool.submit(EstimateJob {
+                                id: req_id,
                                 dataset,
                                 query,
                                 reply: tx,
@@ -778,7 +915,7 @@ fn serve_connection(
                         }
                     }
                 };
-                write_reply(&mut writer, &metrics, &resp)?;
+                write_reply(&mut writer, &metrics, &resp, req_id)?;
             }
         };
         if let Some(c) = cmd {
@@ -840,7 +977,8 @@ fn handle_batch(shared: &Shared, batch: Vec<EstimateJob>) {
         let queries: Vec<QueryGraph> = jobs.iter().map(|j| j.query.clone()).collect();
         let deadlines: Vec<Option<Instant>> =
             jobs.iter().map(|j| j.deadline.map(|(at, _)| at)).collect();
-        match engine.estimate_batch_deadline(&dataset, &queries, &deadlines) {
+        let ids: Vec<u64> = jobs.iter().map(|j| j.id).collect();
+        match engine.estimate_batch_deadline_ids(&dataset, &queries, &deadlines, &ids) {
             Ok(outcomes) => {
                 let stats = engine.stats();
                 for (job, outcome) in jobs.into_iter().zip(outcomes) {

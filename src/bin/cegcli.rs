@@ -8,14 +8,22 @@
 //! cegcli estimate <graph.edges> <queries.wl> [markov.file] [heuristic]
 //! cegcli molp     <graph.edges> <queries.wl>
 //! cegcli explain  <graph.edges> <queries.wl> <query-index>   # CEG_O as DOT
+//! cegcli explain  <addr> <queries.wl> <query-index> [dataset] [--deadline-ms N]
 //! cegcli serve    <addr> <graph.edges> [markov.file|-] [h]   # estimation server
 //! cegcli serve    <addr> --snapshot <file.cegsnap>           # restore from snapshot
 //! cegcli query    <addr> <queries.wl> [dataset] [--batch] [--deadline-ms N]
 //! cegcli update   <addr> <updates.upd> [dataset]             # live graph updates
 //! cegcli snapshot <addr> <out.cegsnap> [dataset]             # persist server state
 //! cegcli metrics  <addr>                                     # dump metrics registry
+//! cegcli prom     <addr> [--check]                           # Prometheus exposition
+//! cegcli slowlog  <addr> [n]                                 # slow-query log
 //! cegcli shutdown <addr>                                     # graceful drain
 //! ```
+//!
+//! `explain` has two forms, told apart by the first argument: a graph
+//! file renders the query's CEG_O locally as DOT; a server address
+//! (contains `:`) sends `EXPLAIN_ESTIMATE` and prints the estimate with
+//! the server-side span/counter trace that produced it.
 //!
 //! `serve` drains gracefully on SIGTERM or a wire `SHUTDOWN`: it stops
 //! accepting, lets in-flight work resolve to typed replies, writes one
@@ -154,7 +162,10 @@ const USAGE_LINES: &[(&str, &str)] = &[
         "cegcli estimate <graph.edges> <queries.wl> [markov.file] [heuristic] [--jobs N]",
     ),
     ("molp", "cegcli molp <graph.edges> <queries.wl>"),
-    ("explain", "cegcli explain <graph.edges> <queries.wl> <query-index>"),
+    (
+        "explain",
+        "cegcli explain (<graph.edges> | <addr>) <queries.wl> <query-index> [dataset] [--deadline-ms N]",
+    ),
     (
         "serve",
         "cegcli serve <addr> (<graph.edges> [markov.file|-] [h] | --snapshot <file.cegsnap>) [--jobs N] [--drain-dir <dir>]",
@@ -166,6 +177,8 @@ const USAGE_LINES: &[(&str, &str)] = &[
     ("update", "cegcli update <addr> <updates.upd> [dataset]"),
     ("snapshot", "cegcli snapshot <addr> <out.cegsnap> [dataset]"),
     ("metrics", "cegcli metrics <addr>"),
+    ("prom", "cegcli prom <addr> [--check]"),
+    ("slowlog", "cegcli slowlog <addr> [n]"),
     ("shutdown", "cegcli shutdown <addr>"),
 ];
 
@@ -213,6 +226,8 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "update" => in_cmd("update", update_cmd(rest)),
         "snapshot" => in_cmd("snapshot", snapshot_cmd(rest)),
         "metrics" => in_cmd("metrics", metrics_cmd(rest)),
+        "prom" => in_cmd("prom", prom_cmd(rest)),
+        "slowlog" => in_cmd("slowlog", slowlog_cmd(rest)),
         "shutdown" => in_cmd("shutdown", shutdown_cmd(rest)),
         other => Err(top(format!("unknown command `{other}`"))),
     }
@@ -460,6 +475,13 @@ fn molp(args: &[String]) -> CmdResult {
 }
 
 fn explain(args: &[String]) -> CmdResult {
+    // Two forms share the verb: a server address (contains `:`) sends
+    // EXPLAIN_ESTIMATE to a running server; a graph file renders the
+    // CEG_O locally. File paths with a colon are not a thing this CLI
+    // produces, addresses without one are not accepted by `connect`.
+    if arg(args, 0, "graph path or server address")?.contains(':') {
+        return explain_wire(args);
+    }
     // Arguments first, filesystem second (see `workload`).
     let graph_path = arg(args, 0, "graph path")?;
     let workload_path = arg(args, 1, "workload path")?;
@@ -472,6 +494,66 @@ fn explain(args: &[String]) -> CmdResult {
     let table = MarkovTable::build_for_query(&g, &wq.query, 2);
     let ceg = CegO::build(&wq.query, &table);
     print!("{}", ceg_o_to_dot(&ceg, &wq.query));
+    Ok(())
+}
+
+/// The wire form of `explain`: send one workload query as
+/// `EXPLAIN_ESTIMATE` and print the estimate plus the server-side trace
+/// (named wall-clock spans and counters) that produced it.
+fn explain_wire(args: &[String]) -> CmdResult {
+    use cegraph::service::QueryReply;
+    let (args, deadline) = take_opt(args, "deadline-ms")?;
+    let deadline_ms: Option<u64> = deadline
+        .map(|s| {
+            s.parse()
+                .map_err(|_| format!("bad --deadline-ms value `{s}`"))
+        })
+        .transpose()?;
+    // Arguments first, filesystem second (see `workload`).
+    let addr = arg(&args, 0, "server address")?;
+    let workload_path = arg(&args, 1, "workload path")?;
+    let idx: usize = arg(&args, 2, "query index")?
+        .parse()
+        .map_err(|_| "bad index")?;
+    let dataset = args.get(3).map(String::as_str).unwrap_or("default");
+    if args.len() > 4 {
+        return Err(CmdError::usage("unexpected extra arguments"));
+    }
+    let queries = load_workload(workload_path).map_err(CmdError::runtime)?;
+    let wq = queries.get(idx).ok_or("query index out of range")?;
+    let mut client = Client::connect(addr).map_err(CmdError::runtime)?;
+    let ex = client
+        .explain(dataset, &wq.query, deadline_ms)
+        .map_err(CmdError::runtime)?;
+    println!(
+        "query {idx} ({}) on `{dataset}` id={}",
+        wq.template,
+        ex.id.map_or_else(|| "?".to_string(), |i| i.to_string())
+    );
+    match &ex.reply {
+        QueryReply::Estimate(r) => {
+            let cache = if r.cached { "hit" } else { "miss" };
+            match r.value {
+                Some(e) => println!(
+                    "estimate {e:.1} (truth {:.1}, log10-q {:.2}, cache {cache})",
+                    wq.truth,
+                    signed_log_qerror(e, wq.truth)
+                ),
+                None => println!("estimate - (truth {:.1}, cache {cache})", wq.truth),
+            }
+        }
+        QueryReply::Timeout { deadline_ms } => println!("timeout after {deadline_ms}ms"),
+        QueryReply::Busy(msg) => println!("busy: {msg}"),
+    }
+    println!("spans:");
+    for (name, micros) in &ex.spans {
+        println!("  {name:<28} {micros:>10} us");
+    }
+    println!("counters:");
+    for (name, value) in &ex.counters {
+        println!("  {name:<28} {value:>10}");
+    }
+    client.quit().map_err(CmdError::runtime)?;
     Ok(())
 }
 
@@ -771,6 +853,160 @@ fn metrics_cmd(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// Dump a running server's metrics registry in Prometheus text
+/// exposition format (the `METRICS_PROM` command). With `--check`, the
+/// exposition is also validated locally — every `# TYPE`d family has at
+/// least one sample, histogram buckets are cumulative and agree with
+/// `_count` — and a malformed exposition is a runtime error (exit 1),
+/// which is what the CI smoke step greps for.
+fn prom_cmd(args: &[String]) -> CmdResult {
+    let (args, check) = take_flag(args, "check");
+    let addr = arg(&args, 0, "server address")?;
+    if args.len() > 1 {
+        return Err(CmdError::usage("unexpected extra arguments"));
+    }
+    let mut client = Client::connect(addr).map_err(CmdError::runtime)?;
+    let lines = client.metrics_prom().map_err(CmdError::runtime)?;
+    for line in &lines {
+        println!("{line}");
+    }
+    if check {
+        let (families, samples) = check_exposition(&lines).map_err(CmdError::runtime)?;
+        eprintln!("exposition OK: {families} families, {samples} samples");
+    }
+    client.quit().map_err(CmdError::runtime)?;
+    Ok(())
+}
+
+/// Validate a Prometheus text exposition: every sample belongs to a
+/// declared (`# TYPE`) family, every declared family has at least one
+/// sample, histogram buckets are cumulative with a closing `+Inf` that
+/// matches `_count`. Returns `(families, samples)` on success.
+fn check_exposition(lines: &[String]) -> Result<(usize, usize), String> {
+    use std::collections::HashMap;
+    #[derive(Default)]
+    struct Hist {
+        last_bucket: Option<f64>,
+        inf: Option<f64>,
+        count: Option<f64>,
+    }
+    let mut families: HashMap<String, &str> = HashMap::new();
+    let mut sampled: HashMap<String, usize> = HashMap::new();
+    let mut hists: HashMap<String, Hist> = HashMap::new();
+    let mut samples = 0usize;
+    for (i, line) in lines.iter().enumerate() {
+        let lineno = i + 1;
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let name = it
+                .next()
+                .ok_or(format!("line {lineno}: # TYPE without a metric name"))?;
+            let kind = match it.next() {
+                Some(k @ ("counter" | "gauge" | "histogram")) => k,
+                Some(k) => return Err(format!("line {lineno}: unknown metric type `{k}`")),
+                None => return Err(format!("line {lineno}: # TYPE `{name}` without a type")),
+            };
+            if families.insert(name.to_string(), kind).is_some() {
+                return Err(format!("line {lineno}: duplicate # TYPE for `{name}`"));
+            }
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (id, value) = line
+            .rsplit_once(' ')
+            .ok_or(format!("line {lineno}: sample without a value"))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {lineno}: bad sample value `{value}`"))?;
+        let name = id.split('{').next().unwrap_or(id);
+        // A histogram's samples carry suffixed names; fold them back
+        // onto the declared family.
+        let family = [("_bucket"), ("_sum"), ("_count")]
+            .iter()
+            .find_map(|suffix| {
+                name.strip_suffix(suffix)
+                    .filter(|base| families.get(*base).copied() == Some("histogram"))
+            })
+            .unwrap_or(name);
+        let Some(&kind) = families.get(family) else {
+            return Err(format!(
+                "line {lineno}: sample `{name}` has no preceding # TYPE"
+            ));
+        };
+        *sampled.entry(family.to_string()).or_insert(0) += 1;
+        samples += 1;
+        if kind == "counter" && value < 0.0 {
+            return Err(format!("line {lineno}: negative counter `{name}`"));
+        }
+        if kind == "histogram" {
+            let h = hists.entry(family.to_string()).or_default();
+            if name.ends_with("_bucket") {
+                if h.last_bucket.is_some_and(|last| value < last) {
+                    return Err(format!(
+                        "line {lineno}: bucket of `{family}` not cumulative ({value} after {})",
+                        h.last_bucket.unwrap()
+                    ));
+                }
+                h.last_bucket = Some(value);
+                if id.contains("le=\"+Inf\"") {
+                    h.inf = Some(value);
+                }
+            } else if name.ends_with("_count") {
+                h.count = Some(value);
+            }
+        }
+    }
+    for name in families.keys() {
+        if sampled.get(name).copied().unwrap_or(0) == 0 {
+            return Err(format!("family `{name}` declared but has no samples"));
+        }
+    }
+    for (name, h) in &hists {
+        let inf = h
+            .inf
+            .ok_or(format!("histogram `{name}` lacks an le=\"+Inf\" bucket"))?;
+        match h.count {
+            Some(c) if c == inf => {}
+            Some(c) => {
+                return Err(format!(
+                    "histogram `{name}`: _count {c} disagrees with +Inf bucket {inf}"
+                ))
+            }
+            None => return Err(format!("histogram `{name}` lacks a _count sample")),
+        }
+    }
+    Ok((families.len(), samples))
+}
+
+/// Dump a running server's slow-query log, newest first (the `SLOWLOG`
+/// command): request id, dataset, epoch, phase timings and the query
+/// itself for every over-threshold estimate the server kept.
+fn slowlog_cmd(args: &[String]) -> CmdResult {
+    let addr = arg(args, 0, "server address")?;
+    let n: Option<usize> = args
+        .get(1)
+        .map(|s| s.parse().map_err(|_| format!("bad entry count `{s}`")))
+        .transpose()?;
+    if args.len() > 2 {
+        return Err(CmdError::usage("unexpected extra arguments"));
+    }
+    let mut client = Client::connect(addr).map_err(CmdError::runtime)?;
+    let entries = client.slowlog(n).map_err(CmdError::runtime)?;
+    if entries.is_empty() {
+        println!("slow-query log is empty");
+    }
+    for e in &entries {
+        println!(
+            "id={} dataset={} epoch={} total={}us (cache {}us, fill {}us, estimate {}us) query: {}",
+            e.id, e.dataset, e.epoch, e.micros, e.cache_us, e.fill_us, e.estimate_us, e.query
+        );
+    }
+    client.quit().map_err(CmdError::runtime)?;
+    Ok(())
+}
+
 /// Ask a running server to drain gracefully: it stops accepting work,
 /// answers in-flight clients with typed replies, writes its final
 /// snapshots (if configured with `--drain-dir`) and exits 0.
@@ -867,6 +1103,74 @@ mod tests {
         assert!(err.contains("duplicate"), "{err}");
     }
 
+    // --- Prometheus exposition checker ------------------------------------
+
+    use super::check_exposition;
+
+    fn expo(lines: &[&str]) -> Vec<String> {
+        lines.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn check_exposition_accepts_a_well_formed_dump() {
+        let lines = expo(&[
+            "# TYPE ceg_requests_total counter",
+            "ceg_requests_total 42",
+            "# TYPE ceg_dataset_epoch gauge",
+            "ceg_dataset_epoch{dataset=\"default\"} 3",
+            "# TYPE ceg_latency_estimate_us histogram",
+            "ceg_latency_estimate_us_bucket{le=\"1\"} 0",
+            "ceg_latency_estimate_us_bucket{le=\"2\"} 2",
+            "ceg_latency_estimate_us_bucket{le=\"+Inf\"} 5",
+            "ceg_latency_estimate_us_sum 900",
+            "ceg_latency_estimate_us_count 5",
+        ]);
+        assert_eq!(check_exposition(&lines), Ok((3, 7)));
+    }
+
+    #[test]
+    fn check_exposition_rejects_malformed_dumps() {
+        for (lines, needle) in [
+            // A declared family with no samples is invalid exposition.
+            (expo(&["# TYPE ceg_requests_total counter"]), "no samples"),
+            // A sample must follow its # TYPE declaration.
+            (expo(&["ceg_requests_total 42"]), "no preceding # TYPE"),
+            (
+                expo(&[
+                    "# TYPE h histogram",
+                    "h_bucket{le=\"1\"} 5",
+                    "h_bucket{le=\"2\"} 3",
+                    "h_bucket{le=\"+Inf\"} 5",
+                    "h_sum 1",
+                    "h_count 5",
+                ]),
+                "not cumulative",
+            ),
+            (
+                expo(&[
+                    "# TYPE h histogram",
+                    "h_bucket{le=\"+Inf\"} 5",
+                    "h_sum 1",
+                    "h_count 4",
+                ]),
+                "disagrees",
+            ),
+            (
+                expo(&["# TYPE h histogram", "h_bucket{le=\"1\"} 5", "h_count 5"]),
+                "+Inf",
+            ),
+            (
+                expo(&["# TYPE x counter", "# TYPE x counter", "x 1"]),
+                "duplicate",
+            ),
+            (expo(&["# TYPE x widget", "x 1"]), "unknown metric type"),
+            (expo(&["# TYPE x counter", "x nope"]), "bad sample value"),
+        ] {
+            let err = check_exposition(&lines).unwrap_err();
+            assert!(err.contains(needle), "{lines:?}: `{err}` lacks `{needle}`");
+        }
+    }
+
     // --- exit-path normalization -----------------------------------------
     //
     // The contract `main` builds on: argument mistakes are Usage errors
@@ -900,6 +1204,10 @@ mod tests {
             (vec!["query"], "query"),
             (vec!["snapshot"], "snapshot"),
             (vec!["explain", "g", "w"], "explain"),
+            (vec!["explain", "127.0.0.1:0", "w"], "explain"),
+            (vec!["prom"], "prom"),
+            (vec!["slowlog"], "slowlog"),
+            (vec!["slowlog", "127.0.0.1:0", "zero"], "slowlog"),
         ] {
             let err = fail(&args);
             assert_eq!(err.kind, ErrorKind::Usage, "{args:?}: {}", err.msg);

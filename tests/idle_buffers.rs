@@ -70,7 +70,13 @@ impl IdleConn {
             self.reader.read_line(&mut line).expect("read") > 0,
             "server closed the connection"
         );
-        line.trim_end().to_string()
+        // Strip the per-request `id=<n>` tail; the assertions here are
+        // about the reply bodies.
+        let line = line.trim_end();
+        match line.rsplit_once(' ') {
+            Some((body, tail)) if tail.starts_with("id=") => body.to_string(),
+            _ => line.to_string(),
+        }
     }
 }
 

@@ -54,12 +54,20 @@ impl RawConn {
         self.writer.flush().expect("flush");
     }
 
-    /// Read one response line; `None` on a server-side disconnect.
+    /// Read one response line; `None` on a server-side disconnect. The
+    /// per-request `id=<n>` tail is stripped — this suite asserts on
+    /// reply bodies.
     fn read_line(&mut self) -> Option<String> {
         let mut line = String::new();
         match self.reader.read_line(&mut line) {
             Ok(0) => None,
-            Ok(_) => Some(line.trim_end().to_string()),
+            Ok(_) => {
+                let line = line.trim_end();
+                Some(match line.rsplit_once(' ') {
+                    Some((body, tail)) if tail.starts_with("id=") => body.to_string(),
+                    _ => line.to_string(),
+                })
+            }
             Err(_) => None,
         }
     }

@@ -4,7 +4,7 @@
 use std::sync::Arc;
 use std::thread;
 
-use cegraph::service::{Client, DatasetEntry, DatasetRegistry, Server, ServerConfig};
+use cegraph::service::{Client, DatasetEntry, DatasetRegistry, QueryReply, Server, ServerConfig};
 use cegraph::workload::{Dataset, Workload, WorkloadQuery};
 
 fn start_server(workers: usize) -> (Server, Vec<WorkloadQuery>) {
@@ -140,10 +140,17 @@ fn errors_are_reported_and_connection_survives() {
     let mut line = String::new();
     reader.read_line(&mut line).expect("read");
     assert!(line.starts_with("ERR "), "got: {line}");
+    // Every reply line carries the request's `id=<n>` tail.
+    assert!(line
+        .trim_end()
+        .rsplit(' ')
+        .next()
+        .unwrap()
+        .starts_with("id="));
     writeln!(writer, "PING").expect("write");
     line.clear();
     reader.read_line(&mut line).expect("read");
-    assert_eq!(line.trim_end(), "PONG");
+    assert!(line.trim_end().starts_with("PONG id="), "got: {line}");
 
     // A request line with no newline cannot grow the server's buffer
     // without bound: past the cap the server refuses and disconnects.
@@ -154,6 +161,183 @@ fn errors_are_reported_and_connection_survives() {
     writer.flush().expect("flush");
     line.clear();
     reader.read_line(&mut line).expect("read");
-    assert_eq!(line.trim_end(), "ERR request line too long");
+    assert!(
+        line.trim_end().starts_with("ERR request line too long"),
+        "got: {line}"
+    );
+    server.shutdown();
+}
+
+/// The tentpole acceptance check: `EXPLAIN_ESTIMATE` answers exactly
+/// like `ESTIMATE` while naming the work. Cold, the breakdown shows the
+/// catalog fill and nonzero kernel intersection counters; warm, it shows
+/// a cache hit and no kernel work at all.
+#[test]
+fn explain_estimate_traces_cold_and_warm_paths() {
+    // The cyclic workload at hop depth 3 is the interesting case: its
+    // 3-edge sub-patterns include shared-destination shapes, so the
+    // catalog fill exercises the kernel's intersection loop (a chain-only
+    // fill never intersects — every level extends from one list).
+    let graph = Dataset::Hetionet.generate(4);
+    let queries = Workload::Cyclic.build(&graph, 1, 4);
+    let registry = Arc::new(DatasetRegistry::new());
+    registry.insert(DatasetEntry::new(
+        "default",
+        graph,
+        cegraph::catalog::MarkovTable::empty(3),
+    ));
+    let server = Server::start(registry, "127.0.0.1:0", ServerConfig::default()).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    // Cold pass over the workload: every explain computes (and caches)
+    // its estimate and names every stage of the miss path.
+    let mut intersecting: Option<(usize, u64, Option<f64>)> = None;
+    let mut last_id = 0;
+    for (i, wq) in queries.iter().enumerate() {
+        let cold = client
+            .explain("default", &wq.query, None)
+            .expect("cold explain");
+        let QueryReply::Estimate(est) = &cold.reply else {
+            panic!(
+                "cold explain must produce an estimate, got {:?}",
+                cold.reply
+            );
+        };
+        assert!(!est.cached, "query {i} unexpectedly cached");
+        let id = cold.id.expect("reply header must carry the request id");
+        assert!(id > last_id, "request ids are monotone");
+        last_id = id;
+        for span in [
+            "queue_wait",
+            "lock_wait",
+            "cache_probe",
+            "catalog_fill",
+            "estimate",
+        ] {
+            assert!(
+                cold.span(span).is_some(),
+                "cold explain {i} lacks span `{span}`: {:?}",
+                cold.spans
+            );
+        }
+        assert_eq!(cold.counter("cache_cold_miss"), Some(1));
+        assert_eq!(cold.counter("cache_hit"), Some(0));
+        assert!(cold.counter("catalog_patterns_counted").unwrap() > 0);
+        assert!(cold.counter("kernel_candidates").unwrap() > 0);
+        let intersections = cold.counter("kernel_intersect_merge").unwrap()
+            + cold.counter("kernel_intersect_gallop").unwrap();
+        if intersections > 0 && intersecting.is_none() {
+            intersecting = Some((i, intersections, est.value));
+        }
+    }
+    let (idx, intersections, cold_value) =
+        intersecting.expect("some cyclic query must exercise the intersection loop");
+    assert!(intersections > 0);
+
+    // A plain ESTIMATE of the same query returns the identical value —
+    // explain changes what is reported, never what is computed.
+    let wq = &queries[idx];
+    let plain = client.estimate("default", &wq.query).expect("estimate");
+    assert!(plain.cached);
+    assert_eq!(plain.value, cold_value);
+
+    // Warm: a cache hit, and none of the fill/kernel machinery ran.
+    let warm = client
+        .explain("default", &wq.query, None)
+        .expect("warm explain");
+    let QueryReply::Estimate(warm_est) = &warm.reply else {
+        panic!("warm explain must produce an estimate");
+    };
+    assert!(warm_est.cached);
+    assert_eq!(warm_est.value, cold_value);
+    assert_eq!(warm.counter("cache_hit"), Some(1));
+    assert_eq!(warm.counter("cache_cold_miss"), Some(0));
+    for span in ["catalog_fill", "estimate"] {
+        assert!(
+            warm.span(span).is_none(),
+            "warm explain must not run `{span}`: {:?}",
+            warm.spans
+        );
+    }
+    assert_eq!(warm.counter("kernel_candidates"), None);
+    server.shutdown();
+}
+
+/// With the slow-query threshold at zero every computed estimate lands
+/// in the ring-buffer slow-query log, tagged with the request id the
+/// reply carried; cache hits stay out of it. `METRICS_PROM` serves a
+/// structurally valid exposition alongside.
+#[test]
+fn slowlog_records_misses_and_prom_exposition_is_served() {
+    let graph = Dataset::Hetionet.generate(4);
+    let queries = Workload::Job.build(&graph, 1, 4);
+    let registry = Arc::new(DatasetRegistry::new());
+    registry.insert(DatasetEntry::new(
+        "default",
+        graph,
+        cegraph::catalog::MarkovTable::empty(2),
+    ));
+    let config = ServerConfig {
+        workers: 2,
+        slow_query_threshold_ms: 0,
+        ..ServerConfig::default()
+    };
+    let server = Server::start(registry, "127.0.0.1:0", config).expect("bind");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    assert!(client.slowlog(None).expect("slowlog").is_empty());
+    let wq = &queries[0];
+    let first = client.estimate("default", &wq.query).expect("estimate");
+    let entries = client.slowlog(None).expect("slowlog");
+    assert_eq!(entries.len(), 1, "one computed estimate, one entry");
+    assert_eq!(entries[0].dataset, "default");
+    assert!(entries[0].id > 0, "entry carries the request id");
+    assert!(!entries[0].query.is_empty());
+
+    // A cache hit did not cause the latency, so it is not logged.
+    let again = client.estimate("default", &wq.query).expect("estimate");
+    assert!(again.cached);
+    assert_eq!(again.value, first.value);
+    assert_eq!(client.slowlog(None).expect("slowlog").len(), 1);
+
+    // Newest first: a second distinct query leads the log.
+    if queries.len() > 1 {
+        client
+            .estimate("default", &queries[1].query)
+            .expect("estimate");
+        let entries = client.slowlog(None).expect("slowlog");
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].id > entries[1].id, "newest first");
+        assert_eq!(client.slowlog(Some(1)).expect("slowlog").len(), 1);
+    }
+
+    // The Prometheus exposition is non-trivial and structurally sound:
+    // every `# TYPE`d family (including the per-dataset gauges) has at
+    // least one sample, and the estimate-latency histogram recorded the
+    // requests above.
+    let lines = client.metrics_prom().expect("metrics_prom");
+    let families: Vec<&str> = lines
+        .iter()
+        .filter_map(|l| l.strip_prefix("# TYPE "))
+        .filter_map(|l| l.split_whitespace().next())
+        .collect();
+    for family in [
+        "ceg_requests_total",
+        "ceg_cache_hits_total",
+        "ceg_dataset_epoch",
+        "ceg_latency_estimate_micros",
+    ] {
+        assert!(families.contains(&family), "missing family `{family}`");
+    }
+    assert!(lines
+        .iter()
+        .any(|l| l.starts_with("ceg_dataset_epoch{dataset=\"default\"}")));
+    let count = lines
+        .iter()
+        .find(|l| l.starts_with("ceg_latency_estimate_micros_count"))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap();
+    assert!(count >= 2, "estimate latency histogram must have samples");
     server.shutdown();
 }

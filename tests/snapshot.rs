@@ -42,6 +42,9 @@ fn snap_path(stem: &str) -> std::path::PathBuf {
 }
 
 /// Send raw request lines and collect exactly `expect` response lines.
+/// The per-request `id=<n>` tail is stripped: ids are a per-server
+/// monotone sequence (the writer server has already handled the setup
+/// requests), so byte-identity is asserted on the reply bodies.
 fn raw_exchange(addr: std::net::SocketAddr, request: &str, expect: usize) -> Vec<String> {
     let stream = TcpStream::connect(addr).expect("connect");
     stream.set_nodelay(true).expect("nodelay");
@@ -53,7 +56,11 @@ fn raw_exchange(addr: std::net::SocketAddr, request: &str, expect: usize) -> Vec
         .map(|_| {
             let mut line = String::new();
             assert!(reader.read_line(&mut line).expect("read") > 0, "early EOF");
-            line.trim_end().to_string()
+            let line = line.trim_end();
+            match line.rsplit_once(' ') {
+                Some((body, tail)) if tail.starts_with("id=") => body.to_string(),
+                _ => line.to_string(),
+            }
         })
         .collect()
 }
