@@ -11,6 +11,11 @@
 //!   pays when updates interleave with estimates,
 //! * `commit_incremental/*` — one effective update + commit alone: the
 //!   incremental maintenance path (only touched-label entries recount),
+//! * `commit_durable/*` — the same commit with a write-ahead log
+//!   attached: one WAL append + `fdatasync` before the ack. The log
+//!   lives under `CEG_WAL_BENCH_DIR` when set (CI pins it to tmpfs so
+//!   the bench measures the commit path, not the device's fsync floor,
+//!   which on ext4 exceeds the whole commit budget by itself),
 //! * `catalog_rebuild/*` — the from-scratch `MarkovTable::build` a
 //!   non-incremental design would pay per commit, for contrast.
 //!
@@ -101,10 +106,39 @@ fn bench_updates(c: &mut Criterion) {
         });
     });
 
+    // Same commit, now crash-safe: WAL append + fdatasync per COMMIT.
+    let wal_dir = std::env::var_os("CEG_WAL_BENCH_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    let scratch = wal_dir.join(format!("ceg-bench-durable-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).unwrap();
+    let (durable, durable_entry) = engine_for(&graph, 0);
+    durable.estimate_batch("bench", &queries).unwrap();
+    durable_entry
+        .attach_durability(
+            Arc::new(ceg_graph::vfs::OsStorage),
+            scratch.join("bench.cegsnap"),
+            scratch.join("bench.cegwal"),
+        )
+        .unwrap();
+    let mut flip = false;
+    group.bench_function("commit_durable/job", |b| {
+        b.iter(|| {
+            if flip {
+                durable_entry.del_edge(src, dst, 0).unwrap();
+            } else {
+                durable_entry.add_edge(src, dst, 0).unwrap();
+            }
+            flip = !flip;
+            black_box(durable_entry.commit())
+        });
+    });
+
     group.bench_function("catalog_rebuild/job", |b| {
         b.iter(|| black_box(MarkovTable::build(black_box(&graph), &queries, 2)));
     });
     group.finish();
+    let _ = std::fs::remove_dir_all(&scratch);
 }
 
 criterion_group!(benches, bench_updates);

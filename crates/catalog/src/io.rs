@@ -207,8 +207,28 @@ pub fn write_snapshot(
     table: &MarkovTable,
     epoch: u64,
 ) -> io::Result<()> {
-    ceg_graph::snapshot::atomic_write(path.as_ref(), |f| {
-        let mut w = SnapshotWriter::new(io::BufWriter::new(f))?;
+    write_snapshot_with(
+        &ceg_graph::vfs::OsStorage,
+        path.as_ref(),
+        graph,
+        table,
+        epoch,
+    )
+}
+
+/// [`write_snapshot`] through an explicit [`ceg_graph::vfs::Storage`] —
+/// the fault-injection seam: the service's durability layer passes its
+/// storage here so crash tests can kill the snapshot write at every
+/// create/write/sync/rename step.
+pub fn write_snapshot_with(
+    storage: &dyn ceg_graph::vfs::Storage,
+    path: &Path,
+    graph: &LabeledGraph,
+    table: &MarkovTable,
+    epoch: u64,
+) -> io::Result<()> {
+    ceg_graph::snapshot::atomic_write_with(storage, path, |f| {
+        let mut w = SnapshotWriter::new(f)?;
         w.write_section(TAG_EPOCH, &encode_epoch(epoch))?;
         w.write_section(TAG_GRAPH, &encode_graph(graph))?;
         w.write_section(TAG_MARKOV, &encode_markov(table))?;
@@ -221,8 +241,18 @@ pub fn write_snapshot(
 /// (forward compatibility); a missing graph, catalog or epoch section —
 /// and any corruption or truncation — is an `InvalidData` error.
 pub fn read_snapshot(path: impl AsRef<Path>) -> io::Result<Snapshot> {
-    let f = std::fs::File::open(path)?;
-    let mut r = SnapshotReader::new(io::BufReader::new(f))?;
+    read_snapshot_with(&ceg_graph::vfs::OsStorage, path.as_ref())
+}
+
+/// [`read_snapshot`] through an explicit [`ceg_graph::vfs::Storage`]
+/// (recovery reads the snapshot through the same seam it was written
+/// through).
+pub fn read_snapshot_with(
+    storage: &dyn ceg_graph::vfs::Storage,
+    path: &Path,
+) -> io::Result<Snapshot> {
+    let bytes = storage.read(path)?;
+    let mut r = SnapshotReader::new(&bytes[..])?;
     let mut graph = None;
     let mut markov = None;
     let mut epoch = None;

@@ -70,6 +70,13 @@ pub mod oracle;
 pub mod render;
 pub mod trace;
 
+/// The storage seam (`trait Storage` + `OsStorage`/`FaultStorage`) the
+/// snapshot and WAL paths are written against. The module physically
+/// lives in `ceg-graph` — next to the codecs that consume it, below
+/// this crate in the dependency order — and is re-exported here as the
+/// framework-level name.
+pub use ceg_graph::vfs;
+
 pub use ceg::{Aggr, Ceg, CegEdge, Heuristic, PathLen};
 pub use ceg_m::{molp_bound, molp_lp_bound, molp_min_path, MolpInstance};
 pub use ceg_o::CegO;

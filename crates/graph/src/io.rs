@@ -71,7 +71,7 @@ pub fn write_snapshot(path: impl AsRef<Path>, graph: &LabeledGraph, epoch: u64) 
         atomic_write, encode_epoch, encode_graph, SnapshotWriter, TAG_EPOCH, TAG_GRAPH,
     };
     atomic_write(path.as_ref(), |f| {
-        let mut w = SnapshotWriter::new(BufWriter::new(f))?;
+        let mut w = SnapshotWriter::new(f)?;
         w.write_section(TAG_EPOCH, &encode_epoch(epoch))?;
         w.write_section(TAG_GRAPH, &encode_graph(graph))?;
         w.finish()?;

@@ -18,7 +18,11 @@
 //!   over, implemented by both the CSR graph and the overlay,
 //! * [`hash`] — a small FxHash-style hasher used throughout the workspace,
 //! * [`io`] — plain-text edge-list persistence,
-//! * [`stats`] — per-label summary statistics used by estimators.
+//! * [`stats`] — per-label summary statistics used by estimators,
+//! * [`vfs`] — the [`vfs::Storage`] seam durable I/O routes through,
+//!   with the fault-injecting [`vfs::FaultStorage`] for crash testing,
+//! * [`wal`] — the append-only `.cegwal` commit log with torn-tail
+//!   prefix recovery.
 //!
 //! # Example
 //!
@@ -48,7 +52,9 @@ pub mod io;
 pub mod overlay;
 pub mod snapshot;
 pub mod stats;
+pub mod vfs;
 pub mod view;
+pub mod wal;
 
 pub use builder::GraphBuilder;
 pub use csr::Csr;

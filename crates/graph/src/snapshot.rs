@@ -66,17 +66,29 @@ fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
-/// Write a file atomically: `fill` streams into a unique temp file next
-/// to `path`, the bytes are synced to disk, and the temp file is renamed
+/// Write a file atomically: `fill` produces the bytes, which land in a
+/// unique temp file next to `path`, are synced to disk, and are renamed
 /// over `path` only once complete. A crash, a full disk, or a concurrent
 /// writer therefore can never leave a truncated or interleaved file at
 /// `path` — at worst the old file survives untouched (plus a stray
-/// `.tmp.*` sibling from a hard crash). Snapshots are recovery
-/// artifacts; overwriting the only good copy in place would let the
-/// durability feature destroy the very state it exists to protect.
+/// `.tmp.*` sibling from a hard crash, which [`sweep_orphan_temps`]
+/// deletes on the next startup). Snapshots are recovery artifacts;
+/// overwriting the only good copy in place would let the durability
+/// feature destroy the very state it exists to protect.
 pub fn atomic_write(
     path: &std::path::Path,
-    fill: impl FnOnce(&mut std::fs::File) -> io::Result<()>,
+    fill: impl FnOnce(&mut Vec<u8>) -> io::Result<()>,
+) -> io::Result<()> {
+    atomic_write_with(&crate::vfs::OsStorage, path, fill)
+}
+
+/// [`atomic_write`] through an explicit [`crate::vfs::Storage`] — the
+/// fault-injection seam: tests swap in a
+/// [`crate::vfs::FaultStorage`] to crash the write at every step.
+pub fn atomic_write_with(
+    storage: &dyn crate::vfs::Storage,
+    path: &std::path::Path,
+    fill: impl FnOnce(&mut Vec<u8>) -> io::Result<()>,
 ) -> io::Result<()> {
     use std::sync::atomic::{AtomicU64, Ordering};
     static SEQ: AtomicU64 = AtomicU64::new(0);
@@ -91,23 +103,46 @@ pub fn atomic_write(
     ));
     let tmp = path.with_file_name(name);
     let result = (|| {
-        let mut f = std::fs::File::create(&tmp)?;
-        fill(&mut f)?;
-        f.sync_all()?;
-        std::fs::rename(&tmp, path)?;
+        let mut bytes = Vec::new();
+        fill(&mut bytes)?;
+        let mut f = storage.create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync()?;
+        storage.rename(&tmp, path)?;
         // The rename's directory entry must reach disk too, or a power
         // loss right after a successful return could resurrect the old
         // file — an ack'd snapshot has to actually be durable.
-        #[cfg(unix)]
         if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-            std::fs::File::open(dir)?.sync_all()?;
+            storage.sync_dir(dir)?;
         }
         Ok(())
     })();
     if result.is_err() {
-        let _ = std::fs::remove_file(&tmp);
+        let _ = storage.remove(&tmp);
     }
     result
+}
+
+/// Delete orphaned `.cegsnap.tmp.*` / `.cegwal.tmp.*` siblings that a
+/// hard crash mid-[`atomic_write`] left behind in a dataset directory.
+/// Returns the paths removed. Call this when the directory is first
+/// opened, **before** any writer is live — a temp file in use by a
+/// concurrent writer must never be swept.
+pub fn sweep_orphan_temps(
+    storage: &dyn crate::vfs::Storage,
+    dir: &std::path::Path,
+) -> io::Result<Vec<std::path::PathBuf>> {
+    let mut removed = Vec::new();
+    for path in storage.list(dir)? {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.contains(".cegsnap.tmp.") || name.contains(".cegwal.tmp.") {
+            storage.remove(&path)?;
+            removed.push(path);
+        }
+    }
+    Ok(removed)
 }
 
 /// Writes the container header, then checksummed sections.
@@ -641,6 +676,71 @@ mod tests {
         .unwrap();
         assert_eq!(std::fs::read(&path).unwrap(), b"new snapshot");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn sweep_deletes_only_orphaned_temp_files() {
+        use crate::vfs::{FaultStorage, Storage};
+        use std::path::Path;
+        let fs = FaultStorage::new();
+        let dir = Path::new("/data");
+        // Live artifacts that must survive the sweep...
+        fs.install(&dir.join("default.cegsnap"), b"snap".to_vec());
+        fs.install(&dir.join("default.cegwal"), b"wal".to_vec());
+        fs.install(&dir.join("notes.txt"), b"keep".to_vec());
+        // ...and the orphans a hard crash mid-atomic_write leaves.
+        fs.install(&dir.join("default.cegsnap.tmp.123.0"), b"torn".to_vec());
+        fs.install(&dir.join("default.cegwal.tmp.123.1"), b"torn".to_vec());
+        let mut removed = sweep_orphan_temps(&fs, dir).unwrap();
+        removed.sort();
+        assert_eq!(
+            removed,
+            vec![
+                dir.join("default.cegsnap.tmp.123.0"),
+                dir.join("default.cegwal.tmp.123.1"),
+            ]
+        );
+        let mut left = fs.list(dir).unwrap();
+        left.sort();
+        assert_eq!(
+            left,
+            vec![
+                dir.join("default.cegsnap"),
+                dir.join("default.cegwal"),
+                dir.join("notes.txt"),
+            ]
+        );
+        // Idempotent on a clean directory.
+        assert!(sweep_orphan_temps(&fs, dir).unwrap().is_empty());
+    }
+
+    #[test]
+    fn atomic_write_crash_leaves_an_orphan_the_sweep_removes() {
+        use crate::vfs::{FaultPlan, FaultStorage, Storage};
+        use std::path::Path;
+        let fs = FaultStorage::new();
+        let path = Path::new("/data/ds.cegsnap");
+        fs.install(path, b"old good snapshot".to_vec());
+        // Crash on the temp-file sync: create (op 0) + write (op 1)
+        // happened, the rename never did.
+        fs.set_plan(FaultPlan {
+            crash_after: Some(2),
+            ..Default::default()
+        });
+        let err = atomic_write_with(&fs, path, |f| {
+            use std::io::Write;
+            f.write_all(b"new snapshot bytes")
+        });
+        assert!(err.is_err());
+        fs.reboot(usize::MAX);
+        // The good snapshot survived; a torn orphan sits next to it.
+        assert_eq!(fs.read(path).unwrap(), b"old good snapshot");
+        let orphans = sweep_orphan_temps(&fs, Path::new("/data")).unwrap();
+        assert_eq!(orphans.len(), 1, "{orphans:?}");
+        assert_eq!(
+            fs.list(Path::new("/data")).unwrap(),
+            vec![path.to_path_buf()]
+        );
     }
 
     #[test]

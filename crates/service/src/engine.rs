@@ -533,13 +533,60 @@ impl Engine {
 
     /// Commit a dataset's pending updates: apply the delta, incrementally
     /// maintain the catalog and bump the epoch (which invalidates the
-    /// dataset's cached estimates).
+    /// dataset's cached estimates). On a dataset with durability
+    /// attached the effective delta hits the WAL (fsynced) before it is
+    /// applied; a WAL failure refuses the commit with nothing applied
+    /// and the ops still pending.
     pub fn commit(&self, dataset: &str) -> Result<CommitOutcome, String> {
         let entry = self
             .registry
             .get(dataset)
             .ok_or_else(|| format!("unknown dataset `{dataset}`"))?;
-        Ok(entry.commit())
+        match entry.try_commit() {
+            Ok(outcome) => {
+                if outcome.wal_bytes > 0 {
+                    self.metrics.record_wal_commit(outcome.wal_bytes);
+                }
+                Ok(outcome)
+            }
+            Err(e) => {
+                self.metrics.record_wal_error();
+                Err(format!("commit not durable: {e}"))
+            }
+        }
+    }
+
+    /// Rotate a dataset's WAL if either configured trigger fires (see
+    /// [`crate::registry::DatasetEntry::maybe_rotate`]); the server calls
+    /// this after each
+    /// acked `COMMIT`. Rotation failures are reported but change no
+    /// committed state — the log keeps growing and the next trigger
+    /// retries.
+    pub fn maybe_rotate(
+        &self,
+        dataset: &str,
+        rotate_bytes: u64,
+        snapshot_interval_commits: u64,
+    ) -> Result<Option<crate::registry::RotateOutcome>, String> {
+        let entry = self
+            .registry
+            .get(dataset)
+            .ok_or_else(|| format!("unknown dataset `{dataset}`"))?;
+        let rotated = entry
+            .maybe_rotate(rotate_bytes, snapshot_interval_commits)
+            .map_err(|e| format!("WAL rotation failed: {e}"))?;
+        if rotated.is_some() {
+            self.metrics.record_wal_rotation();
+        }
+        Ok(rotated)
+    }
+
+    /// Fold one boot-time recovery's [`crate::registry::RecoveryReport`]
+    /// into the metrics (`cegcli serve --data-dir` calls this per
+    /// recovered dataset).
+    pub fn record_recovery(&self, report: &crate::registry::RecoveryReport) {
+        self.metrics
+            .record_wal_recovery(report.replayed_commits as u64, report.torn_tail.is_some());
     }
 
     /// Persist a dataset's committed graph, Markov catalog and epoch to

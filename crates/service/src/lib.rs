@@ -96,7 +96,7 @@ pub mod registry;
 pub mod server;
 
 pub use cache::{EstimateCache, LruCache, ProbeOutcome};
-pub use client::{Client, EstimateReply, ExplainReply, QueryReply};
+pub use client::{Client, ClientConfig, EstimateReply, ExplainReply, QueryReply};
 pub use engine::{
     Engine, EngineStats, EstimateOutcome, QueryOutcome, SlowQueryEntry, SnapshotAck, UpdateAck,
     DEFAULT_SLOW_QUERY_THRESHOLD_MS,
@@ -105,7 +105,7 @@ pub use metrics::{Command, Histogram, Metrics};
 pub use pool::{run_scoped, WorkerPool};
 pub use protocol::{ExplainItem, Request, Response, MAX_BATCH_QUERIES};
 pub use registry::{
-    CommitOutcome, DatasetEntry, DatasetRegistry, MAX_PENDING_OPS, MAX_UPDATE_LABEL,
-    MAX_UPDATE_VERTEX,
+    CommitOutcome, DatasetEntry, DatasetRegistry, RecoveryReport, RotateOutcome, MAX_PENDING_OPS,
+    MAX_UPDATE_LABEL, MAX_UPDATE_VERTEX,
 };
 pub use server::{DrainReport, Server, ServerConfig};

@@ -212,6 +212,18 @@ pub struct Metrics {
     kernel_gallop: AtomicU64,
     kernel_suffix: AtomicU64,
     kernel_budget: AtomicU64,
+    /// Durable commits appended (and fsynced) to a WAL.
+    wal_commits: AtomicU64,
+    /// WAL bytes appended across those commits.
+    wal_bytes: AtomicU64,
+    /// WAL-append failures (the commit was refused, nothing applied).
+    wal_errors: AtomicU64,
+    /// Log rotations: WAL folded into a snapshot and truncated.
+    wal_rotations: AtomicU64,
+    /// Committed transactions replayed from WAL tails at boot.
+    wal_recovered_commits: AtomicU64,
+    /// Recoveries that found (and truncated) a torn WAL tail.
+    wal_torn_tails: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -230,6 +242,12 @@ impl Default for Metrics {
             kernel_gallop: AtomicU64::new(0),
             kernel_suffix: AtomicU64::new(0),
             kernel_budget: AtomicU64::new(0),
+            wal_commits: AtomicU64::new(0),
+            wal_bytes: AtomicU64::new(0),
+            wal_errors: AtomicU64::new(0),
+            wal_rotations: AtomicU64::new(0),
+            wal_recovered_commits: AtomicU64::new(0),
+            wal_torn_tails: AtomicU64::new(0),
         }
     }
 }
@@ -303,6 +321,38 @@ impl Metrics {
             .fetch_add(stats.budget_consumed, Ordering::Relaxed);
     }
 
+    /// Count one durable commit: `wal_bytes` appended + fsynced before
+    /// the ack.
+    pub fn record_wal_commit(&self, wal_bytes: u64) {
+        self.wal_commits.fetch_add(1, Ordering::Relaxed);
+        self.wal_bytes.fetch_add(wal_bytes, Ordering::Relaxed);
+    }
+
+    /// Count one refused commit (WAL append failed; nothing applied).
+    pub fn record_wal_error(&self) {
+        self.wal_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count one WAL rotation (log folded into a snapshot).
+    pub fn record_wal_rotation(&self) {
+        self.wal_rotations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Fold one boot-time recovery into the totals: `commits` replayed,
+    /// plus whether a torn tail was found and truncated.
+    pub fn record_wal_recovery(&self, commits: u64, torn_tail: bool) {
+        self.wal_recovered_commits
+            .fetch_add(commits, Ordering::Relaxed);
+        if torn_tail {
+            self.wal_torn_tails.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Durable commits so far.
+    pub fn wal_commits(&self) -> u64 {
+        self.wal_commits.load(Ordering::Relaxed)
+    }
+
     /// Degenerate estimates clamped so far.
     pub fn estimator_degenerate(&self) -> u64 {
         self.degenerate.load(Ordering::Relaxed)
@@ -367,6 +417,30 @@ impl Metrics {
             (
                 "kernel_budget_consumed_total".into(),
                 self.kernel_budget.load(Ordering::Relaxed),
+            ),
+            (
+                "wal_commits_total".into(),
+                self.wal_commits.load(Ordering::Relaxed),
+            ),
+            (
+                "wal_bytes_total".into(),
+                self.wal_bytes.load(Ordering::Relaxed),
+            ),
+            (
+                "wal_errors_total".into(),
+                self.wal_errors.load(Ordering::Relaxed),
+            ),
+            (
+                "wal_rotations_total".into(),
+                self.wal_rotations.load(Ordering::Relaxed),
+            ),
+            (
+                "wal_recovered_commits_total".into(),
+                self.wal_recovered_commits.load(Ordering::Relaxed),
+            ),
+            (
+                "wal_torn_tails_total".into(),
+                self.wal_torn_tails.load(Ordering::Relaxed),
             ),
             ("queue_wait_count".into(), self.queue_wait.count()),
             ("queue_wait_sum_us".into(), self.queue_wait.sum_micros()),
@@ -436,6 +510,36 @@ impl Metrics {
             &mut out,
             "ceg_kernel_budget_consumed_total",
             self.kernel_budget.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "ceg_wal_commits_total",
+            self.wal_commits.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "ceg_wal_bytes_total",
+            self.wal_bytes.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "ceg_wal_errors_total",
+            self.wal_errors.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "ceg_wal_rotations_total",
+            self.wal_rotations.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "ceg_wal_recovered_commits_total",
+            self.wal_recovered_commits.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "ceg_wal_torn_tails_total",
+            self.wal_torn_tails.load(Ordering::Relaxed),
         );
         gauge(&mut out, "ceg_queued", self.queued());
         gauge(&mut out, "ceg_queued_peak", self.queued_peak());
@@ -543,6 +647,34 @@ mod tests {
         m.job_finished();
         assert_eq!(m.queued(), 0);
         assert_eq!(m.queued_peak(), 2);
+    }
+
+    #[test]
+    fn wal_counters_surface_in_snapshot_and_prom() {
+        let m = Metrics::new();
+        m.record_wal_commit(128);
+        m.record_wal_commit(64);
+        m.record_wal_error();
+        m.record_wal_rotation();
+        m.record_wal_recovery(3, true);
+        m.record_wal_recovery(2, false);
+        let snap = m.snapshot();
+        let get = |k: &str| {
+            snap.iter()
+                .find(|(key, _)| key == k)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing key {k}"))
+        };
+        assert_eq!(get("wal_commits_total"), 2);
+        assert_eq!(get("wal_bytes_total"), 192);
+        assert_eq!(get("wal_errors_total"), 1);
+        assert_eq!(get("wal_rotations_total"), 1);
+        assert_eq!(get("wal_recovered_commits_total"), 5);
+        assert_eq!(get("wal_torn_tails_total"), 1);
+        let prom = m.prom_lines();
+        assert!(prom.iter().any(|l| l == "ceg_wal_commits_total 2"));
+        assert!(prom.iter().any(|l| l == "ceg_wal_bytes_total 192"));
+        assert!(prom.iter().any(|l| l == "ceg_wal_torn_tails_total 1"));
     }
 
     #[test]

@@ -941,6 +941,9 @@ impl Response {
                     deleted,
                     recounted,
                     rebased,
+                    // Not part of the wire format: a server-side detail
+                    // the client cannot observe.
+                    wal_bytes: 0,
                 }))
             }
             Some("SNAPSHOTTED") => {
@@ -1219,6 +1222,7 @@ mod tests {
                 deleted: 1,
                 recounted: 9,
                 rebased: true,
+                wal_bytes: 0,
             }),
             Response::Committed(CommitOutcome {
                 epoch: 4,
@@ -1226,6 +1230,7 @@ mod tests {
                 deleted: 0,
                 recounted: 0,
                 rebased: false,
+                wal_bytes: 0,
             }),
         ];
         for r in responses {

@@ -35,13 +35,15 @@
 //! the explicit cost of `COMMIT`, not of `ESTIMATE`).
 
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use ceg_catalog::io::load_markov;
 use ceg_catalog::{count_patterns_budgeted_stats, FillStats, MarkovTable};
 use ceg_graph::io::load_graph;
+use ceg_graph::vfs::{OsStorage, Storage};
+use ceg_graph::wal::{WalOp, WalWriter};
 use ceg_graph::{FxHashMap, FxHashSet, GraphDelta, LabelId, LabeledGraph, OverlayGraph, VertexId};
 use ceg_query::{Pattern, QueryGraph};
 
@@ -58,6 +60,55 @@ pub struct CommitOutcome {
     pub recounted: usize,
     /// True if the overlay was folded into a fresh base CSR.
     pub rebased: bool,
+    /// WAL bytes appended (and fsynced) for this commit before it was
+    /// applied — 0 for no-op commits and for datasets running without
+    /// durability attached. Not echoed over the wire.
+    pub wal_bytes: u64,
+}
+
+/// Durable-commit state of one dataset: the open WAL appender plus the
+/// storage and snapshot path rotation folds it into. Absent (the common
+/// test configuration) a dataset commits in memory only.
+struct Durability {
+    storage: Arc<dyn Storage>,
+    snap_path: PathBuf,
+    writer: WalWriter,
+    /// Effective commits appended since the last snapshot fold — the
+    /// `snapshot_interval_commits` rotation trigger.
+    commits_since_snapshot: u64,
+    /// Set when a failed append could not be repaired (torn bytes may
+    /// follow the durable prefix). Every later commit is refused: a new
+    /// record after torn bytes would be invisible to recovery.
+    poisoned: bool,
+}
+
+/// What [`DatasetEntry::recover`] replayed, for logs and metrics.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Epoch persisted in the snapshot the replay started from.
+    pub snapshot_epoch: u64,
+    /// Committed transactions replayed from the WAL tail.
+    pub replayed_commits: usize,
+    /// Edge operations inside those transactions.
+    pub replayed_ops: usize,
+    /// Epoch after replay — what the last acked commit reached.
+    pub epoch: u64,
+    /// Present when the log ended in damage (torn tail from a crash):
+    /// the scanner's diagnosis of where and why the scan stopped. The
+    /// damage is already truncated away by the time recovery returns.
+    pub torn_tail: Option<String>,
+}
+
+/// What one WAL rotation did: the log was folded into a fresh snapshot
+/// and truncated back to an empty header.
+#[derive(Debug, Clone, Copy)]
+pub struct RotateOutcome {
+    /// Epoch the fold captured.
+    pub epoch: u64,
+    /// Size of the written snapshot.
+    pub snapshot_bytes: u64,
+    /// WAL bytes retired by the truncate (header excluded).
+    pub wal_bytes_folded: u64,
 }
 
 /// What one [`DatasetEntry::ensure_patterns_deadline_stats`] call did —
@@ -111,6 +162,12 @@ pub struct DatasetEntry {
     epoch: AtomicU64,
     state: RwLock<DatasetState>,
     pending: Mutex<GraphDelta>,
+    /// Crash-safety state, attached by [`DatasetEntry::attach_durability`]
+    /// or [`DatasetEntry::recover`]. Lock order: `durability` is taken
+    /// **before** `state`/`pending`, everywhere — commit holds it across
+    /// the WAL append and the in-memory apply so the log's transaction
+    /// order always matches the epoch order.
+    durability: Mutex<Option<Durability>>,
 }
 
 /// Default overlay size at which a commit folds into a fresh CSR: scale
@@ -155,6 +212,7 @@ impl DatasetEntry {
                 markov,
             }),
             pending: Mutex::new(GraphDelta::new()),
+            durability: Mutex::new(None),
         }
     }
 
@@ -330,7 +388,31 @@ impl DatasetEntry {
     /// incrementally recount the touched catalog entries and bump the
     /// epoch. A commit with no effective change (empty pending buffer, or
     /// only no-ops) keeps the epoch — cached estimates stay valid.
+    ///
+    /// Panics if a WAL append fails; datasets with durability attached
+    /// must call [`DatasetEntry::try_commit`] instead.
     pub fn commit(&self) -> CommitOutcome {
+        self.try_commit()
+            .expect("commit cannot fail without attached durability")
+    }
+
+    /// [`DatasetEntry::commit`], durable. With durability attached the
+    /// effective delta is appended to the WAL and fsynced **before** it
+    /// is applied in memory: after `Ok` the commit survives any crash;
+    /// after `Err` nothing was applied and the taken ops are back in the
+    /// pending buffer (ahead of anything buffered meanwhile), so the
+    /// client sees a failed COMMIT it may retry, never a half-applied
+    /// one.
+    pub fn try_commit(&self) -> io::Result<CommitOutcome> {
+        let mut dur = self.durability.lock().unwrap();
+        if let Some(d) = dur.as_ref() {
+            if d.poisoned {
+                return Err(io::Error::other(
+                    "WAL is poisoned by an earlier unrepaired append failure — \
+                     restart the server to recover",
+                ));
+            }
+        }
         let delta = std::mem::take(&mut *self.pending.lock().unwrap());
         let mut st = self.state.write().unwrap();
         let mut effective = GraphDelta::new();
@@ -345,13 +427,55 @@ impl DatasetEntry {
             }
         }
         if effective.is_empty() {
-            return CommitOutcome {
+            return Ok(CommitOutcome {
                 epoch: st.epoch,
                 added: 0,
                 deleted: 0,
                 recounted: 0,
                 rebased: false,
-            };
+                wal_bytes: 0,
+            });
+        }
+        // Durability barrier: the effective delta, stamped with the
+        // epoch it will create, must be on disk before any in-memory
+        // state changes. On failure the taken ops are restored to the
+        // pending buffer (merged *under* anything buffered since, so
+        // later client ops still win) and the in-memory state is
+        // untouched.
+        let mut wal_bytes = 0;
+        if let Some(d) = dur.as_mut() {
+            let ops: Vec<WalOp> = effective
+                .adds()
+                .map(|e| WalOp {
+                    src: e.src,
+                    dst: e.dst,
+                    label: e.label,
+                    del: false,
+                })
+                .chain(effective.dels().map(|e| WalOp {
+                    src: e.src,
+                    dst: e.dst,
+                    label: e.label,
+                    del: true,
+                }))
+                .collect();
+            match d.writer.append_tx(st.epoch + 1, &ops) {
+                Ok(n) => {
+                    wal_bytes = n;
+                    d.commits_since_snapshot += 1;
+                }
+                Err(e) => {
+                    if d.writer.repair(&*d.storage).is_err() {
+                        d.poisoned = true;
+                    }
+                    drop(st);
+                    let mut pending = self.pending.lock().unwrap();
+                    let mut restored = delta;
+                    restored.merge(&pending);
+                    *pending = restored;
+                    return Err(e);
+                }
+            }
         }
         let added = effective.adds().count();
         let deleted = effective.dels().count();
@@ -383,13 +507,14 @@ impl DatasetEntry {
         };
         st.epoch += 1;
         self.epoch.store(st.epoch, Ordering::Release);
-        CommitOutcome {
+        Ok(CommitOutcome {
             epoch: st.epoch,
             added,
             deleted,
             recounted,
             rebased,
-        }
+            wal_bytes,
+        })
     }
 
     /// Run `f` under a read lock on the catalog (many readers at once).
@@ -522,7 +647,17 @@ impl DatasetEntry {
     /// the first commit that queues for the write lock. The pending
     /// update buffer is not captured.
     pub fn write_snapshot(&self, path: impl AsRef<Path>) -> io::Result<(u64, u64)> {
-        let path = path.as_ref();
+        self.write_snapshot_with(&OsStorage, path.as_ref())
+    }
+
+    /// [`DatasetEntry::write_snapshot`] through an explicit
+    /// [`Storage`] — the seam rotation and the fault-injection tests
+    /// write through.
+    pub fn write_snapshot_with(
+        &self,
+        storage: &dyn Storage,
+        path: &Path,
+    ) -> io::Result<(u64, u64)> {
         let (base, overlay, markov, epoch) = {
             let st = self.state.read().unwrap();
             (
@@ -539,8 +674,8 @@ impl DatasetEntry {
             graph = base.rebase(&overlay);
             &graph
         };
-        ceg_catalog::io::write_snapshot(path, graph_ref, &markov, epoch)?;
-        Ok((epoch, std::fs::metadata(path)?.len()))
+        ceg_catalog::io::write_snapshot_with(storage, path, graph_ref, &markov, epoch)?;
+        Ok((epoch, storage.len(path)?))
     }
 
     /// Restore an entry from a `.cegsnap` file written by
@@ -550,6 +685,194 @@ impl DatasetEntry {
     pub fn read_snapshot(name: impl Into<String>, path: impl AsRef<Path>) -> io::Result<Self> {
         let snap = ceg_catalog::io::read_snapshot(path)?;
         Ok(DatasetEntry::new(name, snap.graph, snap.markov).with_epoch(snap.epoch))
+    }
+
+    /// Make this dataset's commits crash-safe: every effective commit is
+    /// appended to the WAL at `wal_path` and fsynced before it is
+    /// applied or acked. A baseline snapshot is written to `snap_path`
+    /// first if none exists (recovery always has a snapshot to start
+    /// from). Errors if durability is already attached, or if the WAL
+    /// holds commits beyond this entry's epoch — that log needs
+    /// [`DatasetEntry::recover`], not a fresh attach, and attaching
+    /// would silently drop acked commits at the next rotation.
+    pub fn attach_durability(
+        &self,
+        storage: Arc<dyn Storage>,
+        snap_path: impl Into<PathBuf>,
+        wal_path: impl Into<PathBuf>,
+    ) -> io::Result<()> {
+        let snap_path = snap_path.into();
+        let wal_path = wal_path.into();
+        let mut dur = self.durability.lock().unwrap();
+        if dur.is_some() {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "durability already attached",
+            ));
+        }
+        if !storage.exists(&snap_path) {
+            self.write_snapshot_with(&*storage, &snap_path)?;
+        }
+        let (writer, scan) = WalWriter::open(&*storage, &wal_path)?;
+        if scan.last_epoch().is_some_and(|e| e > self.epoch()) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "WAL at {} holds commits up to epoch {} but the dataset is at epoch {} — \
+                     recover from the snapshot + WAL instead of attaching",
+                    wal_path.display(),
+                    scan.last_epoch().unwrap_or(0),
+                    self.epoch(),
+                ),
+            ));
+        }
+        *dur = Some(Durability {
+            storage,
+            snap_path,
+            writer,
+            commits_since_snapshot: 0,
+            poisoned: false,
+        });
+        Ok(())
+    }
+
+    /// Rebuild a dataset exactly as the last acked commit left it: load
+    /// the snapshot, replay every WAL transaction with a later epoch
+    /// through the normal commit path (so overlay, rebase and catalog
+    /// maintenance all re-run deterministically), then attach the WAL
+    /// for new appends. A torn tail — the fingerprint of a crash mid
+    /// append — is truncated by the scan and reported, never an error:
+    /// by the ack protocol those bytes were never acked.
+    pub fn recover(
+        name: impl Into<String>,
+        storage: Arc<dyn Storage>,
+        snap_path: impl Into<PathBuf>,
+        wal_path: impl Into<PathBuf>,
+        jobs: usize,
+    ) -> io::Result<(Self, RecoveryReport)> {
+        let snap_path = snap_path.into();
+        let wal_path = wal_path.into();
+        let snap = ceg_catalog::io::read_snapshot_with(&*storage, &snap_path)?;
+        let snapshot_epoch = snap.epoch;
+        let entry = DatasetEntry::new(name, snap.graph, snap.markov)
+            .with_jobs(jobs)
+            .with_epoch(snapshot_epoch);
+        let (writer, scan) = WalWriter::open(&*storage, &wal_path)?;
+        let mut report = RecoveryReport {
+            snapshot_epoch,
+            replayed_commits: 0,
+            replayed_ops: 0,
+            epoch: snapshot_epoch,
+            torn_tail: scan.diagnosis.clone(),
+        };
+        for tx in &scan.txs {
+            // Epochs at or below the snapshot's were already folded in
+            // by the rotation that wrote it; skip them.
+            if tx.epoch <= snapshot_epoch {
+                continue;
+            }
+            for op in &tx.ops {
+                entry
+                    .buffer_update(op.src, op.dst, op.label, op.del)
+                    .map_err(|e| {
+                        io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!("WAL replay: op rejected: {e}"),
+                        )
+                    })?;
+            }
+            let outcome = entry.commit();
+            if outcome.epoch != tx.epoch {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "WAL replay diverged: transaction for epoch {} \
+                         produced epoch {} — snapshot and log disagree",
+                        tx.epoch, outcome.epoch
+                    ),
+                ));
+            }
+            report.replayed_commits += 1;
+            report.replayed_ops += tx.ops.len();
+        }
+        report.epoch = entry.epoch();
+        *entry.durability.lock().unwrap() = Some(Durability {
+            storage,
+            snap_path,
+            writer,
+            commits_since_snapshot: report.replayed_commits as u64,
+            poisoned: false,
+        });
+        Ok((entry, report))
+    }
+
+    /// True once [`DatasetEntry::attach_durability`] /
+    /// [`DatasetEntry::recover`] have run.
+    pub fn durable(&self) -> bool {
+        self.durability.lock().unwrap().is_some()
+    }
+
+    /// Current WAL length in bytes (`None` without durability).
+    pub fn wal_len(&self) -> Option<u64> {
+        self.durability
+            .lock()
+            .unwrap()
+            .as_ref()
+            .map(|d| d.writer.len())
+    }
+
+    /// Fold the WAL into a fresh snapshot and truncate it, if either
+    /// trigger fires: the log reached `rotate_bytes` (0 disables), or
+    /// `snapshot_interval_commits` effective commits landed since the
+    /// last fold (0 disables). Returns `Ok(None)` when neither fired or
+    /// the log is already empty.
+    pub fn maybe_rotate(
+        &self,
+        rotate_bytes: u64,
+        snapshot_interval_commits: u64,
+    ) -> io::Result<Option<RotateOutcome>> {
+        let mut dur = self.durability.lock().unwrap();
+        let Some(d) = dur.as_mut() else {
+            return Ok(None);
+        };
+        let by_bytes = rotate_bytes > 0 && d.writer.len() >= rotate_bytes;
+        let by_commits =
+            snapshot_interval_commits > 0 && d.commits_since_snapshot >= snapshot_interval_commits;
+        if d.writer.is_empty() || (!by_bytes && !by_commits) {
+            return Ok(None);
+        }
+        Self::rotate_locked(self, d).map(Some)
+    }
+
+    /// Fold the WAL into a fresh snapshot and truncate it,
+    /// unconditionally (no-op without durability or on an empty log).
+    pub fn rotate(&self) -> io::Result<Option<RotateOutcome>> {
+        let mut dur = self.durability.lock().unwrap();
+        match dur.as_mut() {
+            Some(d) if !d.writer.is_empty() => Self::rotate_locked(self, d).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// The fold itself, under the durability lock. Order matters for
+    /// crash safety: the snapshot is written **atomically first** (tmp +
+    /// rename), the WAL truncated **after**. A crash between the two
+    /// leaves a new snapshot plus a log of now-stale transactions —
+    /// harmless, because replay skips epochs the snapshot already
+    /// covers. The reverse order would lose acked commits.
+    fn rotate_locked(&self, d: &mut Durability) -> io::Result<RotateOutcome> {
+        let folded = d
+            .writer
+            .len()
+            .saturating_sub(ceg_graph::wal::WAL_HEADER_LEN);
+        let (epoch, snapshot_bytes) = self.write_snapshot_with(&*d.storage, &d.snap_path)?;
+        d.writer.reset(&*d.storage)?;
+        d.commits_since_snapshot = 0;
+        Ok(RotateOutcome {
+            epoch,
+            snapshot_bytes,
+            wal_bytes_folded: folded,
+        })
     }
 }
 
@@ -630,6 +953,21 @@ impl DatasetRegistry {
         path: impl AsRef<Path>,
     ) -> io::Result<Arc<DatasetEntry>> {
         Ok(self.insert(DatasetEntry::read_snapshot(name, path)?.with_jobs(self.default_jobs)))
+    }
+
+    /// Recover a dataset from snapshot + WAL (see
+    /// [`DatasetEntry::recover`]), register it with durability attached,
+    /// and report what was replayed.
+    pub fn recover(
+        &self,
+        name: impl Into<String>,
+        storage: Arc<dyn Storage>,
+        snap_path: impl Into<PathBuf>,
+        wal_path: impl Into<PathBuf>,
+    ) -> io::Result<(Arc<DatasetEntry>, RecoveryReport)> {
+        let (entry, report) =
+            DatasetEntry::recover(name, storage, snap_path, wal_path, self.default_jobs)?;
+        Ok((self.insert(entry), report))
     }
 
     /// Shared handle to a dataset, if registered.
@@ -938,6 +1276,234 @@ mod tests {
         assert_eq!(ge.num_edges(), gl.num_edges());
         for e in ge.all_edges() {
             assert!(gl.has_edge(e.src, e.dst, e.label), "{e:?}");
+        }
+    }
+
+    mod durability {
+        use super::*;
+        use ceg_graph::vfs::{FaultPlan, FaultStorage};
+
+        fn paths() -> (PathBuf, PathBuf) {
+            (
+                PathBuf::from("/data/toy.cegsnap"),
+                PathBuf::from("/data/toy.cegwal"),
+            )
+        }
+
+        fn durable_entry(fs: &FaultStorage) -> DatasetEntry {
+            let (snap, wal) = paths();
+            let entry = DatasetEntry::new("toy", toy_graph(), MarkovTable::empty(2));
+            entry
+                .attach_durability(Arc::new(fs.clone()), snap, wal)
+                .unwrap();
+            entry
+        }
+
+        /// Compare two entries as an estimator would see them: same
+        /// epoch, same committed edges, same catalog entries.
+        fn assert_same_committed(a: &DatasetEntry, b: &DatasetEntry) {
+            assert_eq!(a.epoch(), b.epoch());
+            let (ga, gb) = (a.materialized_graph(), b.materialized_graph());
+            assert_eq!(ga.num_edges(), gb.num_edges());
+            for e in ga.all_edges() {
+                assert!(gb.has_edge(e.src, e.dst, e.label), "{e:?}");
+            }
+            a.with_markov(|ta| {
+                b.with_markov(|tb| {
+                    assert_eq!(ta.len(), tb.len());
+                    for (p, c) in ta.iter() {
+                        assert_eq!(tb.card(p), Some(c), "pattern {p}");
+                    }
+                })
+            });
+        }
+
+        #[test]
+        fn attach_writes_a_baseline_snapshot_and_an_empty_wal() {
+            let fs = FaultStorage::new();
+            let entry = durable_entry(&fs);
+            let (snap, wal) = paths();
+            assert!(entry.durable());
+            assert!(fs.exists(&snap));
+            assert_eq!(entry.wal_len(), Some(ceg_graph::wal::WAL_HEADER_LEN));
+            assert!(fs.exists(&wal));
+        }
+
+        #[test]
+        fn committed_transactions_recover_exactly() {
+            let fs = FaultStorage::new();
+            let entry = durable_entry(&fs);
+            entry.add_edge(0, 4, 1).unwrap();
+            entry.add_edge(2, 3, 0).unwrap();
+            let out = entry.try_commit().unwrap();
+            assert_eq!(out.epoch, 1);
+            assert!(out.wal_bytes > 0);
+            entry.del_edge(0, 1, 0).unwrap();
+            entry.try_commit().unwrap();
+
+            let (snap, wal) = paths();
+            let (recovered, report) =
+                DatasetEntry::recover("toy", Arc::new(fs.clone()), snap, wal, 1).unwrap();
+            assert_eq!(report.snapshot_epoch, 0);
+            assert_eq!(report.replayed_commits, 2);
+            assert_eq!(report.replayed_ops, 3);
+            assert!(report.torn_tail.is_none());
+            assert_same_committed(&entry, &recovered);
+        }
+
+        #[test]
+        fn noop_commit_appends_nothing() {
+            let fs = FaultStorage::new();
+            let entry = durable_entry(&fs);
+            let before = entry.wal_len().unwrap();
+            // Adding an edge the graph already has is effectively empty.
+            entry.add_edge(0, 1, 0).unwrap();
+            let out = entry.try_commit().unwrap();
+            assert_eq!(out.epoch, 0);
+            assert_eq!(out.wal_bytes, 0);
+            assert_eq!(entry.wal_len().unwrap(), before);
+        }
+
+        #[test]
+        fn failed_append_restores_pending_and_applies_nothing() {
+            let fs = FaultStorage::new();
+            let entry = durable_entry(&fs);
+            fs.set_plan(FaultPlan::default().fail_at(fs.op_count(), io::ErrorKind::Other));
+            entry.add_edge(0, 4, 1).unwrap();
+            let err = entry.try_commit().unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::Other);
+            // Nothing applied, nothing acked, op still pending.
+            assert_eq!(entry.epoch(), 0);
+            assert!(!entry.materialized_graph().has_edge(0, 4, 1));
+            assert_eq!(entry.pending_len(), 1);
+            // The plan is one-shot: the retry commits the restored op.
+            let out = entry.try_commit().unwrap();
+            assert_eq!(out.epoch, 1);
+            assert!(entry.materialized_graph().has_edge(0, 4, 1));
+        }
+
+        #[test]
+        fn append_failure_keeps_later_ops_buffered_after_restore() {
+            let fs = FaultStorage::new();
+            let entry = durable_entry(&fs);
+            fs.set_plan(FaultPlan::default().fail_at(fs.op_count(), io::ErrorKind::WriteZero));
+            entry.add_edge(0, 4, 1).unwrap();
+            entry.try_commit().unwrap_err();
+            // An op buffered after the failure must survive the restore
+            // and win over the restored delta where they overlap.
+            entry.del_edge(0, 4, 1).unwrap();
+            let out = entry.try_commit().unwrap();
+            assert_eq!(out.epoch, 0, "add then del of an absent edge is a no-op");
+            assert!(!entry.materialized_graph().has_edge(0, 4, 1));
+        }
+
+        #[test]
+        fn crashed_storage_poisons_the_wal_and_refuses_commits() {
+            let fs = FaultStorage::new();
+            let entry = durable_entry(&fs);
+            entry.add_edge(0, 4, 1).unwrap();
+            entry.try_commit().unwrap();
+            // Storage dies: the append fails AND the repair truncate
+            // fails, so the writer can no longer trust its tail.
+            fs.set_plan(FaultPlan::default().crash_after(0));
+            entry.add_edge(2, 3, 0).unwrap();
+            entry.try_commit().unwrap_err();
+            entry.add_edge(2, 4, 0).unwrap();
+            let err = entry.try_commit().unwrap_err();
+            assert!(err.to_string().contains("poisoned"), "{err}");
+            // The acked commit is still durable: reboot and recover.
+            fs.reboot(0);
+            let (snap, wal) = paths();
+            let (recovered, report) =
+                DatasetEntry::recover("toy", Arc::new(fs.clone()), snap, wal, 1).unwrap();
+            assert_eq!(report.replayed_commits, 1);
+            assert_eq!(recovered.epoch(), 1);
+            assert!(recovered.materialized_graph().has_edge(0, 4, 1));
+            assert!(!recovered.materialized_graph().has_edge(2, 3, 0));
+        }
+
+        #[test]
+        fn rotation_folds_the_log_and_recovery_still_matches() {
+            let fs = FaultStorage::new();
+            let entry = durable_entry(&fs);
+            entry.add_edge(0, 4, 1).unwrap();
+            entry.try_commit().unwrap();
+            entry.add_edge(2, 3, 0).unwrap();
+            entry.try_commit().unwrap();
+            let out = entry.rotate().unwrap().expect("log was non-empty");
+            assert_eq!(out.epoch, 2);
+            assert!(out.wal_bytes_folded > 0);
+            assert_eq!(entry.wal_len(), Some(ceg_graph::wal::WAL_HEADER_LEN));
+            // Post-rotation commits land in the fresh log.
+            entry.del_edge(0, 1, 0).unwrap();
+            entry.try_commit().unwrap();
+            let (snap, wal) = paths();
+            let (recovered, report) =
+                DatasetEntry::recover("toy", Arc::new(fs.clone()), snap, wal, 1).unwrap();
+            assert_eq!(report.snapshot_epoch, 2);
+            assert_eq!(report.replayed_commits, 1);
+            assert_same_committed(&entry, &recovered);
+        }
+
+        #[test]
+        fn maybe_rotate_honors_both_triggers() {
+            let fs = FaultStorage::new();
+            let entry = durable_entry(&fs);
+            assert!(entry.maybe_rotate(1, 1).unwrap().is_none(), "empty log");
+            entry.add_edge(0, 4, 1).unwrap();
+            entry.try_commit().unwrap();
+            assert!(entry.maybe_rotate(0, 0).unwrap().is_none(), "disabled");
+            assert!(
+                entry.maybe_rotate(1 << 20, 8).unwrap().is_none(),
+                "below both"
+            );
+            assert!(
+                entry.maybe_rotate(0, 1).unwrap().is_some(),
+                "commit trigger"
+            );
+            entry.add_edge(2, 3, 0).unwrap();
+            entry.try_commit().unwrap();
+            assert!(entry.maybe_rotate(1, 0).unwrap().is_some(), "byte trigger");
+        }
+
+        #[test]
+        fn attach_refuses_a_wal_ahead_of_the_entry() {
+            let fs = FaultStorage::new();
+            let entry = durable_entry(&fs);
+            entry.add_edge(0, 4, 1).unwrap();
+            entry.try_commit().unwrap();
+            // A fresh entry at epoch 0 must not adopt this epoch-1 log.
+            let fresh = DatasetEntry::new("toy", toy_graph(), MarkovTable::empty(2));
+            let (snap, wal) = paths();
+            let err = fresh
+                .attach_durability(Arc::new(fs.clone()), snap, wal)
+                .unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+            assert!(err.to_string().contains("recover"), "{err}");
+        }
+
+        #[test]
+        fn torn_tail_is_reported_and_acked_prefix_recovers() {
+            let fs = FaultStorage::new();
+            let entry = durable_entry(&fs);
+            entry.add_edge(0, 4, 1).unwrap();
+            entry.try_commit().unwrap();
+            // Crash mid-append of the second commit: half the record's
+            // bytes land, unsynced.
+            fs.set_plan(FaultPlan::default().crash_after(0));
+            entry.add_edge(2, 3, 0).unwrap();
+            entry.try_commit().unwrap_err();
+            fs.reboot(usize::MAX); // keep every torn byte
+            let (snap, wal) = paths();
+            let (recovered, report) =
+                DatasetEntry::recover("toy", Arc::new(fs.clone()), snap, wal, 1).unwrap();
+            assert!(report.torn_tail.is_some());
+            assert_eq!(report.replayed_commits, 1);
+            assert_eq!(recovered.epoch(), 1);
+            assert!(!recovered.materialized_graph().has_edge(2, 3, 0));
+            // The torn bytes were truncated: new commits append cleanly.
+            recovered.add_edge(2, 3, 0).unwrap();
+            assert_eq!(recovered.try_commit().unwrap().epoch, 2);
         }
     }
 }

@@ -77,6 +77,13 @@ pub struct ServerConfig {
     /// Estimate batches at least this slow (wall-clock milliseconds) are
     /// recorded in the slow-query ring (`SLOWLOG`).
     pub slow_query_threshold_ms: u64,
+    /// After an acked `COMMIT`, fold a dataset's WAL into a fresh
+    /// snapshot once the log reaches this many bytes (0 disables the
+    /// byte trigger). Only affects datasets with durability attached.
+    pub wal_rotate_bytes: u64,
+    /// Commit-count rotation trigger: fold the WAL after this many
+    /// effective commits since the last snapshot (0 disables).
+    pub snapshot_interval_commits: u64,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +99,8 @@ impl Default for ServerConfig {
             drain_snapshot_dir: None,
             drain_grace_ms: 5_000,
             slow_query_threshold_ms: DEFAULT_SLOW_QUERY_THRESHOLD_MS,
+            wal_rotate_bytes: 1 << 22,
+            snapshot_interval_commits: 0,
         }
     }
 }
@@ -214,6 +223,11 @@ struct Shared {
     admission: Admission,
     lifecycle: Lifecycle,
     default_deadline_ms: Option<u64>,
+    /// WAL rotation triggers checked after each acked `COMMIT` (see
+    /// [`ServerConfig::wal_rotate_bytes`] /
+    /// [`ServerConfig::snapshot_interval_commits`]).
+    wal_rotate_bytes: u64,
+    snapshot_interval_commits: u64,
     /// Per-request id source: every request a connection handler reads
     /// gets the next id, echoed as the ` id=<n>` reply tail and stamped
     /// on slow-query records.
@@ -282,6 +296,8 @@ impl Server {
             admission: Admission::new(config.queue_cap.max(1)),
             lifecycle: Lifecycle::new(),
             default_deadline_ms: config.default_deadline_ms,
+            wal_rotate_bytes: config.wal_rotate_bytes,
+            snapshot_interval_commits: config.snapshot_interval_commits,
             next_request_id: AtomicU64::new(1),
         });
         let pool = {
@@ -734,6 +750,17 @@ fn serve_connection(
                     Err(msg) => Response::Error(msg),
                 };
                 write_reply(&mut writer, &metrics, &resp, req_id)?;
+                // Rotation runs *after* the ack went out: the client's
+                // COMMIT latency never includes the snapshot fold, and a
+                // rotation failure cannot un-ack a durable commit — the
+                // log just keeps growing until a later fold succeeds.
+                if matches!(resp, Response::Committed(o) if o.wal_bytes > 0) {
+                    let _ = engine.maybe_rotate(
+                        &dataset,
+                        shared.wal_rotate_bytes,
+                        shared.snapshot_interval_commits,
+                    );
+                }
             }
             // SNAPSHOT holds the dataset's state read lock while it
             // writes the file; answered inline like COMMIT — the client

@@ -11,6 +11,7 @@
 //! cegcli explain  <addr> <queries.wl> <query-index> [dataset] [--deadline-ms N]
 //! cegcli serve    <addr> <graph.edges> [markov.file|-] [h]   # estimation server
 //! cegcli serve    <addr> --snapshot <file.cegsnap>           # restore from snapshot
+//! cegcli serve    <addr> [graph.edges ...] --data-dir <dir>  # crash-safe commits
 //! cegcli query    <addr> <queries.wl> [dataset] [--batch] [--deadline-ms N]
 //! cegcli update   <addr> <updates.upd> [dataset]             # live graph updates
 //! cegcli snapshot <addr> <out.cegsnap> [dataset]             # persist server state
@@ -18,6 +19,7 @@
 //! cegcli prom     <addr> [--check]                           # Prometheus exposition
 //! cegcli slowlog  <addr> [n]                                 # slow-query log
 //! cegcli shutdown <addr>                                     # graceful drain
+//! cegcli wal      <file.cegwal>                              # inspect a write-ahead log
 //! ```
 //!
 //! `explain` has two forms, told apart by the first argument: a graph
@@ -28,6 +30,16 @@
 //! `serve` drains gracefully on SIGTERM or a wire `SHUTDOWN`: it stops
 //! accepting, lets in-flight work resolve to typed replies, writes one
 //! final snapshot per dataset into `--drain-dir` (if given), and exits 0.
+//!
+//! `serve --data-dir <dir>` makes commits crash-safe: every `COMMIT` is
+//! fsynced to `<dir>/default.cegwal` before it is acked, and the log is
+//! periodically folded into `<dir>/default.cegsnap` (tune with
+//! `--wal-rotate-bytes N` / `--snapshot-every N`). When the directory
+//! already holds a snapshot, boot recovers from snapshot + WAL instead
+//! of the graph arguments — a restart after `kill -9` resumes exactly
+//! where the last acked commit left off. `cegcli wal` prints what a log
+//! file holds (committed transactions, epoch range, any torn tail)
+//! without needing a server.
 //!
 //! Exit discipline: argument errors print the offending subcommand's
 //! usage on stderr and exit 2; runtime failures (I/O, server errors)
@@ -168,7 +180,7 @@ const USAGE_LINES: &[(&str, &str)] = &[
     ),
     (
         "serve",
-        "cegcli serve <addr> (<graph.edges> [markov.file|-] [h] | --snapshot <file.cegsnap>) [--jobs N] [--drain-dir <dir>]",
+        "cegcli serve <addr> (<graph.edges> [markov.file|-] [h] | --snapshot <file.cegsnap>) [--data-dir <dir>] [--wal-rotate-bytes N] [--snapshot-every N] [--jobs N] [--drain-dir <dir>]",
     ),
     (
         "query",
@@ -180,6 +192,7 @@ const USAGE_LINES: &[(&str, &str)] = &[
     ("prom", "cegcli prom <addr> [--check]"),
     ("slowlog", "cegcli slowlog <addr> [n]"),
     ("shutdown", "cegcli shutdown <addr>"),
+    ("wal", "cegcli wal <file.cegwal>"),
 ];
 
 fn usage_for(cmd: &str) -> Option<&'static str> {
@@ -229,6 +242,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "prom" => in_cmd("prom", prom_cmd(rest)),
         "slowlog" => in_cmd("slowlog", slowlog_cmd(rest)),
         "shutdown" => in_cmd("shutdown", shutdown_cmd(rest)),
+        "wal" => in_cmd("wal", wal_cmd(rest)),
         other => Err(top(format!("unknown command `{other}`"))),
     }
 }
@@ -594,23 +608,41 @@ fn serve(args: &[String]) -> CmdResult {
     let (args, jobs) = take_jobs(args)?;
     let (args, snapshot_path) = take_opt(&args, "snapshot")?;
     let (args, drain_dir) = take_opt(&args, "drain-dir")?;
+    let (args, data_dir) = take_opt(&args, "data-dir")?;
+    let (args, rotate_bytes) = take_opt(&args, "wal-rotate-bytes")?;
+    let (args, snapshot_every) = take_opt(&args, "snapshot-every")?;
     let args = &args[..];
+    let defaults = ServerConfig::default();
+    let parse_u64 = |name: &str, v: &Option<String>, default: u64| -> Result<u64, CmdError> {
+        match v {
+            Some(s) => s
+                .parse()
+                .map_err(|_| CmdError::usage(format!("bad --{name} value `{s}`"))),
+            None => Ok(default),
+        }
+    };
+    let wal_rotate_bytes = parse_u64("wal-rotate-bytes", &rotate_bytes, defaults.wal_rotate_bytes)?;
+    let snapshot_interval_commits = parse_u64(
+        "snapshot-every",
+        &snapshot_every,
+        defaults.snapshot_interval_commits,
+    )?;
+    if data_dir.is_none() && (rotate_bytes.is_some() || snapshot_every.is_some()) {
+        return Err(CmdError::usage(
+            "--wal-rotate-bytes / --snapshot-every tune the write-ahead log, which needs --data-dir",
+        ));
+    }
+    if data_dir.is_some() && snapshot_path.is_some() {
+        return Err(CmdError::usage(
+            "--data-dir and --snapshot both pick the boot state; use one",
+        ));
+    }
     let addr = arg(args, 0, "listen address")?;
     let registry = Arc::new(DatasetRegistry::with_jobs(jobs));
-    let entry = match &snapshot_path {
-        // Boot-time restore: the snapshot carries graph, catalog and
-        // epoch, so a graph/markov/h argument would contradict it.
-        Some(snap) => {
-            if args.len() > 1 {
-                return Err(CmdError::usage(
-                    "--snapshot replaces the graph/markov/h arguments",
-                ));
-            }
-            registry
-                .load_snapshot("default", snap)
-                .map_err(CmdError::runtime)?
-        }
-        None => {
+    // Load the graph/markov/h positional arguments — the cold-boot path,
+    // shared by plain serving and the first boot of a durable data dir.
+    let load_from_files =
+        |args: &[String]| -> Result<Arc<cegraph::service::DatasetEntry>, CmdError> {
             let graph_path = arg(args, 1, "graph path")?;
             let markov_path = args.get(2).map(String::as_str).filter(|p| *p != "-");
             let h: usize = match args.get(3) {
@@ -631,14 +663,87 @@ fn serve(args: &[String]) -> CmdResult {
                     entry.h()
                 )));
             }
+            Ok(entry)
+        };
+    let mut recovery: Option<cegraph::service::RecoveryReport> = None;
+    let mut boot_note = "";
+    let entry = if let Some(dir) = &data_dir {
+        use cegraph::graph::snapshot::sweep_orphan_temps;
+        use cegraph::graph::vfs::OsStorage;
+        let dir = std::path::Path::new(dir);
+        std::fs::create_dir_all(dir)?;
+        // A hard crash mid-rotation can leave half-written temp files
+        // behind; sweep them before any writer is live.
+        let swept = sweep_orphan_temps(&OsStorage, dir)?;
+        for path in &swept {
+            println!("swept orphaned temp file {}", path.display());
+        }
+        let snap = dir.join("default.cegsnap");
+        let wal = dir.join("default.cegwal");
+        if snap.exists() {
+            // The data dir is authoritative once initialized: the graph
+            // arguments were its seed and are ignored on restart, so the
+            // exact same command line survives a crash loop.
+            if args.len() > 1 {
+                println!(
+                    "data dir {} is already initialized; recovering from it and \
+                     ignoring the graph arguments",
+                    dir.display()
+                );
+            }
+            let (entry, report) = registry
+                .recover("default", Arc::new(OsStorage), &snap, &wal)
+                .map_err(CmdError::runtime)?;
+            println!(
+                "recovered `default` from {}: snapshot epoch {}, replayed {} commits \
+                 ({} ops) -> epoch {}{}",
+                dir.display(),
+                report.snapshot_epoch,
+                report.replayed_commits,
+                report.replayed_ops,
+                report.epoch,
+                report
+                    .torn_tail
+                    .as_deref()
+                    .map(|d| format!(", torn tail truncated ({d})"))
+                    .unwrap_or_default(),
+            );
+            recovery = Some(report);
+            boot_note = ", recovered from data dir";
+            entry
+        } else {
+            let entry = load_from_files(args)?;
+            entry
+                .attach_durability(Arc::new(OsStorage), &snap, &wal)
+                .map_err(CmdError::runtime)?;
+            boot_note = ", durable commits";
             entry
         }
+    } else if let Some(snap) = &snapshot_path {
+        // Boot-time restore: the snapshot carries graph, catalog and
+        // epoch, so a graph/markov/h argument would contradict it.
+        if args.len() > 1 {
+            return Err(CmdError::usage(
+                "--snapshot replaces the graph/markov/h arguments",
+            ));
+        }
+        boot_note = ", restored from snapshot";
+        registry
+            .load_snapshot("default", snap)
+            .map_err(CmdError::runtime)?
+    } else {
+        load_from_files(args)?
     };
     let config = ServerConfig {
         drain_snapshot_dir: drain_dir.map(std::path::PathBuf::from),
+        wal_rotate_bytes,
+        snapshot_interval_commits,
         ..ServerConfig::default()
     };
     let server = Server::start(registry, addr, config.clone()).map_err(CmdError::runtime)?;
+    if let Some(report) = &recovery {
+        server.engine().record_recovery(report);
+    }
     let (num_vertices, num_edges) = entry.graph_summary();
     println!(
         "serving `default` ({} vertices, {} edges, {} catalog entries, epoch {}) on {} \
@@ -652,11 +757,7 @@ fn serve(args: &[String]) -> CmdResult {
         config.batch_max,
         config.cache_capacity,
         entry.jobs(),
-        if snapshot_path.is_some() {
-            ", restored from snapshot"
-        } else {
-            ""
-        },
+        boot_note,
     );
     // Serve until a drain is requested: SIGTERM flips the static flag
     // (checked every wakeup), the wire SHUTDOWN command trips the
@@ -1022,6 +1123,58 @@ fn shutdown_cmd(args: &[String]) -> CmdResult {
     Ok(())
 }
 
+/// Inspect a `.cegwal` write-ahead log offline: the committed
+/// transactions it holds (epoch and operation counts), how much of the
+/// file is trustworthy, and — after a crash — the scanner's diagnosis
+/// of the torn tail. Damage is reported, never "repaired": the file is
+/// only read.
+fn wal_cmd(args: &[String]) -> CmdResult {
+    use cegraph::graph::wal::scan_bytes;
+    let path = arg(args, 0, "WAL path")?;
+    if args.len() > 1 {
+        return Err(CmdError::usage("unexpected extra arguments"));
+    }
+    let bytes = std::fs::read(path).map_err(CmdError::runtime)?;
+    let scan = scan_bytes(&bytes).map_err(CmdError::runtime)?;
+    println!(
+        "{path}: {} bytes, {} records, {} committed transactions",
+        bytes.len(),
+        scan.records,
+        scan.txs.len()
+    );
+    for tx in &scan.txs {
+        let (adds, dels) = tx
+            .ops
+            .iter()
+            .fold((0usize, 0usize), |(a, d), op| match op.del {
+                false => (a + 1, d),
+                true => (a, d + 1),
+            });
+        println!(
+            "  epoch {:>6}: {:>5} ops ({adds} adds, {dels} dels)",
+            tx.epoch,
+            tx.ops.len()
+        );
+    }
+    match (scan.last_epoch(), scan.txs.first()) {
+        (Some(last), Some(first)) => println!("epoch range {}..={last}", first.epoch),
+        _ => println!("no committed transactions"),
+    }
+    let trailing = bytes.len() as u64 - scan.valid_len.min(bytes.len() as u64);
+    match &scan.diagnosis {
+        Some(why) => println!(
+            "torn tail: {trailing} trailing bytes beyond valid length {} ({why}); \
+             re-opening for append would truncate them",
+            scan.valid_len
+        ),
+        None => println!(
+            "clean: every byte accounted for (valid length {})",
+            scan.valid_len
+        ),
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::{take_flag, take_jobs, take_opt};
@@ -1225,6 +1378,89 @@ mod tests {
         assert_eq!(err.kind, ErrorKind::Usage);
         let err = fail(&["serve", "addr", "graph", "--snapshot", "s", "extra"]);
         assert_eq!(err.kind, ErrorKind::Usage);
+    }
+
+    #[test]
+    fn durability_flags_are_validated_before_any_io() {
+        // The WAL tuning knobs are meaningless without a data dir, and
+        // two boot-state sources contradict each other; both must fail
+        // as usage errors without touching the filesystem or network.
+        for args in [
+            vec!["serve", "addr", "g", "--wal-rotate-bytes", "4096"],
+            vec!["serve", "addr", "g", "--snapshot-every", "8"],
+            vec!["serve", "addr", "--snapshot", "s", "--data-dir", "d"],
+            vec![
+                "serve",
+                "addr",
+                "g",
+                "--data-dir",
+                "d",
+                "--wal-rotate-bytes",
+                "nope",
+            ],
+        ] {
+            let err = fail(&args);
+            assert_eq!(err.kind, ErrorKind::Usage, "{args:?}: {}", err.msg);
+            assert_eq!(err.cmd, Some("serve"), "{args:?}");
+        }
+    }
+
+    // --- `wal` inspection --------------------------------------------------
+
+    #[test]
+    fn wal_without_a_path_is_a_usage_error() {
+        let err = fail(&["wal"]);
+        assert_eq!(err.kind, ErrorKind::Usage);
+        assert_eq!(err.cmd, Some("wal"));
+        let err = fail(&["wal", "a.cegwal", "extra"]);
+        assert_eq!(err.kind, ErrorKind::Usage);
+    }
+
+    #[test]
+    fn wal_on_a_missing_or_non_wal_file_is_a_runtime_error() {
+        let err = fail(&["wal", "/no/such/file.cegwal"]);
+        assert_eq!(err.kind, ErrorKind::Runtime);
+        // A file that exists but is no WAL (wrong magic).
+        let path = std::env::temp_dir().join("cegcli-not-a-wal.cegwal");
+        std::fs::write(&path, b"definitely not a write-ahead log").unwrap();
+        let err = fail(&["wal", path.to_str().unwrap()]);
+        assert_eq!(err.kind, ErrorKind::Runtime, "{}", err.msg);
+        assert!(err.msg.contains("not a WAL"), "{}", err.msg);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn wal_prints_committed_transactions_from_a_real_log() {
+        use cegraph::graph::vfs::OsStorage;
+        use cegraph::graph::wal::{WalOp, WalWriter};
+        let path = std::env::temp_dir().join("cegcli-wal-inspect.cegwal");
+        let _ = std::fs::remove_file(&path);
+        let (mut w, _) = WalWriter::open(&OsStorage, &path).unwrap();
+        w.append_tx(
+            1,
+            &[WalOp {
+                src: 0,
+                dst: 1,
+                label: 0,
+                del: false,
+            }],
+        )
+        .unwrap();
+        w.append_tx(
+            2,
+            &[WalOp {
+                src: 0,
+                dst: 1,
+                label: 0,
+                del: true,
+            }],
+        )
+        .unwrap();
+        drop(w);
+        // The command is exercised end-to-end through `run` — success
+        // means the file parsed and printed without a panic.
+        run(&strs(&["wal", path.to_str().unwrap()])).unwrap();
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -123,6 +123,12 @@ fn metrics_snapshot_keys_are_stable() {
         "queue_wait_sum_us",
         "queue_wait_p50_us",
         "queue_wait_p99_us",
+        "wal_commits_total",
+        "wal_bytes_total",
+        "wal_errors_total",
+        "wal_rotations_total",
+        "wal_recovered_commits_total",
+        "wal_torn_tails_total",
     ]
     .into_iter()
     .map(String::from)
@@ -174,6 +180,12 @@ fn metrics_prom_families_are_stable() {
         "ceg_queued",
         "ceg_queued_peak",
         "ceg_queue_wait_micros",
+        "ceg_wal_commits_total",
+        "ceg_wal_bytes_total",
+        "ceg_wal_errors_total",
+        "ceg_wal_rotations_total",
+        "ceg_wal_recovered_commits_total",
+        "ceg_wal_torn_tails_total",
     ]
     .into_iter()
     .map(String::from)
