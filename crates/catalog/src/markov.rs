@@ -280,7 +280,14 @@ pub fn count_patterns_budgeted_stats(
         .map(|_| AtomicBool::new(false))
         .collect();
     let cursor = AtomicUsize::new(0);
-    let stats = std::sync::Mutex::new(FillStats::default());
+    // LockRank::Metrics: leaf bookkeeping — merged into once per worker
+    // at exit, never held while counting. (`ceg_graph::sync` is the
+    // physical home of `ceg_core::sync`; this crate sits below ceg-core
+    // in the dependency graph.)
+    let stats = ceg_graph::sync::OrderedMutex::new(
+        ceg_graph::sync::LockRank::Metrics,
+        FillStats::default(),
+    );
     std::thread::scope(|scope| {
         for _ in 0..parallelism.min(patterns.len()) {
             scope.spawn(|| {
@@ -300,7 +307,7 @@ pub fn count_patterns_budgeted_stats(
                         done[i].store(true, Ordering::Relaxed);
                     }
                 }
-                stats.lock().expect("fill stats poisoned").absorb(&local);
+                stats.lock().absorb(&local);
             });
         }
     });
@@ -309,7 +316,7 @@ pub fn count_patterns_budgeted_stats(
         .zip(done)
         .map(|(c, d)| d.into_inner().then(|| c.into_inner()))
         .collect();
-    (counts, stats.into_inner().expect("fill stats poisoned"))
+    (counts, stats.into_inner())
 }
 
 /// Default worker count for catalog construction when the caller has no

@@ -77,6 +77,13 @@ pub mod trace;
 /// framework-level name.
 pub use ceg_graph::vfs;
 
+/// Ranked lock wrappers (`OrderedMutex`/`OrderedRwLock` + `LockRank`)
+/// enforcing the workspace-wide lock acquisition order; the only lock
+/// primitives the `ceg-lint` lock-discipline pass permits outside this
+/// crate. Physically lives in `ceg-graph` for the same dependency-order
+/// reason as [`vfs`], re-exported here as the framework-level name.
+pub use ceg_graph::sync;
+
 pub use ceg::{Aggr, Ceg, CegEdge, Heuristic, PathLen};
 pub use ceg_m::{molp_bound, molp_lp_bound, molp_min_path, MolpInstance};
 pub use ceg_o::CegO;

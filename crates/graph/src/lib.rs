@@ -52,6 +52,7 @@ pub mod io;
 pub mod overlay;
 pub mod snapshot;
 pub mod stats;
+pub mod sync;
 pub mod vfs;
 pub mod view;
 pub mod wal;

@@ -36,7 +36,9 @@
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use crate::sync::{LockRank, OrderedMutex};
 
 /// An open, writable file handle dispensed by a [`Storage`].
 pub trait StorageFile: Send {
@@ -278,9 +280,19 @@ impl FaultInner {
 /// In-memory fault-injecting [`Storage`]. Cheap to clone (shared
 /// state): tests keep one handle to arm faults and inspect files while
 /// the code under test holds another.
-#[derive(Default, Clone)]
+#[derive(Clone)]
 pub struct FaultStorage {
-    inner: Arc<Mutex<FaultInner>>,
+    inner: Arc<OrderedMutex<FaultInner>>,
+}
+
+impl Default for FaultStorage {
+    fn default() -> Self {
+        // Rank `Wal`: the simulated device is the innermost lock — its
+        // operations run under the durability/state locks of a commit.
+        FaultStorage {
+            inner: Arc::new(OrderedMutex::new(LockRank::Wal, FaultInner::default())),
+        }
+    }
 }
 
 impl FaultStorage {
@@ -291,19 +303,19 @@ impl FaultStorage {
 
     /// Arm (or clear, with `FaultPlan::default()`) the fault plan.
     pub fn set_plan(&self, plan: FaultPlan) {
-        self.inner.lock().unwrap().plan = plan;
+        self.inner.lock().plan = plan;
     }
 
     /// Operations performed so far — a crash-point sweep runs the
     /// workload once fault-free to learn the op count, then replays it
     /// with `crash_after` at every index below it.
     pub fn op_count(&self) -> u64 {
-        self.inner.lock().unwrap().ops
+        self.inner.lock().ops
     }
 
     /// True once a `crash_after` point has tripped.
     pub fn crashed(&self) -> bool {
-        self.inner.lock().unwrap().crashed
+        self.inner.lock().crashed
     }
 
     /// Simulate the machine coming back up: for every file, bytes past
@@ -312,7 +324,7 @@ impl FaultStorage {
     /// "one stray sector", "everything happened to land"). Clears the
     /// crashed flag, the fault plan and the op counter.
     pub fn reboot(&self, keep_unsynced: usize) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         for f in inner.files.values_mut() {
             let keep = f.synced + keep_unsynced.min(f.bytes.len() - f.synced);
             f.bytes.truncate(keep);
@@ -325,18 +337,13 @@ impl FaultStorage {
 
     /// Current contents of a file (tests inspect what "disk" holds).
     pub fn dump(&self, path: &Path) -> Option<Vec<u8>> {
-        self.inner
-            .lock()
-            .unwrap()
-            .files
-            .get(path)
-            .map(|f| f.bytes.clone())
+        self.inner.lock().files.get(path).map(|f| f.bytes.clone())
     }
 
     /// Flip one bit of a stored file in place (bit-rot injection).
     /// Panics if the path or offset does not exist — a test bug.
     pub fn flip_bit(&self, path: &Path, byte: usize, bit: u8) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         let f = inner.files.get_mut(path).expect("flip_bit: no such file");
         f.bytes[byte] ^= 1 << (bit & 7);
     }
@@ -344,7 +351,7 @@ impl FaultStorage {
     /// Replace a file's contents wholesale, marked fully synced (tests
     /// seed corrupt inputs directly).
     pub fn install(&self, path: &Path, bytes: Vec<u8>) {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         let synced = bytes.len();
         inner
             .files
@@ -353,13 +360,13 @@ impl FaultStorage {
 }
 
 struct FaultHandle {
-    inner: Arc<Mutex<FaultInner>>,
+    inner: Arc<OrderedMutex<FaultInner>>,
     path: PathBuf,
 }
 
 impl StorageFile for FaultHandle {
     fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.step(Some((&self.path, buf)))?;
         match inner.files.get_mut(&self.path) {
             Some(f) => {
@@ -374,7 +381,7 @@ impl StorageFile for FaultHandle {
     }
 
     fn sync(&mut self) -> io::Result<()> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.step(None)?;
         if let Some(f) = inner.files.get_mut(&self.path) {
             f.synced = f.bytes.len();
@@ -385,7 +392,7 @@ impl StorageFile for FaultHandle {
 
 impl Storage for FaultStorage {
     fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.step(None)?;
         inner
             .files
@@ -395,7 +402,7 @@ impl Storage for FaultStorage {
     }
 
     fn create(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.step(None)?;
         inner.files.insert(path.to_path_buf(), FaultFile::default());
         Ok(Box::new(FaultHandle {
@@ -405,7 +412,7 @@ impl Storage for FaultStorage {
     }
 
     fn append(&self, path: &Path) -> io::Result<Box<dyn StorageFile>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.step(None)?;
         inner.files.entry(path.to_path_buf()).or_default();
         Ok(Box::new(FaultHandle {
@@ -415,7 +422,7 @@ impl Storage for FaultStorage {
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.step(None)?;
         match inner.files.remove(from) {
             Some(f) => {
@@ -430,7 +437,7 @@ impl Storage for FaultStorage {
     }
 
     fn remove(&self, path: &Path) -> io::Result<()> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.step(None)?;
         inner
             .files
@@ -440,7 +447,7 @@ impl Storage for FaultStorage {
     }
 
     fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.step(None)?;
         match inner.files.get_mut(path) {
             Some(f) => {
@@ -456,7 +463,7 @@ impl Storage for FaultStorage {
     }
 
     fn len(&self, path: &Path) -> io::Result<u64> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.step(None)?;
         inner
             .files
@@ -469,11 +476,11 @@ impl Storage for FaultStorage {
         // Existence probes are not faultable ops: recovery uses them to
         // decide *which* path to take, and a probe that lies would test
         // a filesystem no OS exhibits.
-        self.inner.lock().unwrap().files.contains_key(path)
+        self.inner.lock().files.contains_key(path)
     }
 
     fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.inner.lock();
         inner.step(None)?;
         Ok(inner
             .files
@@ -484,7 +491,7 @@ impl Storage for FaultStorage {
     }
 
     fn sync_dir(&self, _dir: &Path) -> io::Result<()> {
-        self.inner.lock().unwrap().step(None)
+        self.inner.lock().step(None)
     }
 }
 

@@ -1,0 +1,148 @@
+//! The checked-in panic/lint allowlist (`ceg-lint.allow` at the repo
+//! root).
+//!
+//! Grammar, one entry per line:
+//!
+//! ```text
+//! # Why this exception is sound (required — the justification).
+//! <lint-id> <path-suffix> <fn-name|*>
+//! ```
+//!
+//! An entry suppresses diagnostics of `lint-id` in files whose
+//! repo-relative path ends with `path-suffix`, inside function
+//! `fn-name` (`*` matches the whole file). Policy, enforced
+//! mechanically by the runner:
+//!
+//! * every entry must carry a justification: a `#` comment line above
+//!   it, which also covers any further entries in the same contiguous
+//!   block (a blank line ends the block). An unjustified entry is
+//!   itself a diagnostic — the suppression still applies, so fixing
+//!   the comment is the only way to get a clean run;
+//! * an entry that suppressed nothing during a whole-tree run is
+//!   *stale* and is reported, so the allowlist can only shrink when
+//!   the code improves.
+
+use crate::lints::{Diagnostic, ALLOWLIST};
+
+/// One parsed allowlist entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    pub lint: String,
+    /// Path suffix matched against the diagnostic's repo-relative path.
+    pub path: String,
+    /// Function name, or `*` for the whole file.
+    pub func: String,
+    /// In a contiguous block headed by at least one `#` comment line.
+    pub justified: bool,
+    /// 1-based line in the allowlist file.
+    pub line: u32,
+}
+
+impl Entry {
+    pub fn matches(&self, d: &Diagnostic) -> bool {
+        self.lint == d.lint
+            && (d.path == self.path || d.path.ends_with(&format!("/{}", self.path)))
+            && (self.func == "*" || self.func == d.func)
+    }
+}
+
+/// The parsed allowlist plus any malformed-line diagnostics.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    pub entries: Vec<Entry>,
+    pub errors: Vec<Diagnostic>,
+}
+
+/// Parse allowlist text. `file` is the repo-relative path reported in
+/// hygiene diagnostics.
+pub fn parse(file: &str, text: &str) -> Allowlist {
+    let mut list = Allowlist::default();
+    // True from a `#` comment line until the next blank line: the
+    // comment justifies every entry in its contiguous block.
+    let mut block_justified = false;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = idx as u32 + 1;
+        if line.is_empty() {
+            block_justified = false;
+            continue;
+        }
+        if line.starts_with('#') {
+            block_justified = true;
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 3 {
+            list.errors.push(Diagnostic {
+                lint: ALLOWLIST,
+                path: file.to_string(),
+                line: lineno,
+                func: String::new(),
+                msg: format!(
+                    "malformed entry (expected `<lint-id> <path-suffix> <fn|*>`): `{line}`"
+                ),
+            });
+            continue;
+        }
+        list.entries.push(Entry {
+            lint: fields[0].to_string(),
+            path: fields[1].to_string(),
+            func: fields[2].to_string(),
+            justified: block_justified,
+            line: lineno,
+        });
+    }
+    list
+}
+
+/// Apply the allowlist: returns the surviving diagnostics plus hygiene
+/// findings (unjustified entries always; stale entries only when
+/// `check_stale`, i.e. on whole-tree runs — a single-file run cannot
+/// know what the rest of the tree needs).
+pub fn apply(
+    file: &str,
+    list: &Allowlist,
+    diags: Vec<Diagnostic>,
+    check_stale: bool,
+) -> Vec<Diagnostic> {
+    let mut used = vec![false; list.entries.len()];
+    let mut out: Vec<Diagnostic> = diags
+        .into_iter()
+        .filter(|d| match list.entries.iter().position(|e| e.matches(d)) {
+            Some(i) => {
+                used[i] = true;
+                false
+            }
+            None => true,
+        })
+        .collect();
+    out.extend(list.errors.iter().cloned());
+    for (i, entry) in list.entries.iter().enumerate() {
+        if !entry.justified {
+            out.push(Diagnostic {
+                lint: ALLOWLIST,
+                path: file.to_string(),
+                line: entry.line,
+                func: String::new(),
+                msg: format!(
+                    "entry `{} {} {}` has no justification comment; explain why the \
+                     exception is sound on the `#` line above it",
+                    entry.lint, entry.path, entry.func
+                ),
+            });
+        }
+        if check_stale && !used[i] {
+            out.push(Diagnostic {
+                lint: ALLOWLIST,
+                path: file.to_string(),
+                line: entry.line,
+                func: String::new(),
+                msg: format!(
+                    "stale entry `{} {} {}`: it no longer suppresses anything — delete it",
+                    entry.lint, entry.path, entry.func
+                ),
+            });
+        }
+    }
+    out
+}

@@ -1,0 +1,19 @@
+//! The workspace task runner. One task so far:
+//!
+//! ```text
+//! cargo xtask lint    # project-specific static analysis (see ceg-lint)
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None | Some("lint") => std::process::exit(ceg_lint::lint_main()),
+        Some("--help") | Some("-h") | Some("help") => {
+            println!("usage: cargo xtask <task>\n\ntasks:\n  lint    run the ceg-lint static-analysis pass over the tree");
+        }
+        Some(other) => {
+            eprintln!("xtask: unknown task `{other}` (try `cargo xtask lint`)");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,7 @@
+// Fires `durability-seam` exactly once: a direct `File::create` that
+// fault injection can never see.
+fn persist(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    use std::io::Write as _;
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(bytes)
+}

@@ -1,0 +1,6 @@
+// Fires `durability-seam` exactly once: any `OpenOptions` mention in
+// non-test code — append-mode side channels are exactly how WAL writes
+// escape the `vfs::Storage` fault-injection seam.
+fn append(path: &std::path::Path) -> std::io::Result<std::fs::File> {
+    std::fs::OpenOptions::new().append(true).create(true).open(path)
+}

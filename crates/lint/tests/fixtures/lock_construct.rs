@@ -1,0 +1,6 @@
+// Fires `lock-discipline` exactly once: fully-qualified construction
+// of a raw std lock, with no `use` to catch it earlier.
+fn make() -> i64 {
+    let m = std::sync::Mutex::new(7);
+    m.into_inner().unwrap_or(0)
+}

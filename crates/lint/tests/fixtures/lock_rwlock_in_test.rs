@@ -1,0 +1,12 @@
+// Fires `lock-discipline` exactly once — inside `#[cfg(test)]` code.
+// Unlike `panic-path`, the lock lint has no test exemption: a raw lock
+// in a test can still deadlock the suite and proves nothing about the
+// ranked-order invariant.
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shared_state() {
+        let l = RwLock::new(5u32);
+        assert_eq!(*l.read().unwrap_or_else(|e| e.into_inner()), 5);
+    }
+}

@@ -1,0 +1,7 @@
+// Fires `lock-discipline` exactly once: the `use` of a raw std lock.
+// The later type position does not re-fire — the import is the finding.
+use std::sync::Mutex;
+
+struct Shared {
+    inner: Mutex<u64>,
+}

@@ -1,0 +1,14 @@
+// Fires `panic-path` exactly once: the unwrap in `lookup`. The
+// identical unwrap inside `#[cfg(test)]` is exempt — tests may assert.
+fn lookup(map: &std::collections::HashMap<u32, u32>, key: u32) -> u32 {
+    *map.get(&key).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,7 @@
+// Fires `panic-path` exactly once: slice indexing. The `[u32]` in the
+// signature and the `[0u8; 4]` array literal are types/literals, not
+// index expressions, and must stay silent.
+fn first(values: &[u32]) -> u32 {
+    let _scratch = [0u8; 4];
+    values[0]
+}

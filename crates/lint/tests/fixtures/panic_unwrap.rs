@@ -1,0 +1,4 @@
+// Fires `panic-path` exactly once: `.unwrap()` on a request path.
+fn handle(arg: Option<u32>) -> u32 {
+    arg.unwrap()
+}

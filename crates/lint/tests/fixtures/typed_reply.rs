@@ -1,0 +1,5 @@
+// Fires `typed-reply` exactly once: a handler writing a hand-rolled
+// reply line instead of going through a `protocol::` constructor.
+fn send_ok<W: std::io::Write>(writer: &mut W, count: usize) -> std::io::Result<()> {
+    writeln!(writer, "OK {count}")
+}

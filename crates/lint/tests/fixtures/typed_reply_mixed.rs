@@ -1,0 +1,7 @@
+// Fires `typed-reply` exactly once: only the second write is raw. The
+// first goes through a `protocol::` constructor and is the idiom the
+// lint exists to funnel everything into.
+fn send<W: std::io::Write>(writer: &mut W, key: &str, value: u64) -> std::io::Result<()> {
+    writeln!(writer, "{}", crate::protocol::format_metric_line(key, value))?;
+    writeln!(writer, "END")
+}

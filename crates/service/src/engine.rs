@@ -10,9 +10,10 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
+use ceg_core::sync::{LockRank, OrderedMutex};
 use ceg_core::trace::Trace;
 use ceg_estimators::{CardinalityEstimator, OptimisticEstimator};
 use ceg_graph::{LabelId, VertexId};
@@ -111,11 +112,13 @@ pub struct EngineStats {
 /// Shared estimation core: registry + cache + counters + metrics.
 pub struct Engine {
     registry: Arc<DatasetRegistry>,
-    cache: Mutex<EstimateCache>,
+    /// `LockRank::Cache`: taken after the registry map and any dataset
+    /// locks are released, before the slowlog/metrics rank.
+    cache: OrderedMutex<EstimateCache>,
     requests: AtomicU64,
     batches: AtomicU64,
     metrics: Arc<Metrics>,
-    slowlog: Mutex<VecDeque<SlowQueryEntry>>,
+    slowlog: OrderedMutex<VecDeque<SlowQueryEntry>>,
     slow_threshold_us: AtomicU64,
 }
 
@@ -125,11 +128,11 @@ impl Engine {
     pub fn new(registry: Arc<DatasetRegistry>, cache_capacity: usize) -> Self {
         Engine {
             registry,
-            cache: Mutex::new(EstimateCache::new(cache_capacity)),
+            cache: OrderedMutex::new(LockRank::Cache, EstimateCache::new(cache_capacity)),
             requests: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             metrics: Arc::new(Metrics::new()),
-            slowlog: Mutex::new(VecDeque::new()),
+            slowlog: OrderedMutex::new(LockRank::Metrics, VecDeque::new()),
             slow_threshold_us: AtomicU64::new(DEFAULT_SLOW_QUERY_THRESHOLD_MS * 1000),
         }
     }
@@ -147,10 +150,14 @@ impl Engine {
         self.slow_threshold_us.load(Ordering::Relaxed) / 1000
     }
 
-    /// The most recent `n` slow-query records, newest first.
+    /// The most recent `n` slow-query records, newest first. A poisoned
+    /// ring (a panic mid-push) yields an empty log rather than killing
+    /// the `SLOWLOG` handler: the records are diagnostics, not state.
     pub fn slowlog(&self, n: usize) -> Vec<SlowQueryEntry> {
-        let log = self.slowlog.lock().unwrap();
-        log.iter().rev().take(n).cloned().collect()
+        match self.slowlog.checked_lock() {
+            Ok(log) => log.iter().rev().take(n).cloned().collect(),
+            Err(_) => Vec::new(),
+        }
     }
 
     /// The registry this engine serves from.
@@ -177,10 +184,13 @@ impl Engine {
         let entry = self.registry.get(dataset)?;
         let epoch = entry.epoch();
         let hash = query.canonical_hash();
+        // A poisoned cache is indistinguishable from a miss here: the
+        // request falls through to the full path, which degrades the
+        // same way (serves uncached, skips the store).
         let value = self
             .cache
-            .lock()
-            .unwrap()
+            .checked_lock()
+            .ok()?
             .peek_hashed(dataset, query, hash, epoch)?;
         self.requests.fetch_add(1, Ordering::Relaxed);
         Some(EstimateOutcome {
@@ -191,7 +201,10 @@ impl Engine {
 
     /// Estimate one query (a batch of one).
     pub fn estimate(&self, dataset: &str, query: &QueryGraph) -> Result<EstimateOutcome, String> {
-        Ok(self.estimate_batch(dataset, std::slice::from_ref(query))?[0])
+        self.estimate_batch(dataset, std::slice::from_ref(query))?
+            .into_iter()
+            .next()
+            .ok_or_else(|| "internal error: batch of one produced no outcome".to_string())
     }
 
     /// Estimate a batch of queries against one dataset.
@@ -264,7 +277,11 @@ impl Engine {
             None,
             Some(&mut trace),
         )?;
-        Ok((outcomes.into_iter().next().unwrap(), trace))
+        let outcome = outcomes
+            .into_iter()
+            .next()
+            .ok_or_else(|| "internal error: batch of one produced no outcome".to_string())?;
+        Ok((outcome, trace))
     }
 
     /// The one batched estimation path everything above funnels into.
@@ -304,16 +321,22 @@ impl Engine {
         let lock_wait_us;
         {
             let now = Instant::now();
-            let cache = self.cache.lock().unwrap();
+            // A poisoned cache (a panic under the cache lock) must not
+            // take estimation down with it: every query is treated as a
+            // cold miss and answered from the catalog, uncached.
+            let mut cache = self.cache.checked_lock().ok();
             lock_wait_us = now.elapsed().as_micros() as u64;
-            let mut cache = cache;
             for (i, q) in queries.iter().enumerate() {
                 if deadlines[i].is_some_and(|d| now >= d) {
                     self.metrics.record_timeout();
                     outcomes[i] = Some(QueryOutcome::TimedOut);
                     continue;
                 }
-                match cache.probe_hashed(dataset, q, hashes[i], epoch) {
+                let probe = match cache.as_mut() {
+                    Some(cache) => cache.probe_hashed(dataset, q, hashes[i], epoch),
+                    None => ProbeOutcome::ColdMiss,
+                };
+                match probe {
                     ProbeOutcome::Hit(value) => {
                         hits += 1;
                         outcomes[i] = Some(QueryOutcome::Done(EstimateOutcome {
@@ -359,7 +382,12 @@ impl Engine {
                 })
                 .flatten();
             let fill_started = Instant::now();
-            let ensured = entry.ensure_patterns_deadline_stats(&miss_queries, group_deadline);
+            // The poison-aware variant: a dataset whose catalog lock was
+            // poisoned by an earlier panic answers with a typed error
+            // (`dataset ... unavailable: ... poisoned`) instead of
+            // propagating the panic into this worker.
+            let ensured =
+                entry.try_ensure_patterns_deadline_stats(&miss_queries, group_deadline)?;
             fill_us = fill_started.elapsed().as_micros() as u64;
             self.metrics.record_kernel(&ensured.fill.kernel);
             if let Some(t) = trace.as_deref_mut() {
@@ -388,7 +416,7 @@ impl Engine {
             // make the two passes disagree.
             let estimate_started = Instant::now();
             let mut degenerate = 0u64;
-            let values: Vec<Option<Option<f64>>> = entry.with_markov(|table| {
+            let values: Vec<Option<Option<f64>>> = entry.try_with_markov(|table| {
                 let mut est = OptimisticEstimator::recommended(table);
                 miss_queries
                     .iter()
@@ -421,7 +449,7 @@ impl Engine {
                         }
                     })
                     .collect()
-            });
+            })?;
             estimate_us = estimate_started.elapsed().as_micros() as u64;
             for _ in 0..degenerate {
                 self.metrics.record_estimator_degenerate();
@@ -430,11 +458,15 @@ impl Engine {
                 t.record_span_micros("estimate", estimate_us);
                 t.counter("estimator_degenerate", degenerate);
             }
-            let mut cache = self.cache.lock().unwrap();
+            // Poisoned cache: the fresh results are still served below,
+            // they just are not stored (next identical query recomputes).
+            let mut cache = self.cache.checked_lock().ok();
             for (&i, value) in miss_indices.iter().zip(&values) {
                 match value {
                     Some(value) => {
-                        cache.store_hashed(dataset, &queries[i], hashes[i], epoch, *value);
+                        if let Some(cache) = cache.as_mut() {
+                            cache.store_hashed(dataset, &queries[i], hashes[i], epoch, *value);
+                        }
                         outcomes[i] = Some(QueryOutcome::Done(EstimateOutcome {
                             value: *value,
                             cached: false,
@@ -462,7 +494,12 @@ impl Engine {
                 ids,
             );
         }
-        Ok(outcomes.into_iter().map(|o| o.unwrap()).collect())
+        // Every slot was filled: hits/timeouts in the cache pass, the
+        // rest in the store pass above.
+        Ok(outcomes
+            .into_iter()
+            .map(|o| o.expect("outcome slot left unfilled"))
+            .collect())
     }
 
     /// Push one slow-query record per cache-missing query of a batch that
@@ -481,7 +518,10 @@ impl Engine {
         miss_indices: &[usize],
         ids: Option<&[u64]>,
     ) {
-        let mut log = self.slowlog.lock().unwrap();
+        // Best-effort: a poisoned ring drops the records, never the batch.
+        let Ok(mut log) = self.slowlog.checked_lock() else {
+            return;
+        };
         for &i in miss_indices {
             if log.len() == SLOWLOG_CAP {
                 log.pop_front();
@@ -613,14 +653,18 @@ impl Engine {
         Ok(SnapshotAck { epoch, bytes })
     }
 
-    /// Snapshot of the engine counters.
+    /// Snapshot of the engine counters. A poisoned cache reports its
+    /// counters as zero — `STATS` keeps answering on a degraded server.
     pub fn stats(&self) -> EngineStats {
-        let cache = self.cache.lock().unwrap();
+        let (cache_hits, cache_misses) = match self.cache.checked_lock() {
+            Ok(cache) => (cache.hits(), cache.misses()),
+            Err(_) => (0, 0),
+        };
         EngineStats {
             requests: self.requests.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
-            cache_hits: cache.hits(),
-            cache_misses: cache.misses(),
+            cache_hits,
+            cache_misses,
             datasets: self.registry.len() as u64,
             busy: self.metrics.busy(),
             timeouts: self.metrics.timeouts(),
@@ -633,14 +677,14 @@ impl Engine {
     /// per-dataset epoch/pending gauges, as stable `(key, value)` pairs.
     pub fn metrics_snapshot(&self) -> Vec<(String, u64)> {
         let mut out = self.metrics.snapshot();
-        let (hits, misses, stale, entries) = {
-            let cache = self.cache.lock().unwrap();
-            (
+        let (hits, misses, stale, entries) = match self.cache.checked_lock() {
+            Ok(cache) => (
                 cache.hits(),
                 cache.misses(),
                 cache.stale_misses(),
                 cache.len() as u64,
-            )
+            ),
+            Err(_) => (0, 0, 0, 0),
         };
         out.push((
             "requests_total".into(),
@@ -674,14 +718,14 @@ impl Engine {
     /// family set is stable regardless of what is registered).
     pub fn metrics_prom(&self) -> Vec<String> {
         let mut out = self.metrics.prom_lines();
-        let (hits, misses, stale, entries) = {
-            let cache = self.cache.lock().unwrap();
-            (
+        let (hits, misses, stale, entries) = match self.cache.checked_lock() {
+            Ok(cache) => (
                 cache.hits(),
                 cache.misses(),
                 cache.stale_misses(),
                 cache.len() as u64,
-            )
+            ),
+            Err(_) => (0, 0, 0, 0),
         };
         let counters = [
             ("ceg_requests_total", self.requests.load(Ordering::Relaxed)),

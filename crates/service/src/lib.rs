@@ -86,6 +86,13 @@
 //! server.shutdown();
 //! ```
 
+// The compiler-side mirror of ceg-lint's panic-path pass: `.unwrap()`
+// warns in non-test code (clippy.toml additionally *disallows* it with
+// a pointer at the typed-error idiom), while test modules may assert
+// freely.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+#![cfg_attr(test, allow(clippy::disallowed_methods))]
+
 pub mod cache;
 pub mod client;
 pub mod engine;

@@ -18,8 +18,9 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Sender, TryRecvError};
-use std::sync::Mutex;
 use std::thread::{self, JoinHandle};
+
+use ceg_core::sync::{LockRank, OrderedMutex};
 
 /// A fixed set of worker threads, each owning one job queue (shard).
 ///
@@ -138,8 +139,12 @@ where
         return jobs.into_iter().map(|f| f()).collect();
     }
     let n = jobs.len();
-    let queue: Mutex<Vec<Option<F>>> = Mutex::new(jobs.into_iter().map(Some).collect());
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    // Both locks are held only for the take/store instants — never
+    // while a job runs — so jobs are free to take dataset locks.
+    let queue: OrderedMutex<Vec<Option<F>>> =
+        OrderedMutex::new(LockRank::PoolShard, jobs.into_iter().map(Some).collect());
+    let results: OrderedMutex<Vec<Option<T>>> =
+        OrderedMutex::new(LockRank::PoolShard, (0..n).map(|_| None).collect());
     let cursor = AtomicUsize::new(0);
     thread::scope(|scope| {
         for _ in 0..parallelism.min(n) {
@@ -148,15 +153,14 @@ where
                 if i >= n {
                     break;
                 }
-                let job = queue.lock().unwrap()[i].take().expect("job taken twice");
+                let job = queue.lock()[i].take().expect("job taken twice");
                 let out = job();
-                results.lock().unwrap()[i] = Some(out);
+                results.lock()[i] = Some(out);
             });
         }
     });
     results
         .into_inner()
-        .unwrap()
         .into_iter()
         .map(|r| r.expect("worker thread panicked before storing its result"))
         .collect()

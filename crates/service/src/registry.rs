@@ -37,10 +37,11 @@
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
+use std::sync::Arc;
 
 use ceg_catalog::io::load_markov;
 use ceg_catalog::{count_patterns_budgeted_stats, FillStats, MarkovTable};
+use ceg_core::sync::{LockPoisoned, LockRank, OrderedMutex, OrderedRwLock};
 use ceg_graph::io::load_graph;
 use ceg_graph::vfs::{OsStorage, Storage};
 use ceg_graph::wal::{WalOp, WalWriter};
@@ -160,14 +161,16 @@ pub struct DatasetEntry {
     pending_cap: usize,
     /// Mirror of `state.epoch` for lock-free reads on the estimate path.
     epoch: AtomicU64,
-    state: RwLock<DatasetState>,
-    pending: Mutex<GraphDelta>,
+    state: OrderedRwLock<DatasetState>,
+    pending: OrderedMutex<GraphDelta>,
     /// Crash-safety state, attached by [`DatasetEntry::attach_durability`]
     /// or [`DatasetEntry::recover`]. Lock order: `durability` is taken
     /// **before** `state`/`pending`, everywhere — commit holds it across
     /// the WAL append and the in-memory apply so the log's transaction
-    /// order always matches the epoch order.
-    durability: Mutex<Option<Durability>>,
+    /// order always matches the epoch order. The `LockRank` order
+    /// (`Durability < DatasetState < PendingDelta`) makes the debug
+    /// build enforce exactly that.
+    durability: OrderedMutex<Option<Durability>>,
 }
 
 /// Default overlay size at which a commit folds into a fresh CSR: scale
@@ -205,14 +208,17 @@ impl DatasetEntry {
             rebase_threshold,
             pending_cap: MAX_PENDING_OPS,
             epoch: AtomicU64::new(0),
-            state: RwLock::new(DatasetState {
-                base: Arc::new(graph),
-                overlay: GraphDelta::new(),
-                epoch: 0,
-                markov,
-            }),
-            pending: Mutex::new(GraphDelta::new()),
-            durability: Mutex::new(None),
+            state: OrderedRwLock::new(
+                LockRank::DatasetState,
+                DatasetState {
+                    base: Arc::new(graph),
+                    overlay: GraphDelta::new(),
+                    epoch: 0,
+                    markov,
+                },
+            ),
+            pending: OrderedMutex::new(LockRank::PendingDelta, GraphDelta::new()),
+            durability: OrderedMutex::new(LockRank::Durability, None),
         }
     }
 
@@ -243,8 +249,16 @@ impl DatasetEntry {
     /// with fresh ones).
     pub fn with_epoch(mut self, epoch: u64) -> Self {
         *self.epoch.get_mut() = epoch;
-        self.state.get_mut().unwrap().epoch = epoch;
+        self.state.get_mut().epoch = epoch;
         self
+    }
+
+    /// The typed error a poisoned lock funnels into — same shape as the
+    /// dead-disk errors PR 8 introduced, so one crashed request degrades
+    /// this dataset (`ERR dataset ... poisoned`) instead of killing the
+    /// worker shard that trips over the lock next.
+    fn poisoned_msg(&self, err: LockPoisoned) -> String {
+        format!("dataset `{}` unavailable: {err}", self.name)
     }
 
     /// Worker threads used for catalog growth.
@@ -274,17 +288,17 @@ impl DatasetEntry {
 
     /// Buffered (uncommitted) edge operations.
     pub fn pending_len(&self) -> usize {
-        self.pending.lock().unwrap().len()
+        self.pending.lock().len()
     }
 
     /// Committed edge operations not yet folded into the base CSR.
     pub fn overlay_len(&self) -> usize {
-        self.state.read().unwrap().overlay.len()
+        self.state.read().overlay.len()
     }
 
     /// `(num_vertices, num_edges)` of the committed graph.
     pub fn graph_summary(&self) -> (usize, usize) {
-        let st = self.state.read().unwrap();
+        let st = self.state.read();
         if st.overlay.is_empty() {
             (st.base.num_vertices(), st.base.num_edges())
         } else {
@@ -297,7 +311,7 @@ impl DatasetEntry {
     /// untouched relations with the base). Tests use this to compare a
     /// live server against a cold one loaded with the final graph.
     pub fn materialized_graph(&self) -> LabeledGraph {
-        let st = self.state.read().unwrap();
+        let st = self.state.read();
         st.base.rebase(&st.overlay)
     }
 
@@ -307,7 +321,10 @@ impl DatasetEntry {
     /// is bounded.
     fn check_update(&self, src: VertexId, dst: VertexId, label: LabelId) -> Result<(), String> {
         let (num_vertices, num_labels) = {
-            let st = self.state.read().unwrap();
+            let st = self
+                .state
+                .checked_read()
+                .map_err(|e| self.poisoned_msg(e))?;
             let base = &st.base;
             (
                 base.num_vertices()
@@ -343,7 +360,10 @@ impl DatasetEntry {
         del: bool,
     ) -> Result<(u64, usize), String> {
         self.check_update(src, dst, label)?;
-        let mut pending = self.pending.lock().unwrap();
+        let mut pending = self
+            .pending
+            .checked_lock()
+            .map_err(|e| self.poisoned_msg(e))?;
         // Replacing an already-buffered op never grows the buffer, so it
         // is allowed even at the cap.
         if pending.len() >= self.pending_cap && pending.edge_override(src, dst, label).is_none() {
@@ -404,7 +424,10 @@ impl DatasetEntry {
     /// client sees a failed COMMIT it may retry, never a half-applied
     /// one.
     pub fn try_commit(&self) -> io::Result<CommitOutcome> {
-        let mut dur = self.durability.lock().unwrap();
+        let mut dur = self
+            .durability
+            .checked_lock()
+            .map_err(|e| io::Error::other(self.poisoned_msg(e)))?;
         if let Some(d) = dur.as_ref() {
             if d.poisoned {
                 return Err(io::Error::other(
@@ -413,8 +436,16 @@ impl DatasetEntry {
                 ));
             }
         }
-        let delta = std::mem::take(&mut *self.pending.lock().unwrap());
-        let mut st = self.state.write().unwrap();
+        let delta = std::mem::take(
+            &mut *self
+                .pending
+                .checked_lock()
+                .map_err(|e| io::Error::other(self.poisoned_msg(e)))?,
+        );
+        let mut st = self
+            .state
+            .checked_write()
+            .map_err(|e| io::Error::other(self.poisoned_msg(e)))?;
         let mut effective = GraphDelta::new();
         for e in delta.adds() {
             if !st.has_edge(e.src, e.dst, e.label) {
@@ -469,10 +500,13 @@ impl DatasetEntry {
                         d.poisoned = true;
                     }
                     drop(st);
-                    let mut pending = self.pending.lock().unwrap();
-                    let mut restored = delta;
-                    restored.merge(&pending);
-                    *pending = restored;
+                    // Best effort: a lock poisoned at this point cannot
+                    // improve on the append error already being returned.
+                    if let Ok(mut pending) = self.pending.checked_lock() {
+                        let mut restored = delta;
+                        restored.merge(&pending);
+                        *pending = restored;
+                    }
                     return Err(e);
                 }
             }
@@ -519,7 +553,17 @@ impl DatasetEntry {
 
     /// Run `f` under a read lock on the catalog (many readers at once).
     pub fn with_markov<R>(&self, f: impl FnOnce(&MarkovTable) -> R) -> R {
-        f(&self.state.read().unwrap().markov)
+        f(&self.state.read().markov)
+    }
+
+    /// [`DatasetEntry::with_markov`] for request paths: a poisoned state
+    /// lock becomes a typed per-dataset error instead of a panic.
+    pub fn try_with_markov<R>(&self, f: impl FnOnce(&MarkovTable) -> R) -> Result<R, String> {
+        let st = self
+            .state
+            .checked_read()
+            .map_err(|e| self.poisoned_msg(e))?;
+        Ok(f(&st.markov))
     }
 
     /// Make sure every connected sub-pattern (≤ `h` edges) of `queries` is
@@ -561,10 +605,30 @@ impl DatasetEntry {
         queries: &[QueryGraph],
         deadline: Option<std::time::Instant>,
     ) -> EnsureOutcome {
+        self.ensure_inner(queries, deadline)
+            .unwrap_or_else(|e| e.abort())
+    }
+
+    /// [`DatasetEntry::ensure_patterns_deadline_stats`] for request
+    /// paths: a poisoned state lock becomes a typed per-dataset error.
+    pub fn try_ensure_patterns_deadline_stats(
+        &self,
+        queries: &[QueryGraph],
+        deadline: Option<std::time::Instant>,
+    ) -> Result<EnsureOutcome, String> {
+        self.ensure_inner(queries, deadline)
+            .map_err(|e| self.poisoned_msg(e))
+    }
+
+    fn ensure_inner(
+        &self,
+        queries: &[QueryGraph],
+        deadline: Option<std::time::Instant>,
+    ) -> Result<EnsureOutcome, LockPoisoned> {
         let mut outcome = EnsureOutcome::default();
         loop {
             let (missing, base, overlay, epoch) = {
-                let st = self.state.read().unwrap();
+                let st = self.state.checked_read()?;
                 let mut missing: Vec<Pattern> = Vec::new();
                 let mut seen: FxHashSet<Pattern> = FxHashSet::default();
                 for q in queries {
@@ -577,7 +641,7 @@ impl DatasetEntry {
                 }
                 if missing.is_empty() {
                     outcome.overlay = !st.overlay.is_empty();
-                    return outcome;
+                    return Ok(outcome);
                 }
                 (missing, st.base.clone(), st.overlay.clone(), st.epoch)
             };
@@ -597,13 +661,13 @@ impl DatasetEntry {
                 )
             };
             outcome.fill.absorb(&fill);
-            let mut st = self.state.write().unwrap();
+            let mut st = self.state.checked_write()?;
             if st.epoch != epoch {
                 // A commit landed mid-count: the counts may be stale.
                 // Retry — unless the deadline has passed, in which case
                 // the caller is about to time the request out anyway.
                 if deadline.is_some_and(|d| std::time::Instant::now() >= d) {
-                    return outcome;
+                    return Ok(outcome);
                 }
                 continue;
             }
@@ -616,7 +680,7 @@ impl DatasetEntry {
                     outcome.added += 1;
                 }
             }
-            return outcome;
+            return Ok(outcome);
         }
     }
 
@@ -625,7 +689,7 @@ impl DatasetEntry {
     /// further counting. A deadline-bounded fill that was abandoned
     /// leaves this false for the affected queries.
     pub fn patterns_complete(&self, query: &QueryGraph) -> bool {
-        let st = self.state.read().unwrap();
+        let st = self.state.read();
         query
             .connected_subsets_up_to(self.h)
             .into_iter()
@@ -634,7 +698,7 @@ impl DatasetEntry {
 
     /// Catalog size (stored patterns) right now.
     pub fn catalog_len(&self) -> usize {
-        self.state.read().unwrap().markov.len()
+        self.state.read().markov.len()
     }
 
     /// Persist the committed state — graph (overlay folded in), Markov
@@ -659,7 +723,7 @@ impl DatasetEntry {
         path: &Path,
     ) -> io::Result<(u64, u64)> {
         let (base, overlay, markov, epoch) = {
-            let st = self.state.read().unwrap();
+            let st = self.state.read();
             (
                 st.base.clone(),
                 st.overlay.clone(),
@@ -703,7 +767,7 @@ impl DatasetEntry {
     ) -> io::Result<()> {
         let snap_path = snap_path.into();
         let wal_path = wal_path.into();
-        let mut dur = self.durability.lock().unwrap();
+        let mut dur = self.durability.lock();
         if dur.is_some() {
             return Err(io::Error::new(
                 io::ErrorKind::AlreadyExists,
@@ -796,7 +860,7 @@ impl DatasetEntry {
             report.replayed_ops += tx.ops.len();
         }
         report.epoch = entry.epoch();
-        *entry.durability.lock().unwrap() = Some(Durability {
+        *entry.durability.lock() = Some(Durability {
             storage,
             snap_path,
             writer,
@@ -809,16 +873,12 @@ impl DatasetEntry {
     /// True once [`DatasetEntry::attach_durability`] /
     /// [`DatasetEntry::recover`] have run.
     pub fn durable(&self) -> bool {
-        self.durability.lock().unwrap().is_some()
+        self.durability.lock().is_some()
     }
 
     /// Current WAL length in bytes (`None` without durability).
     pub fn wal_len(&self) -> Option<u64> {
-        self.durability
-            .lock()
-            .unwrap()
-            .as_ref()
-            .map(|d| d.writer.len())
+        self.durability.lock().as_ref().map(|d| d.writer.len())
     }
 
     /// Fold the WAL into a fresh snapshot and truncate it, if either
@@ -831,7 +891,7 @@ impl DatasetEntry {
         rotate_bytes: u64,
         snapshot_interval_commits: u64,
     ) -> io::Result<Option<RotateOutcome>> {
-        let mut dur = self.durability.lock().unwrap();
+        let mut dur = self.durability.lock();
         let Some(d) = dur.as_mut() else {
             return Ok(None);
         };
@@ -847,7 +907,7 @@ impl DatasetEntry {
     /// Fold the WAL into a fresh snapshot and truncate it,
     /// unconditionally (no-op without durability or on an empty log).
     pub fn rotate(&self) -> io::Result<Option<RotateOutcome>> {
-        let mut dur = self.durability.lock().unwrap();
+        let mut dur = self.durability.lock();
         match dur.as_mut() {
             Some(d) if !d.writer.is_empty() => Self::rotate_locked(self, d).map(Some),
             _ => Ok(None),
@@ -878,7 +938,7 @@ impl DatasetEntry {
 
 /// Name → dataset map shared by every connection and worker.
 pub struct DatasetRegistry {
-    map: RwLock<FxHashMap<String, Arc<DatasetEntry>>>,
+    map: OrderedRwLock<FxHashMap<String, Arc<DatasetEntry>>>,
     /// Catalog-growth worker threads handed to entries registered through
     /// [`DatasetRegistry::insert_graph`] / [`DatasetRegistry::load_files`].
     default_jobs: usize,
@@ -894,7 +954,7 @@ impl DatasetRegistry {
     /// `jobs` worker threads.
     pub fn with_jobs(jobs: usize) -> Self {
         DatasetRegistry {
-            map: RwLock::new(FxHashMap::default()),
+            map: OrderedRwLock::new(LockRank::Registry, FxHashMap::default()),
             default_jobs: jobs.max(1),
         }
     }
@@ -910,7 +970,6 @@ impl DatasetRegistry {
         let entry = Arc::new(entry);
         self.map
             .write()
-            .unwrap()
             .insert(entry.name().to_string(), entry.clone());
         entry
     }
@@ -972,24 +1031,24 @@ impl DatasetRegistry {
 
     /// Shared handle to a dataset, if registered.
     pub fn get(&self, name: &str) -> Option<Arc<DatasetEntry>> {
-        self.map.read().unwrap().get(name).cloned()
+        self.map.read().get(name).cloned()
     }
 
     /// Registered dataset names, sorted.
     pub fn names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.map.read().unwrap().keys().cloned().collect();
+        let mut names: Vec<String> = self.map.read().keys().cloned().collect();
         names.sort();
         names
     }
 
     /// Number of registered datasets.
     pub fn len(&self) -> usize {
-        self.map.read().unwrap().len()
+        self.map.read().len()
     }
 
     /// True if no dataset is registered.
     pub fn is_empty(&self) -> bool {
-        self.map.read().unwrap().is_empty()
+        self.map.read().is_empty()
     }
 }
 
@@ -1053,13 +1112,22 @@ mod tests {
         assert_eq!(ep.jobs(), 4);
         let queries = [templates::path(2, &[0, 1]), templates::star(2, &[1, 1])];
         assert_eq!(es.ensure_patterns(&queries), ep.ensure_patterns(&queries));
-        es.with_markov(|ts| {
-            ep.with_markov(|tp| {
-                assert_eq!(ts.len(), tp.len());
-                for (p, c) in ts.iter() {
-                    assert_eq!(tp.card(p), Some(c), "pattern {p}");
-                }
-            })
+        // Collect from one catalog, then compare against the other:
+        // nesting the two read locks would trip the lock-rank checker
+        // (two dataset-state locks held at once).
+        assert_catalogs_equal(&es, &ep);
+    }
+
+    /// Assert two entries hold identical catalogs without ever holding
+    /// both state locks at once (same rank: the checker forbids it).
+    fn assert_catalogs_equal(a: &DatasetEntry, b: &DatasetEntry) {
+        let entries: Vec<(Pattern, u64)> =
+            a.with_markov(|t| t.iter().map(|(p, c)| (p.clone(), c)).collect());
+        b.with_markov(|t| {
+            assert_eq!(t.len(), entries.len());
+            for (p, c) in &entries {
+                assert_eq!(t.card(p), Some(*c), "pattern {p}");
+            }
         });
     }
 
@@ -1215,8 +1283,11 @@ mod tests {
         assert_eq!(restored.jobs(), 2);
         assert_eq!(restored.pending_len(), 0);
         assert_eq!(restored.graph_summary(), entry.graph_summary());
-        // Catalog byte-identical to the live one.
-        entry.with_markov(|live| restored.with_markov(|r| assert_eq!(bytes_of(live), bytes_of(r))));
+        // Catalog byte-identical to the live one (locks taken one at a
+        // time: same-rank nesting trips the lock-rank checker).
+        let live_bytes = entry.with_markov(|t| bytes_of(t));
+        let restored_bytes = restored.with_markov(|t| bytes_of(t));
+        assert_eq!(live_bytes, restored_bytes);
         // The epoch sequence continues, it does not restart.
         restored.add_edge(2, 2, 0).unwrap();
         assert_eq!(restored.commit().epoch, 2);
@@ -1264,14 +1335,7 @@ mod tests {
         assert_eq!(eager.overlay_len(), 0);
         assert!(lazy.overlay_len() > 0);
         assert_eq!(eager.graph_summary(), lazy.graph_summary());
-        eager.with_markov(|te| {
-            lazy.with_markov(|tl| {
-                assert_eq!(te.len(), tl.len());
-                for (p, c) in te.iter() {
-                    assert_eq!(tl.card(p), Some(c), "pattern {p}");
-                }
-            })
-        });
+        assert_catalogs_equal(&eager, &lazy);
         let (ge, gl) = (eager.materialized_graph(), lazy.materialized_graph());
         assert_eq!(ge.num_edges(), gl.num_edges());
         for e in ge.all_edges() {
@@ -1308,14 +1372,7 @@ mod tests {
             for e in ga.all_edges() {
                 assert!(gb.has_edge(e.src, e.dst, e.label), "{e:?}");
             }
-            a.with_markov(|ta| {
-                b.with_markov(|tb| {
-                    assert_eq!(ta.len(), tb.len());
-                    for (p, c) in ta.iter() {
-                        assert_eq!(tb.card(p), Some(c), "pattern {p}");
-                    }
-                })
-            });
+            assert_catalogs_equal(a, b);
         }
 
         #[test]

@@ -39,10 +39,11 @@ use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use ceg_core::sync::{self, LockRank, OrderedMutex};
 use ceg_query::QueryGraph;
 
 use crate::engine::{Engine, QueryOutcome, SlowQueryEntry, DEFAULT_SLOW_QUERY_THRESHOLD_MS};
@@ -111,14 +112,16 @@ impl Default for ServerConfig {
 /// its slot, so the bound cannot leak.
 struct Admission {
     cap: usize,
-    counters: Mutex<HashMap<String, Arc<AtomicUsize>>>,
+    /// `LockRank::Metrics`: held only for the map lookup/insert, never
+    /// across the compare-exchange loop or any dataset lock.
+    counters: OrderedMutex<HashMap<String, Arc<AtomicUsize>>>,
 }
 
 impl Admission {
     fn new(cap: usize) -> Self {
         Admission {
             cap,
-            counters: Mutex::new(HashMap::new()),
+            counters: OrderedMutex::new(LockRank::Metrics, HashMap::new()),
         }
     }
 
@@ -126,7 +129,7 @@ impl Admission {
     /// full and the caller must answer `BUSY`.
     fn try_admit(&self, dataset: &str, metrics: &Arc<Metrics>) -> Option<AdmissionPermit> {
         let counter = {
-            let mut map = self.counters.lock().expect("admission map poisoned");
+            let mut map = self.counters.lock();
             match map.get(dataset) {
                 Some(c) => c.clone(),
                 None => {
@@ -174,7 +177,9 @@ impl Drop for AdmissionPermit {
 /// anyone asked us to shut down?" instead of polling.
 struct Lifecycle {
     draining: AtomicBool,
-    signal: Mutex<bool>,
+    /// `LockRank::PoolShard`: the wait loop parks on this with nothing
+    /// else held, and `request_drain` touches only the flag itself.
+    signal: OrderedMutex<bool>,
     cv: Condvar,
 }
 
@@ -182,14 +187,14 @@ impl Lifecycle {
     fn new() -> Self {
         Lifecycle {
             draining: AtomicBool::new(false),
-            signal: Mutex::new(false),
+            signal: OrderedMutex::new(LockRank::PoolShard, false),
             cv: Condvar::new(),
         }
     }
 
     fn request_drain(&self) {
         self.draining.store(true, Ordering::SeqCst);
-        let mut flag = self.signal.lock().expect("lifecycle lock poisoned");
+        let mut flag = self.signal.lock();
         *flag = true;
         self.cv.notify_all();
     }
@@ -200,16 +205,13 @@ impl Lifecycle {
 
     fn wait_drain_requested(&self, timeout: Duration) -> bool {
         let deadline = Instant::now() + timeout;
-        let mut flag = self.signal.lock().expect("lifecycle lock poisoned");
+        let mut flag = self.signal.lock();
         while !*flag {
             let now = Instant::now();
             if now >= deadline {
                 return false;
             }
-            let (guard, _) = self
-                .cv
-                .wait_timeout(flag, deadline - now)
-                .expect("lifecycle lock poisoned");
+            let (guard, _) = sync::wait_timeout(&self.cv, flag, deadline - now);
             flag = guard;
         }
         true
@@ -661,7 +663,11 @@ fn serve_connection(
                     req_id,
                 )?;
                 for (key, value) in snap {
-                    writeln!(writer, "{key} {value}")?;
+                    writeln!(
+                        writer,
+                        "{}",
+                        crate::protocol::format_metric_line(&key, value)
+                    )?;
                 }
                 writer.flush()?;
             }
@@ -673,7 +679,7 @@ fn serve_connection(
                     req_id,
                 )?;
                 for l in lines {
-                    writeln!(writer, "{l}")?;
+                    writeln!(writer, "{}", crate::protocol::format_prom_line(&l))?;
                 }
                 writer.flush()?;
             }

@@ -193,6 +193,7 @@ const USAGE_LINES: &[(&str, &str)] = &[
     ("slowlog", "cegcli slowlog <addr> [n]"),
     ("shutdown", "cegcli shutdown <addr>"),
     ("wal", "cegcli wal <file.cegwal>"),
+    ("lint", "cegcli lint"),
 ];
 
 fn usage_for(cmd: &str) -> Option<&'static str> {
@@ -243,6 +244,9 @@ fn run(args: &[String]) -> Result<(), CliError> {
         "slowlog" => in_cmd("slowlog", slowlog_cmd(rest)),
         "shutdown" => in_cmd("shutdown", shutdown_cmd(rest)),
         "wal" => in_cmd("wal", wal_cmd(rest)),
+        // The same pass as `cargo xtask lint`; the exit code carries the
+        // verdict (0 clean, 1 diagnostics, 2 could not run).
+        "lint" => std::process::exit(ceg_lint::lint_main()),
         other => Err(top(format!("unknown command `{other}`"))),
     }
 }
