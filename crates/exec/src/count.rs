@@ -15,12 +15,16 @@
 //! endpoint list (`graph.sources(l)` / `targets(l)`) instead of the whole
 //! vertex domain; truly isolated variables still scan the domain.
 
-use ceg_graph::{GraphView, LabelId, VertexId};
+use ceg_graph::{GraphView, LabelId, VertexBitset, VertexId};
 use ceg_query::{QueryGraph, VarId};
 
 use crate::constraints::{VarConstraint, VarConstraints};
-use crate::intersect::{intersect_k_into, intersect_k_into_profiled};
+use crate::intersect::{
+    intersect_into_gallop, intersect_k_into, intersect_k_into_strategy, refine_in_place_gallop,
+    refine_in_place_merge, IntersectStrategy, GALLOP_RATIO,
+};
 use crate::order::variable_order;
+use crate::tree_count::factorize;
 
 /// Profiling counters from one counting run. Plain `u64` fields bumped
 /// inline by the kernel — no allocation, no atomics, no globals — so the
@@ -35,8 +39,14 @@ pub struct KernelStats {
     /// Pairwise intersection steps that ran as a gallop
     /// (length ratio at least [`crate::intersect::GALLOP_RATIO`]).
     pub gallop_intersections: u64,
+    /// Intersection steps that ran through a per-depth candidate bitset
+    /// (a word-wise AND against a cached [`ceg_graph::VertexBitset`]).
+    pub bitset_intersections: u64,
     /// Independent-suffix products taken instead of enumerating bindings.
     pub suffix_shortcuts: u64,
+    /// Suffix subtrees answered from the per-depth memo table instead of
+    /// being re-explored (see `SuffixMemo`).
+    pub memo_hits: u64,
     /// Total expansions charged against the budget (candidates plus
     /// suffix-product bulk charges).
     pub budget_consumed: u64,
@@ -51,7 +61,9 @@ impl KernelStats {
         self.candidates += other.candidates;
         self.merge_intersections += other.merge_intersections;
         self.gallop_intersections += other.gallop_intersections;
+        self.bitset_intersections += other.bitset_intersections;
         self.suffix_shortcuts += other.suffix_shortcuts;
+        self.memo_hits += other.memo_hits;
         self.budget_consumed = self.budget_consumed.saturating_add(other.budget_consumed);
         self.deepest_level = self.deepest_level.max(other.deepest_level);
     }
@@ -143,15 +155,53 @@ impl BudgetState {
         self.check_deadline()
     }
 
-    /// Charge `n` expansions at once (independent-suffix product);
-    /// `false` aborts the run.
+    /// Charge a whole candidate list up front — the counting kernel's
+    /// batched form of [`BudgetState::charge_one`]: one budget touch and
+    /// one deadline countdown (weighted by the list length, so the
+    /// overrun bound stays [`DEADLINE_CHECK_INTERVAL`] candidates) per
+    /// list. `false` aborts the run.
+    #[inline]
+    fn charge_list(&mut self, n: u64) -> bool {
+        if self.remaining < n {
+            // The run aborts here: report the allowance as spent so an
+            // aborted run still accounts for the budget that stopped it.
+            self.stats.budget_consumed = self.stats.budget_consumed.saturating_add(self.remaining);
+            self.remaining = 0;
+            return false;
+        }
+        self.remaining -= n;
+        self.stats.candidates += n;
+        self.stats.budget_consumed = self.stats.budget_consumed.saturating_add(n);
+        let Some(deadline) = self.deadline else {
+            return true;
+        };
+        let n = n.min(u32::MAX as u64) as u32;
+        match self.until_check.checked_sub(n) {
+            Some(left) if left > 0 => {
+                self.until_check = left;
+                return true;
+            }
+            _ => {}
+        }
+        self.until_check = DEADLINE_CHECK_INTERVAL;
+        if std::time::Instant::now() >= deadline {
+            // Poison the allowance so every later charge fails fast.
+            self.remaining = 0;
+            return false;
+        }
+        true
+    }
+
+    /// Charge `n` expansions at once (independent-suffix products and
+    /// weighted-leaf bulk results); `false` aborts the run. Callers that
+    /// take the suffix shortcut bump `stats.suffix_shortcuts` themselves
+    /// — a weighted leaf charges in bulk without being a shortcut.
     #[inline]
     fn charge_many(&mut self, n: u64) -> bool {
         if self.remaining < n {
             return false;
         }
         self.remaining -= n;
-        self.stats.suffix_shortcuts += 1;
         self.stats.budget_consumed = self.stats.budget_consumed.saturating_add(n);
         self.check_deadline()
     }
@@ -191,7 +241,7 @@ pub fn count_constrained<G: GraphView>(
     query: &QueryGraph,
     cons: &VarConstraints,
 ) -> u64 {
-    CountPlan::new(graph, query, cons).count()
+    CountPlan::new_counting(graph, query, cons).count()
 }
 
 /// Count with a work budget; `None` when the budget is exhausted.
@@ -201,7 +251,7 @@ pub fn count_with_limit<G: GraphView>(
     cons: &VarConstraints,
     budget: CountBudget,
 ) -> Option<u64> {
-    CountPlan::new(graph, query, cons).count_with_limit(budget)
+    CountPlan::new_counting(graph, query, cons).count_with_limit(budget)
 }
 
 /// [`count_with_limit`] that also returns the kernel's profiling
@@ -212,7 +262,7 @@ pub fn count_with_limit_stats<G: GraphView>(
     cons: &VarConstraints,
     budget: CountBudget,
 ) -> (Option<u64>, KernelStats) {
-    CountPlan::new(graph, query, cons).count_with_limit_stats(budget)
+    CountPlan::new_counting(graph, query, cons).count_with_limit_stats(budget)
 }
 
 /// Enumerate homomorphisms, invoking `visit` with the binding indexed by
@@ -263,6 +313,76 @@ struct DepthPlan {
     /// Labels of self-loop edges at `var` (checked per candidate).
     self_loops: Vec<LabelId>,
     root: RootGen,
+    /// Pendant-tree weight of each binding (`None` ⇒ 1 everywhere); set
+    /// only by the factorized counting constructor.
+    weight: Option<Box<[u64]>>,
+    /// For a weighted root depth, `Σ weight` over its (plan-time fixed)
+    /// candidate list — what the suffix product uses instead of the list
+    /// length. `None` when unweighted, not a List/Scan root, or the sum
+    /// overflowed (the suffix then falls back to enumeration).
+    root_weight_sum: Option<u64>,
+}
+
+/// Minimum cached max-degree of a stable edge's relation before the
+/// adaptive crossover enables the bitset path for a depth: below this the
+/// candidate sets are too sparse for word-wise probing to beat the
+/// merge/gallop primitives, and the O(len) bitset rebuilds dominate.
+const BITSET_MIN_DEGREE: usize = 32;
+
+/// A per-depth cached bitset over the neighbour list of the depth's
+/// *stable* edge — the planned edge whose endpoint binds earliest, so its
+/// binding survives many iterations of the deeper loops. The stamp makes
+/// rebuilds lazy: the bitset is reset only when that binding actually
+/// changed since it was last built.
+struct BitsetCache {
+    /// Index into the depth's `edges` of the stable edge.
+    edge_idx: usize,
+    bits: VertexBitset,
+    /// Binding of the stable edge's endpoint when `bits` was built.
+    stamp: Option<VertexId>,
+}
+
+/// Domain cap for the per-depth suffix memo: beyond this many data
+/// vertices the `O(|V|)` table allocation and zeroing at plan time could
+/// dwarf a budget-limited count, so memoization is disabled.
+const MEMO_MAX_DOMAIN: usize = 1 << 22;
+
+/// A per-depth memo over the *count of the remaining suffix*.
+///
+/// When every edge of `depths[d..]` that reaches outside the suffix
+/// touches only the variable bound at depth `d-1` (the *key*) plus at
+/// most one other, shallower variable (the *anchor*), the suffix count is
+/// a pure function of those two bindings. Counting a cycle revisits the
+/// same `(anchor, key)` pair once per distinct path between them, so the
+/// kernel caches the count in a table indexed by the key binding, each
+/// slot stamped with the anchor binding it was computed under — turning
+/// cyclic backtracking into the dynamic program over distinct
+/// `(anchor, key)` states. Slots survive anchor moves (only a slot
+/// rewritten under a different anchor is lost), survive reuses of the
+/// plan, and the tables are plan-time allocations, so the recursion
+/// stays allocation-free.
+struct SuffixMemo {
+    /// The variable bound at the depth just above this suffix; its
+    /// binding indexes the table.
+    key_var: VarId,
+    /// The single shallower variable the suffix also references, if any.
+    /// `None` means the suffix count depends on the key binding alone
+    /// (slots then use anchor stamp 0).
+    anchor_var: Option<VarId>,
+    /// One slot per key binding; see [`MemoSlot`].
+    slots: Box<[MemoSlot]>,
+}
+
+/// One suffix-memo entry: anchor stamp and count packed together so the
+/// hot lookup costs a single random access. `count` is the suffix count
+/// (with suffix weights, prefix weight factored out) computed when the
+/// memo's anchor variable was bound to `anchor` — valid iff `anchor`
+/// equals the current anchor binding. `u32::MAX` is the never-written
+/// sentinel (anchor bindings are in-domain, hence below `MEMO_MAX_DOMAIN`).
+#[derive(Clone, Copy)]
+struct MemoSlot {
+    anchor: VertexId,
+    count: u64,
 }
 
 /// A reusable, allocation-free matcher for one `(graph, query, cons)`
@@ -271,7 +391,7 @@ struct DepthPlan {
 /// `tests/alloc_guard.rs` asserts with a counting global allocator.
 pub struct CountPlan<'a, G: GraphView> {
     graph: &'a G,
-    cons: &'a VarConstraints,
+    cons: VarConstraints,
     depths: Vec<DepthPlan>,
     /// `indep[d]` is true when every depth `e >= d` constrains only
     /// variables bound before depth `d` (and has no self-loop or
@@ -284,14 +404,77 @@ pub struct CountPlan<'a, G: GraphView> {
     /// One candidate buffer per depth (left empty for depths that iterate
     /// a single neighbour slice or a precomputed root list directly).
     bufs: Vec<Vec<VertexId>>,
+    /// Per-depth bitset caches, populated at plan time for the depths
+    /// where the degree-stat crossover (or a forced `Bitset` strategy)
+    /// enables the bitset path.
+    caches: Vec<Option<BitsetCache>>,
+    /// Per-depth suffix-count memo tables ([`SuffixMemo`]), populated at
+    /// plan time for the depths whose suffix depends on at most a key and
+    /// one anchor variable.
+    memos: Vec<Option<SuffixMemo>>,
     /// Current partial binding, indexed by variable id.
     binding: Vec<VertexId>,
+    strategy: IntersectStrategy,
 }
 
 impl<'a, G: GraphView> CountPlan<'a, G> {
     /// Precompute the per-depth extension plans for `query` under the
-    /// [`variable_order`] heuristic.
-    pub fn new(graph: &'a G, query: &QueryGraph, cons: &'a VarConstraints) -> Self {
+    /// [`variable_order`] heuristic. This form never factorizes — its
+    /// binding layout matches the query's variable ids, which
+    /// [`CountPlan::enumerate`] exposes — and reads the intersection
+    /// strategy from the `CEG_FORCE_INTERSECT` test knob.
+    pub fn new(graph: &'a G, query: &QueryGraph, cons: &VarConstraints) -> Self {
+        Self::with_strategy(graph, query, cons, IntersectStrategy::from_env())
+    }
+
+    /// [`CountPlan::new`] with an explicit [`IntersectStrategy`] —
+    /// race-free for tests that must not touch the process environment.
+    pub fn with_strategy(
+        graph: &'a G,
+        query: &QueryGraph,
+        cons: &VarConstraints,
+        strategy: IntersectStrategy,
+    ) -> Self {
+        let nv = query.num_vars() as usize;
+        Self::build(
+            graph,
+            query,
+            cons.clone(),
+            (0..nv).map(|_| None).collect(),
+            strategy,
+        )
+    }
+
+    /// The counting-only constructor: factorizes pendant trees off a
+    /// cyclic core ([`crate::tree_count`]) before planning, so acyclic
+    /// sub-structures contribute closed-form weight products instead of
+    /// being enumerated. The binding layout is internal (core variable
+    /// ids); use [`CountPlan::new`] when [`CountPlan::enumerate`] must
+    /// report bindings by the original ids.
+    pub fn new_counting(graph: &'a G, query: &QueryGraph, cons: &VarConstraints) -> Self {
+        Self::counting_with_strategy(graph, query, cons, IntersectStrategy::from_env())
+    }
+
+    /// [`CountPlan::new_counting`] with an explicit strategy.
+    pub fn counting_with_strategy(
+        graph: &'a G,
+        query: &QueryGraph,
+        cons: &VarConstraints,
+        strategy: IntersectStrategy,
+    ) -> Self {
+        match factorize(graph, query, cons) {
+            Some(f) => Self::build(graph, &f.core, f.cons, f.weights, strategy),
+            None => Self::with_strategy(graph, query, cons, strategy),
+        }
+    }
+
+    fn build(
+        graph: &'a G,
+        query: &QueryGraph,
+        cons: VarConstraints,
+        mut weights: Vec<Option<Box<[u64]>>>,
+        strategy: IntersectStrategy,
+    ) -> Self {
         let order = variable_order(graph, query);
         let num_vars = query.num_vars() as usize;
         let mut pos = vec![usize::MAX; num_vars];
@@ -301,6 +484,7 @@ impl<'a, G: GraphView> CountPlan<'a, G> {
 
         let mut depths = Vec::with_capacity(order.len());
         let mut bufs = Vec::with_capacity(order.len());
+        let mut caches = Vec::with_capacity(order.len());
         for (d, &v) in order.iter().enumerate() {
             let mut edges: Vec<PlannedEdge> = Vec::new();
             let mut self_loops: Vec<LabelId> = Vec::new();
@@ -370,11 +554,57 @@ impl<'a, G: GraphView> CountPlan<'a, G> {
                 0
             };
             bufs.push(Vec::with_capacity(cap));
+
+            // Bitset eligibility: at least two constraining edges, a
+            // stable edge bound at least two levels up (so the cached
+            // bitset survives whole loops of the depth above), and —
+            // unless the strategy forces the bitset path — a stable
+            // relation dense enough (by cached max degree) that word-wise
+            // probing beats the merge/gallop primitives.
+            let cache = if matches!(
+                strategy,
+                IntersectStrategy::Adaptive | IntersectStrategy::Bitset
+            ) && edges.len() >= 2
+            {
+                let (stable_idx, stable_pos) = edges
+                    .iter()
+                    .enumerate()
+                    .map(|(i, pe)| (i, pos[pe.other as usize]))
+                    .min_by_key(|&(_, p)| p)
+                    .expect("at least two edges");
+                let pe = &edges[stable_idx];
+                let stable_max_degree = if pe.forward {
+                    graph.max_out_degree(pe.label)
+                } else {
+                    graph.max_in_degree(pe.label)
+                };
+                let dense_enough =
+                    strategy == IntersectStrategy::Bitset || stable_max_degree >= BITSET_MIN_DEGREE;
+                (stable_pos + 2 <= d && dense_enough).then(|| BitsetCache {
+                    edge_idx: stable_idx,
+                    bits: VertexBitset::with_domain(graph.num_vertices()),
+                    stamp: None,
+                })
+            } else {
+                None
+            };
+            caches.push(cache);
+
+            let weight = weights[v as usize].take();
+            let root_weight_sum = weight.as_ref().and_then(|w| match &root {
+                RootGen::List(list) => list
+                    .iter()
+                    .try_fold(0u64, |a, &c| a.checked_add(w[c as usize])),
+                RootGen::Scan => w.iter().try_fold(0u64, |a, &x| a.checked_add(x)),
+                RootGen::Fixed(_) | RootGen::Bound => None,
+            });
             depths.push(DepthPlan {
                 var: v,
                 edges,
                 self_loops,
                 root,
+                weight,
+                root_weight_sum,
             });
         }
 
@@ -398,13 +628,59 @@ impl<'a, G: GraphView> CountPlan<'a, G> {
             indep[d] = suffix_ok && suffix_max_dep < d as isize;
         }
 
+        // Suffix-memo eligibility: depth d's suffix memoizes when its
+        // edges reach at most two already-bound variables — the key
+        // (bound at depth d-1) and one anchor. Cycles revisit the same
+        // (anchor, key) state once per path between them; the memo
+        // collapses those revisits into table lookups.
+        let mut memos: Vec<Option<SuffixMemo>> = (0..depths.len()).map(|_| None).collect();
+        // Depths past the first independent suffix are answered by the
+        // product shortcut without ever being entered, so a memo there is
+        // pure allocation overhead (`indep` is monotone from the back:
+        // the first true entry shortcuts everything deeper).
+        let first_indep = (0..n).find(|&d| indep[d]).unwrap_or(n);
+        if graph.num_vertices() <= MEMO_MAX_DOMAIN {
+            for d in 1..depths.len().min(first_indep + 1) {
+                let key = order[d - 1];
+                let mut anchor: Option<VarId> = None;
+                let mut eligible = true;
+                for dp in &depths[d..] {
+                    for pe in &dp.edges {
+                        let o = pe.other;
+                        if pos[o as usize] >= d || o == key {
+                            continue; // internal to the suffix, or the key
+                        }
+                        match anchor {
+                            None => anchor = Some(o),
+                            Some(a) if a == o => {}
+                            Some(_) => eligible = false,
+                        }
+                    }
+                }
+                if eligible {
+                    let empty = MemoSlot {
+                        anchor: VertexId::MAX,
+                        count: 0,
+                    };
+                    memos[d] = Some(SuffixMemo {
+                        key_var: key,
+                        anchor_var: anchor,
+                        slots: vec![empty; graph.num_vertices()].into_boxed_slice(),
+                    });
+                }
+            }
+        }
+
         CountPlan {
             graph,
             cons,
             depths,
             indep,
             bufs,
+            caches,
+            memos,
             binding: vec![0; num_vars],
+            strategy,
         }
     }
 
@@ -436,12 +712,16 @@ impl<'a, G: GraphView> CountPlan<'a, G> {
         }
         let complete = recurse_count(
             self.graph,
-            self.cons,
+            &self.cons,
             &self.depths,
             &self.indep,
             &mut self.bufs,
+            &mut self.caches,
+            &mut self.memos,
             &mut self.binding,
             &mut state,
+            self.strategy,
+            1,
             &mut total,
             0,
         );
@@ -466,7 +746,7 @@ impl<'a, G: GraphView> CountPlan<'a, G> {
         }
         recurse(
             self.graph,
-            self.cons,
+            &self.cons,
             &self.depths,
             &mut self.bufs,
             &mut self.binding,
@@ -567,8 +847,15 @@ fn recurse<G: GraphView>(
 }
 
 /// Counting twin of [`recurse`]: no visitor, and an independent suffix is
-/// tallied as a product of candidate-set sizes instead of being
-/// enumerated. Returns `false` when the budget stops the count.
+/// tallied as a product of candidate-set sizes (weighted by pendant-tree
+/// weights where the plan is factorized) instead of being enumerated.
+/// `wprod` is the running product of the bound prefix's weights. Returns
+/// `false` when the budget stops the count.
+///
+/// This entry point consults the depth's [`SuffixMemo`] (when the plan
+/// built one): a valid entry answers the whole suffix in O(1); a miss
+/// computes the suffix through [`recurse_count_inner`] with the prefix
+/// weight factored out, stores it, then scales by `wprod`.
 #[allow(clippy::too_many_arguments)]
 fn recurse_count<G: GraphView>(
     graph: &G,
@@ -576,40 +863,130 @@ fn recurse_count<G: GraphView>(
     depths: &[DepthPlan],
     indep: &[bool],
     bufs: &mut [Vec<VertexId>],
+    caches: &mut [Option<BitsetCache>],
+    memos: &mut [Option<SuffixMemo>],
     binding: &mut [VertexId],
     state: &mut BudgetState,
+    strategy: IntersectStrategy,
+    wprod: u64,
     total: &mut u64,
     level: u32,
 ) -> bool {
     if depths.is_empty() {
-        *total += 1;
+        *total = total.saturating_add(wprod);
+        // A weighted leaf stands for `wprod` enumerated bindings; charge
+        // the bulk beyond the one candidate already charged.
+        if wprod > 1 && !state.charge_many(wprod - 1) {
+            return false;
+        }
         return true;
     }
+    // Memo lookup: resolve the hit entirely here; on an in-domain miss,
+    // remember (key, anchor) so the computed suffix can be stored below.
+    let pending: Option<(usize, VertexId)> = match memos[0].as_mut() {
+        Some(m) => {
+            let aval = match m.anchor_var {
+                Some(a) => binding[a as usize],
+                None => 0,
+            };
+            let c = binding[m.key_var as usize] as usize;
+            match m.slots.get(c) {
+                // `aval == MAX` (an out-of-domain Fixed anchor) would
+                // collide with the sentinel: skip the table.
+                Some(&s) if s.anchor == aval && aval != VertexId::MAX => {
+                    let contrib = wprod.saturating_mul(s.count);
+                    *total = total.saturating_add(contrib);
+                    state.stats.memo_hits += 1;
+                    return state.charge_many(contrib);
+                }
+                Some(_) if aval != VertexId::MAX => Some((c, aval)),
+                // Out-of-domain key binding (a Fixed constraint beyond
+                // the vertex domain): skip the table.
+                _ => None,
+            }
+        }
+        None => None,
+    };
+    if let Some((c, aval)) = pending {
+        let mut sub = 0u64;
+        if !recurse_count_inner(
+            graph, cons, depths, indep, bufs, caches, memos, binding, state, strategy, 1, &mut sub,
+            level,
+        ) {
+            return false; // aborted subtrees must not be stored
+        }
+        let m = memos[0].as_mut().expect("pending implies a memo");
+        m.slots[c] = MemoSlot {
+            anchor: aval,
+            count: sub,
+        };
+        *total = total.saturating_add(wprod.saturating_mul(sub));
+        return true;
+    }
+    recurse_count_inner(
+        graph, cons, depths, indep, bufs, caches, memos, binding, state, strategy, wprod, total,
+        level,
+    )
+}
+
+/// The body of [`recurse_count`]: candidate generation and extension for
+/// `depths[0]`, with the independent-suffix product shortcut. Never
+/// called with empty `depths`.
+#[allow(clippy::too_many_arguments)]
+fn recurse_count_inner<G: GraphView>(
+    graph: &G,
+    cons: &VarConstraints,
+    depths: &[DepthPlan],
+    indep: &[bool],
+    bufs: &mut [Vec<VertexId>],
+    caches: &mut [Option<BitsetCache>],
+    memos: &mut [Option<SuffixMemo>],
+    binding: &mut [VertexId],
+    state: &mut BudgetState,
+    strategy: IntersectStrategy,
+    wprod: u64,
+    total: &mut u64,
+    level: u32,
+) -> bool {
     if indep[0] {
         // On u64 overflow of the product or the running total, fall
         // through to plain enumeration (which matches the old kernel's
         // behaviour of grinding within the budget).
-        if let Some(prod) = suffix_product(graph, depths, bufs, binding, &mut state.stats) {
-            if let Some(t) = total.checked_add(prod) {
-                if !state.charge_many(prod) {
-                    return false;
+        if let Some(prod) = suffix_product(graph, depths, bufs, caches, binding, state, strategy) {
+            if let Some(contrib) = wprod.checked_mul(prod) {
+                if let Some(t) = total.checked_add(contrib) {
+                    if !state.charge_many(contrib) {
+                        return false;
+                    }
+                    state.stats.suffix_shortcuts += 1;
+                    *total = t;
+                    return true;
                 }
-                *total = t;
-                return true;
             }
         }
     }
     let (dp, rest_depths) = depths.split_first().expect("checked non-empty");
     let (buf, rest_bufs) = bufs.split_first_mut().expect("one buffer per depth");
+    let (cache, rest_caches) = caches.split_first_mut().expect("one cache slot per depth");
+    let rest_memos = &mut memos[1..];
     let rest_indep = &indep[1..];
 
     macro_rules! extend {
-        ($candidates:expr) => {{
+        ($candidates:expr, $len:expr) => {{
             let vc = cons.get(dp.var);
-            'cand: for c in $candidates {
-                if !state.charge_one() {
+            let len = $len as u64;
+            if len > 0 {
+                // The whole list is charged up front: one budget touch
+                // and one (length-weighted) deadline countdown per list
+                // instead of per candidate.
+                if !state.charge_list(len) {
                     return false;
                 }
+                if state.stats.deepest_level < (level + 1) as u64 {
+                    state.stats.deepest_level = (level + 1) as u64;
+                }
+            }
+            'cand: for c in $candidates {
                 if !vc.admits(c) {
                     continue;
                 }
@@ -618,18 +995,29 @@ fn recurse_count<G: GraphView>(
                         continue 'cand;
                     }
                 }
-                binding[dp.var as usize] = c;
-                if state.stats.deepest_level < (level + 1) as u64 {
-                    state.stats.deepest_level = (level + 1) as u64;
+                let cw = match &dp.weight {
+                    None => wprod,
+                    // Out-of-domain bindings (possible only via a Fixed
+                    // constraint) have no pendant extensions: weight 0.
+                    Some(w) => wprod.saturating_mul(w.get(c as usize).copied().unwrap_or(0)),
+                };
+                if cw == 0 {
+                    // Every completion would contribute 0.
+                    continue;
                 }
+                binding[dp.var as usize] = c;
                 if !recurse_count(
                     graph,
                     cons,
                     rest_depths,
                     rest_indep,
                     rest_bufs,
+                    rest_caches,
+                    rest_memos,
                     binding,
                     state,
+                    strategy,
+                    cw,
                     total,
                     level + 1,
                 ) {
@@ -642,71 +1030,238 @@ fn recurse_count<G: GraphView>(
 
     match dp.edges.len() {
         0 => match &dp.root {
-            RootGen::Fixed(u) => extend!(std::iter::once(*u)),
-            RootGen::List(list) => extend!(list.iter().copied()),
-            RootGen::Scan => extend!(0..graph.num_vertices() as VertexId),
+            RootGen::Fixed(u) => extend!(std::iter::once(*u), 1),
+            RootGen::List(list) => extend!(list.iter().copied(), list.len()),
+            RootGen::Scan => extend!(0..graph.num_vertices() as VertexId, graph.num_vertices()),
             RootGen::Bound => unreachable!("Bound root with no planned edges"),
         },
         1 => {
             let list = neighbor_slice(graph, &dp.edges[0], binding);
-            extend!(list.iter().copied())
+            extend!(list.iter().copied(), list.len())
         }
         k => {
             let mut lists: [&[VertexId]; MAX_QUERY_EDGES] = [&[]; MAX_QUERY_EDGES];
             for (i, pe) in dp.edges.iter().enumerate() {
                 lists[i] = neighbor_slice(graph, pe, binding);
             }
-            intersect_k_into_profiled(
-                &mut lists[..k],
-                buf,
-                &mut state.stats.merge_intersections,
-                &mut state.stats.gallop_intersections,
-            );
-            extend!(buf.iter().copied())
+            if let Some(cache) = cache {
+                bitset_fill(dp, cache, &lists[..k], binding, buf, state, strategy);
+            } else {
+                intersect_k_into_strategy(
+                    &mut lists[..k],
+                    buf,
+                    strategy,
+                    &mut state.stats.merge_intersections,
+                    &mut state.stats.gallop_intersections,
+                );
+            }
+            extend!(buf.iter().copied(), buf.len())
         }
     }
 }
 
-/// Candidate-set size product of a fully independent suffix, or `None` on
-/// u64 overflow.
+/// Candidate generation through a depth's bitset cache: lazily rebuild
+/// the bitset over the stable edge's neighbour list (only when the stable
+/// binding moved), then AND the remaining lists against it. `lists` must
+/// be the neighbour slices of `dp.edges`, index-aligned. Falls back to
+/// galloping when the probe side dwarfs the cached set — the regime where
+/// an O(|probe|) word walk loses to O(|cached|·log) probing.
+#[allow(clippy::too_many_arguments)]
+fn bitset_fill(
+    dp: &DepthPlan,
+    cache: &mut BitsetCache,
+    lists: &[&[VertexId]],
+    binding: &[VertexId],
+    buf: &mut Vec<VertexId>,
+    state: &mut BudgetState,
+    strategy: IntersectStrategy,
+) {
+    let stable = lists[cache.edge_idx];
+    let anchor = binding[dp.edges[cache.edge_idx].other as usize];
+    if cache.stamp != Some(anchor) {
+        cache.bits.reset(stable);
+        cache.stamp = Some(anchor);
+    }
+    buf.clear();
+    if cache.bits.is_empty() {
+        return;
+    }
+    // Shortest probe first: the intermediate result is then bounded by
+    // the smallest list, preserving the plan-time buffer capacity bound.
+    let shortest = lists
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != cache.edge_idx)
+        .min_by_key(|&(_, l)| l.len())
+        .map(|(i, _)| i)
+        .expect("bitset depths have at least two edges");
+    let probe = lists[shortest];
+    if strategy == IntersectStrategy::Adaptive
+        && !probe.is_empty()
+        && cache.bits.len() / probe.len() >= GALLOP_RATIO
+    {
+        // The probe is tiny relative to the cached set: gallop it through
+        // the stable list instead of paying the word walk.
+        state.stats.gallop_intersections += 1;
+        intersect_into_gallop(probe, stable, buf);
+    } else {
+        state.stats.bitset_intersections += 1;
+        cache.bits.filter_into(probe, buf);
+    }
+    // Any further lists (three-plus-edge depths) refine the buffer in
+    // place under the usual length-ratio crossover.
+    for (i, l) in lists.iter().enumerate() {
+        if i == cache.edge_idx || i == shortest {
+            continue;
+        }
+        if buf.is_empty() {
+            return;
+        }
+        if l.len() / buf.len() >= GALLOP_RATIO {
+            state.stats.gallop_intersections += 1;
+            refine_in_place_gallop(buf, l);
+        } else {
+            state.stats.merge_intersections += 1;
+            refine_in_place_merge(buf, l);
+        }
+    }
+}
+
+/// Candidate-set size product of a fully independent suffix — with
+/// pendant-tree weights, the product of per-depth weight *sums* — or
+/// `None` on u64 overflow.
 fn suffix_product<G: GraphView>(
     graph: &G,
     depths: &[DepthPlan],
     bufs: &mut [Vec<VertexId>],
+    caches: &mut [Option<BitsetCache>],
     binding: &[VertexId],
-    stats: &mut KernelStats,
+    state: &mut BudgetState,
+    strategy: IntersectStrategy,
 ) -> Option<u64> {
     let mut prod = 1u64;
-    for (dp, buf) in depths.iter().zip(bufs.iter_mut()) {
-        let len = match dp.edges.len() {
+    for ((dp, buf), cache) in depths.iter().zip(bufs.iter_mut()).zip(caches.iter_mut()) {
+        let candidates: &[VertexId] = match dp.edges.len() {
             0 => match &dp.root {
-                RootGen::List(list) => list.len(),
-                RootGen::Scan => graph.num_vertices(),
+                RootGen::List(list) => {
+                    if dp.weight.is_none() {
+                        prod = prod.checked_mul(list.len() as u64)?;
+                        if prod == 0 {
+                            return Some(0);
+                        }
+                        continue;
+                    }
+                    // Weighted root: the Σw over the fixed list was
+                    // precomputed at plan time (None ⇒ it overflowed).
+                    prod = prod.checked_mul(dp.root_weight_sum?)?;
+                    if prod == 0 {
+                        return Some(0);
+                    }
+                    continue;
+                }
+                RootGen::Scan => {
+                    let total = match &dp.weight {
+                        None => graph.num_vertices() as u64,
+                        Some(_) => dp.root_weight_sum?,
+                    };
+                    prod = prod.checked_mul(total)?;
+                    if prod == 0 {
+                        return Some(0);
+                    }
+                    continue;
+                }
                 // Fixed roots are excluded by the `indep` analysis;
                 // Bound contradicts `edges.is_empty()`.
                 RootGen::Fixed(_) | RootGen::Bound => unreachable!("excluded from suffixes"),
             },
-            1 => neighbor_slice(graph, &dp.edges[0], binding).len(),
+            1 => neighbor_slice(graph, &dp.edges[0], binding),
             k => {
                 let mut lists: [&[VertexId]; MAX_QUERY_EDGES] = [&[]; MAX_QUERY_EDGES];
                 for (i, pe) in dp.edges.iter().enumerate() {
                     lists[i] = neighbor_slice(graph, pe, binding);
                 }
-                intersect_k_into_profiled(
-                    &mut lists[..k],
-                    buf,
-                    &mut stats.merge_intersections,
-                    &mut stats.gallop_intersections,
-                );
-                buf.len()
+                if let Some(cache) = cache {
+                    if k == 2 && dp.weight.is_none() {
+                        // Counting-only fast path: pop-count the probe
+                        // against the cached bitset, no buffer write.
+                        let len = bitset_count(dp, cache, &lists[..k], binding, state, strategy);
+                        prod = prod.checked_mul(len as u64)?;
+                        if prod == 0 {
+                            return Some(0);
+                        }
+                        continue;
+                    }
+                    bitset_fill(dp, cache, &lists[..k], binding, buf, state, strategy);
+                } else {
+                    intersect_k_into_strategy(
+                        &mut lists[..k],
+                        buf,
+                        strategy,
+                        &mut state.stats.merge_intersections,
+                        &mut state.stats.gallop_intersections,
+                    );
+                }
+                &buf[..]
             }
         };
-        prod = prod.checked_mul(len as u64)?;
+        let term = match &dp.weight {
+            None => candidates.len() as u64,
+            Some(w) => candidates
+                .iter()
+                .try_fold(0u64, |a, &c| a.checked_add(w[c as usize]))?,
+        };
+        prod = prod.checked_mul(term)?;
         if prod == 0 {
             return Some(0);
         }
     }
     Some(prod)
+}
+
+/// The counting-only twin of [`bitset_fill`] for two-edge depths: the
+/// number of probe hits against the cached bitset, written nowhere.
+fn bitset_count(
+    dp: &DepthPlan,
+    cache: &mut BitsetCache,
+    lists: &[&[VertexId]],
+    binding: &[VertexId],
+    state: &mut BudgetState,
+    strategy: IntersectStrategy,
+) -> usize {
+    let stable = lists[cache.edge_idx];
+    let anchor = binding[dp.edges[cache.edge_idx].other as usize];
+    if cache.stamp != Some(anchor) {
+        cache.bits.reset(stable);
+        cache.stamp = Some(anchor);
+    }
+    if cache.bits.is_empty() {
+        return 0;
+    }
+    let probe = lists[1 - cache.edge_idx];
+    if strategy == IntersectStrategy::Adaptive
+        && !probe.is_empty()
+        && cache.bits.len() / probe.len() >= GALLOP_RATIO
+    {
+        state.stats.gallop_intersections += 1;
+        // Gallop the probe through the stable list, counting matches via
+        // the cursor positions (gallop finds each lower bound).
+        let mut hits = 0usize;
+        let mut rest = stable;
+        for &x in probe {
+            let i = crate::intersect::gallop(rest, x);
+            if i == rest.len() {
+                break;
+            }
+            if rest[i] == x {
+                hits += 1;
+            }
+            rest = &rest[i..];
+        }
+        hits
+    } else {
+        state.stats.bitset_intersections += 1;
+        cache.bits.count_hits(probe)
+    }
 }
 
 /// The neighbour slice a planned edge induces under the current binding.

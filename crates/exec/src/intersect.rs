@@ -12,7 +12,48 @@
 
 use ceg_graph::VertexId;
 
-pub use ceg_graph::intersect::{gallop, intersect_into, refine_in_place, GALLOP_RATIO};
+pub use ceg_graph::intersect::{
+    gallop, intersect_into, intersect_into_gallop, intersect_into_merge, refine_in_place,
+    refine_in_place_gallop, refine_in_place_merge, VertexBitset, GALLOP_RATIO,
+};
+
+/// Which intersection strategy the counting kernel uses.
+///
+/// [`Adaptive`](IntersectStrategy::Adaptive) is the production setting:
+/// merge vs gallop by the [`GALLOP_RATIO`] length crossover, plus the
+/// per-depth bitset path where the plan enabled it from degree stats. The
+/// forced settings pin every pairwise step (and the bitset path on or
+/// off) so tests exercise each strategy even where the crossover would
+/// never pick it. Read once per plan from `CEG_FORCE_INTERSECT`
+/// (`merge` / `gallop` / `bitset`) by [`IntersectStrategy::from_env`], or
+/// injected directly via `CountPlan::with_strategy` for race-free tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntersectStrategy {
+    #[default]
+    Adaptive,
+    /// Every pairwise step is a linear two-pointer merge; no bitsets.
+    Merge,
+    /// Every pairwise step gallops; no bitsets.
+    Gallop,
+    /// The bitset path is enabled wherever structurally possible
+    /// (ignoring the degree-stat crossover); other steps stay adaptive.
+    Bitset,
+}
+
+impl IntersectStrategy {
+    /// The strategy named by `CEG_FORCE_INTERSECT`, default
+    /// [`Adaptive`](IntersectStrategy::Adaptive). Unrecognized values
+    /// fall back to adaptive rather than erroring: the knob is a test
+    /// override, not configuration.
+    pub fn from_env() -> Self {
+        match std::env::var("CEG_FORCE_INTERSECT").as_deref() {
+            Ok("merge") => IntersectStrategy::Merge,
+            Ok("gallop") => IntersectStrategy::Gallop,
+            Ok("bitset") => IntersectStrategy::Bitset,
+            _ => IntersectStrategy::Adaptive,
+        }
+    }
+}
 
 /// Intersect `lists` (each sorted and duplicate-free) into `out`.
 ///
@@ -38,6 +79,22 @@ pub fn intersect_k_into_profiled(
     merges: &mut u64,
     gallops: &mut u64,
 ) {
+    intersect_k_into_strategy(lists, out, IntersectStrategy::Adaptive, merges, gallops);
+}
+
+/// [`intersect_k_into_profiled`] under a pinned [`IntersectStrategy`]:
+/// `Merge` / `Gallop` force every pairwise step onto that primitive
+/// (counted under the matching counter); `Adaptive` and `Bitset` use the
+/// ratio crossover — the bitset path itself lives a level up, in the
+/// kernel's per-depth caches, so at the pairwise level `Bitset` behaves
+/// adaptively.
+pub fn intersect_k_into_strategy(
+    lists: &mut [&[VertexId]],
+    out: &mut Vec<VertexId>,
+    strategy: IntersectStrategy,
+    merges: &mut u64,
+    gallops: &mut u64,
+) {
     out.clear();
     match lists.len() {
         0 => {}
@@ -47,22 +104,51 @@ pub fn intersect_k_into_profiled(
             if lists[0].is_empty() {
                 return;
             }
-            if lists[1].len() / lists[0].len() >= GALLOP_RATIO {
-                *gallops += 1;
-            } else {
-                *merges += 1;
+            match pairwise(strategy, lists[0].len(), lists[1].len()) {
+                Pairwise::Merge => {
+                    *merges += 1;
+                    intersect_into_merge(lists[0], lists[1], out);
+                }
+                Pairwise::Gallop => {
+                    *gallops += 1;
+                    intersect_into_gallop(lists[0], lists[1], out);
+                }
             }
-            intersect_into(lists[0], lists[1], out);
             for l in &lists[2..] {
                 if out.is_empty() {
                     return;
                 }
-                if l.len() / out.len() >= GALLOP_RATIO {
-                    *gallops += 1;
-                } else {
-                    *merges += 1;
+                match pairwise(strategy, out.len(), l.len()) {
+                    Pairwise::Merge => {
+                        *merges += 1;
+                        refine_in_place_merge(out, l);
+                    }
+                    Pairwise::Gallop => {
+                        *gallops += 1;
+                        refine_in_place_gallop(out, l);
+                    }
                 }
-                refine_in_place(out, l);
+            }
+        }
+    }
+}
+
+enum Pairwise {
+    Merge,
+    Gallop,
+}
+
+/// One pairwise dispatch decision: the forced strategies pin it, the
+/// others apply the [`GALLOP_RATIO`] crossover on `large / small`.
+fn pairwise(strategy: IntersectStrategy, small: usize, large: usize) -> Pairwise {
+    match strategy {
+        IntersectStrategy::Merge => Pairwise::Merge,
+        IntersectStrategy::Gallop => Pairwise::Gallop,
+        IntersectStrategy::Adaptive | IntersectStrategy::Bitset => {
+            if large / small >= GALLOP_RATIO {
+                Pairwise::Gallop
+            } else {
+                Pairwise::Merge
             }
         }
     }

@@ -25,6 +25,10 @@ pub fn variable_order<G: GraphView>(graph: &G, query: &QueryGraph) -> Vec<VarId>
     let seed_edge = (0..query.num_edges())
         .min_by_key(|&i| graph.label_count(query.edge(i).label))
         .unwrap();
+
+    if let Some(ring) = ring_order(query, seed_edge) {
+        return ring;
+    }
     let mut order: Vec<VarId> = Vec::with_capacity(n as usize);
     let mut bound = 0u32;
     let push = |order: &mut Vec<VarId>, bound: &mut u32, v: VarId| {
@@ -65,6 +69,65 @@ pub fn variable_order<G: GraphView>(graph: &G, query: &QueryGraph) -> Vec<VarId>
         }
     }
     order
+}
+
+/// Ring-walk order for simple-cycle queries: start at the rare seed edge
+/// and bind vertices in ring succession.
+///
+/// For a cycle the greedy heuristic tends to extend from both seed
+/// endpoints alternately (rarity tie-breaks), which leaves the closing
+/// variable's far edge anchored at a *mid-order* variable. Walking the
+/// ring instead anchors every suffix — including the closing
+/// intersection's stable edge and the kernel's per-depth suffix memo — at
+/// the root, which changes slowest: the memo then collapses cyclic
+/// backtracking into the dynamic program over distinct
+/// `(root, frontier)` states. Returns `None` unless the query is one
+/// simple cycle (every variable on exactly two non-loop edges, one
+/// connected ring, no parallel-edge shortcuts).
+fn ring_order(query: &QueryGraph, seed_edge: usize) -> Option<Vec<VarId>> {
+    let n = query.num_vars() as usize;
+    if n < 3 {
+        return None;
+    }
+    let mut ring_edges = 0usize;
+    for v in 0..query.num_vars() {
+        let mut deg = 0usize;
+        for i in query.edges_at(v) {
+            let e = query.edge(i);
+            if e.src != e.dst {
+                deg += 1;
+            }
+        }
+        if deg != 2 {
+            return None;
+        }
+        ring_edges += deg;
+    }
+    if ring_edges != 2 * n {
+        return None;
+    }
+    // Walk from the seed edge; a genuine single ring visits every
+    // variable exactly once before returning to the start.
+    let seed = query.edge(seed_edge);
+    let mut order = Vec::with_capacity(n);
+    let mut visited = 0u32;
+    let (mut prev_edge, mut at) = (seed_edge, seed.src);
+    loop {
+        if visited & (1 << at) != 0 {
+            return None; // closed early: two smaller cycles, not one ring
+        }
+        visited |= 1 << at;
+        order.push(at);
+        if order.len() == n {
+            break;
+        }
+        let next = query
+            .edges_at(at)
+            .find(|&i| i != prev_edge && query.edge(i).src != query.edge(i).dst)?;
+        at = query.edge(next).other(at);
+        prev_edge = next;
+    }
+    Some(order)
 }
 
 #[cfg(test)]

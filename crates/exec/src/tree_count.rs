@@ -12,10 +12,21 @@
 //!
 //! and the total is `Σ_u down[root][u]` — one pass per query edge, `O(|E|)`
 //! each. Counts are returned as `f64` (they routinely exceed `u64`).
+//!
+//! The same factorization powers the crate-private `factorize` pass: for a
+//! *cyclic* query with acyclic sub-structures hanging off its cyclic core,
+//! the pendant trees
+//! are peeled into exact per-vertex weight vectors and only the core is
+//! enumerated, each core binding contributing the product of its weights
+//! in closed form. `CountPlan::new_counting` wires this into the kernel,
+//! extending the independent-suffix shortcut from "count the suffix sets"
+//! to "sum their subtree weights".
 
-use ceg_graph::{LabeledGraph, VertexId};
+use ceg_graph::{GraphView, LabeledGraph, VertexId};
 use ceg_query::cycles::is_acyclic;
-use ceg_query::{QueryGraph, VarId};
+use ceg_query::{QueryEdge, QueryGraph, VarId};
+
+use crate::constraints::{VarConstraint, VarConstraints};
 
 /// Exact homomorphism count of an acyclic connected query, or `None` if
 /// the query is cyclic or disconnected (use the backtracking counter).
@@ -87,6 +98,160 @@ pub fn count_tree_dp(graph: &LabeledGraph, query: &QueryGraph) -> Option<f64> {
         }
     }
     Some(down[root as usize].iter().sum())
+}
+
+/// The factorized form of a cyclic query: its cyclic core plus the exact
+/// weight vectors of the pendant trees peeled off it. Produced by
+/// [`factorize`], consumed by `CountPlan::new_counting`.
+pub(crate) struct Factorization {
+    /// The core query over compacted variable ids (every simple cycle of
+    /// the original query, plus any self-loops and constrained stubs).
+    pub core: QueryGraph,
+    /// The original constraints remapped onto the core ids.
+    pub cons: VarConstraints,
+    /// Per core variable: `weights[v][u]` = homomorphism count of the
+    /// pendant tree hanging off `v` when `v ↦ u`; `None` means no
+    /// pendant (weight 1 everywhere).
+    pub weights: Vec<Option<Box<[u64]>>>,
+}
+
+/// Peel the acyclic sub-structures off a cyclic query, folding each into
+/// a per-vertex weight vector by the tree DP above (in exact `u64`).
+///
+/// A variable is peelable when exactly one non-loop edge still touches
+/// it, it carries no constraint and no self-loop. Peeling to a fixpoint
+/// strips every pendant tree; what remains is the 2-core. Returns `None`
+/// — meaning "count the query unfactorized" — when nothing peels, when
+/// the remainder has no edges (the query was acyclic: the classic kernel
+/// with its suffix shortcut already handles trees well and `enumerate`
+/// semantics must not change), or when a weight overflows `u64`.
+pub(crate) fn factorize<G: GraphView>(
+    graph: &G,
+    query: &QueryGraph,
+    cons: &VarConstraints,
+) -> Option<Factorization> {
+    let nv = query.num_vars() as usize;
+    let n = graph.num_vertices();
+    let mut removed_edge = vec![false; query.num_edges()];
+    let mut removed_var = vec![false; nv];
+    let mut degree = vec![0usize; nv]; // non-loop incident edges remaining
+    let mut has_self_loop = vec![false; nv];
+    for e in query.edges() {
+        if e.src == e.dst {
+            has_self_loop[e.src as usize] = true;
+        } else {
+            degree[e.src as usize] += 1;
+            degree[e.dst as usize] += 1;
+        }
+    }
+
+    let peelable = |v: usize, degree: &[usize]| {
+        degree[v] == 1 && !has_self_loop[v] && matches!(cons.get(v as VarId), VarConstraint::Any)
+    };
+    // Phase 1: peel with degree bookkeeping only — O(query) — and record
+    // the order. The expensive O(|V|) weight folding below runs only once
+    // we know a non-empty core actually survives; acyclic queries (whose
+    // core is empty, and which every `count()` call probes) abandon here
+    // for free.
+    let mut peel_order: Vec<(usize, usize)> = Vec::new(); // (var, edge)
+    let mut queue: Vec<usize> = (0..nv).filter(|&v| peelable(v, &degree)).collect();
+    while let Some(v) = queue.pop() {
+        if removed_var[v] || degree[v] != 1 {
+            continue;
+        }
+        let ei = query
+            .edges_at(v as VarId)
+            .find(|&i| {
+                !removed_edge[i] && {
+                    let e = query.edge(i);
+                    e.src != e.dst
+                }
+            })
+            .expect("degree-1 variable has a live non-loop edge");
+        let parent = query.edge(ei).other(v as VarId) as usize;
+        removed_edge[ei] = true;
+        removed_var[v] = true;
+        degree[v] = 0;
+        degree[parent] -= 1;
+        peel_order.push((v, ei));
+        if !removed_var[parent] && peelable(parent, &degree) {
+            queue.push(parent);
+        }
+    }
+    if peel_order.is_empty() {
+        return None;
+    }
+    let live_edges = removed_edge.iter().filter(|&&r| !r).count()
+        - query.edges().iter().filter(|e| e.src == e.dst).count();
+    if live_edges == 0 {
+        return None;
+    }
+
+    // Phase 2: replay the peel order, folding each variable's subtree
+    // weight into its parent:
+    //   w_parent[u] *= Σ_{u' ∈ nbrs_e(u)} w_v[u']
+    // (w_v = None is the all-ones leaf weight, so the sum is the
+    // degree). Exact u64 with overflow ⇒ abandon factorization.
+    let mut weights: Vec<Option<Box<[u64]>>> = (0..nv).map(|_| None).collect();
+    for &(v, ei) in &peel_order {
+        let e = query.edge(ei);
+        let parent = e.other(v as VarId) as usize;
+        let child = weights[v].take();
+        let pw = weights[parent].get_or_insert_with(|| vec![1u64; n].into_boxed_slice());
+        for u in 0..n {
+            if pw[u] == 0 {
+                continue;
+            }
+            let nbrs = if e.src == parent as VarId {
+                graph.out_neighbors(u as VertexId, e.label)
+            } else {
+                graph.in_neighbors(u as VertexId, e.label)
+            };
+            let s = match &child {
+                None => nbrs.len() as u64,
+                Some(cw) => {
+                    let mut s = 0u64;
+                    for &u2 in nbrs {
+                        s = s.checked_add(cw[u2 as usize])?;
+                    }
+                    s
+                }
+            };
+            pw[u] = pw[u].checked_mul(s)?;
+        }
+    }
+
+    // Compact the surviving variables and remap edges + constraints.
+    let mut to_core = vec![VarId::MAX; nv];
+    let mut ncore: VarId = 0;
+    for v in 0..nv {
+        if !removed_var[v] {
+            to_core[v] = ncore;
+            ncore += 1;
+        }
+    }
+    let core_edges: Vec<QueryEdge> = query
+        .edges()
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| !removed_edge[i])
+        .map(|(_, e)| QueryEdge::new(to_core[e.src as usize], to_core[e.dst as usize], e.label))
+        .collect();
+    let mut core_cons = VarConstraints::none(ncore);
+    let mut core_weights: Vec<Option<Box<[u64]>>> = (0..ncore).map(|_| None).collect();
+    for v in 0..nv {
+        if removed_var[v] {
+            continue;
+        }
+        let cv = to_core[v];
+        core_cons.set(cv, cons.get(v as VarId));
+        core_weights[cv as usize] = weights[v].take();
+    }
+    Some(Factorization {
+        core: QueryGraph::new(ncore, core_edges),
+        cons: core_cons,
+        weights: core_weights,
+    })
 }
 
 /// Exact truth for any connected query: tree DP when acyclic, otherwise

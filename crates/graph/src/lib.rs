@@ -50,6 +50,7 @@ pub mod hash;
 pub mod intersect;
 pub mod io;
 pub mod overlay;
+pub mod renumber;
 pub mod snapshot;
 pub mod stats;
 pub mod sync;
@@ -62,8 +63,9 @@ pub use csr::Csr;
 pub use delta::GraphDelta;
 pub use graph::{Edge, LabeledGraph};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet};
-pub use intersect::{gallop, intersect_into, refine_in_place};
+pub use intersect::{gallop, intersect_into, refine_in_place, VertexBitset};
 pub use overlay::OverlayGraph;
+pub use renumber::VertexRemap;
 pub use stats::LabelStats;
 pub use view::GraphView;
 

@@ -1,0 +1,194 @@
+//! Degree-aware vertex renumbering.
+//!
+//! The bitset intersection kernel ([`crate::VertexBitset`]) probes
+//! candidate sets word-at-a-time, so its skip rate depends on how the
+//! candidate ids cluster: if the high-degree hubs that dominate candidate
+//! sets are scattered across the id space, every probe run touches many
+//! words. [`VertexRemap::degree_descending`] renumbers vertices by total
+//! degree so hubs collapse into the first few u64 words, which both
+//! shrinks the active word range and turns leaf-only words into zero
+//! words the kernel skips in one comparison.
+//!
+//! The remap is a pure bijection on `0..n` carried alongside the
+//! renumbered graph: wire-visible ids stay external, the service
+//! translates at its edges (update ingestion, snapshot write), and
+//! because the permutation is recomputed deterministically from the graph
+//! it never needs to be persisted — a snapshot written in external
+//! numbering reproduces the same remap when reloaded.
+
+use crate::{GraphBuilder, LabeledGraph, VertexId};
+
+/// A bijective old↔new vertex-id map over the domain `0..len`, identity
+/// beyond it (ids introduced later by live updates keep their external
+/// value on both sides — the permutation never collides with them because
+/// it maps `0..len` onto itself).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VertexRemap {
+    /// `to_internal[external] = internal`, indexed by external id.
+    to_internal: Vec<VertexId>,
+    /// `to_external[internal] = external`, indexed by internal id.
+    to_external: Vec<VertexId>,
+}
+
+impl VertexRemap {
+    /// The remap that clusters hubs: external vertices sorted by total
+    /// degree (out + in over every label) descending, ties broken by
+    /// external id so the permutation is deterministic for a given graph.
+    pub fn degree_descending(g: &LabeledGraph) -> VertexRemap {
+        let n = g.num_vertices();
+        let mut degree = vec![0u64; n];
+        for e in g.all_edges() {
+            degree[e.src as usize] += 1;
+            degree[e.dst as usize] += 1;
+        }
+        let mut to_external: Vec<VertexId> = (0..n as VertexId).collect();
+        to_external.sort_by_key(|&v| (std::cmp::Reverse(degree[v as usize]), v));
+        let mut to_internal = vec![0 as VertexId; n];
+        for (internal, &external) in to_external.iter().enumerate() {
+            to_internal[external as usize] = internal as VertexId;
+        }
+        VertexRemap {
+            to_internal,
+            to_external,
+        }
+    }
+
+    /// The identity remap over `0..n` (used where a dataset opts out of
+    /// renumbering but the surrounding plumbing expects a map).
+    pub fn identity(n: usize) -> VertexRemap {
+        let ids: Vec<VertexId> = (0..n as VertexId).collect();
+        VertexRemap {
+            to_internal: ids.clone(),
+            to_external: ids,
+        }
+    }
+
+    /// Size of the permuted domain (ids at or beyond it map to themselves).
+    pub fn len(&self) -> usize {
+        self.to_external.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.to_external.is_empty()
+    }
+
+    /// Whether the permutation is the identity on its whole domain.
+    pub fn is_identity(&self) -> bool {
+        self.to_external
+            .iter()
+            .enumerate()
+            .all(|(i, &v)| v == i as VertexId)
+    }
+
+    /// External (wire-visible) id → internal (bitset-friendly) id.
+    #[inline]
+    pub fn to_internal(&self, external: VertexId) -> VertexId {
+        self.to_internal
+            .get(external as usize)
+            .copied()
+            .unwrap_or(external)
+    }
+
+    /// Internal id → external (wire-visible) id.
+    #[inline]
+    pub fn to_external(&self, internal: VertexId) -> VertexId {
+        self.to_external
+            .get(internal as usize)
+            .copied()
+            .unwrap_or(internal)
+    }
+
+    /// The graph with every vertex id mapped external → internal. Built
+    /// through [`GraphBuilder`], so the result is in canonical form: every
+    /// relation spans the full domain with sorted duplicate-free rows.
+    pub fn apply(&self, g: &LabeledGraph) -> LabeledGraph {
+        self.rebuild(g, |v| self.to_internal(v))
+    }
+
+    /// The inverse of [`apply`](Self::apply): every vertex id mapped
+    /// internal → external. Also canonical-form; applying `externalize`
+    /// then `apply` round-trips byte-identically.
+    pub fn externalize(&self, g: &LabeledGraph) -> LabeledGraph {
+        self.rebuild(g, |v| self.to_external(v))
+    }
+
+    fn rebuild(&self, g: &LabeledGraph, f: impl Fn(VertexId) -> VertexId) -> LabeledGraph {
+        let mut b = GraphBuilder::with_labels(g.num_vertices(), g.num_labels());
+        for e in g.all_edges() {
+            b.add_edge(f(e.src), f(e.dst), e.label);
+        }
+        b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> LabeledGraph {
+        // Vertex 3 is the hub: degree 5. Vertex 5 is isolated.
+        let mut b = GraphBuilder::with_labels(6, 2);
+        b.add_edge(0, 3, 0);
+        b.add_edge(1, 3, 0);
+        b.add_edge(2, 3, 1);
+        b.add_edge(3, 4, 0);
+        b.add_edge(3, 0, 1);
+        b.build()
+    }
+
+    #[test]
+    fn hub_gets_internal_id_zero() {
+        let g = sample();
+        let m = VertexRemap::degree_descending(&g);
+        assert_eq!(m.to_internal(3), 0);
+        assert_eq!(m.to_external(0), 3);
+        // Bijection over the whole domain, identity beyond it.
+        let mut seen: Vec<VertexId> = (0..6).map(|v| m.to_internal(v)).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..6).collect::<Vec<_>>());
+        assert_eq!(m.to_internal(99), 99);
+        assert_eq!(m.to_external(99), 99);
+    }
+
+    #[test]
+    fn apply_preserves_structure_and_roundtrips() {
+        let g = sample();
+        let m = VertexRemap::degree_descending(&g);
+        let internal = m.apply(&g);
+        assert_eq!(internal.num_vertices(), g.num_vertices());
+        assert_eq!(internal.num_edges(), g.num_edges());
+        for e in g.all_edges() {
+            assert!(internal.has_edge(m.to_internal(e.src), m.to_internal(e.dst), e.label));
+        }
+        let back = m.externalize(&internal);
+        let mut want: Vec<_> = g.all_edges().collect();
+        let mut got: Vec<_> = back.all_edges().collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn deterministic_for_a_given_graph() {
+        let g = sample();
+        assert_eq!(
+            VertexRemap::degree_descending(&g),
+            VertexRemap::degree_descending(&g)
+        );
+        // Recomputing from the externalized form of the renumbered graph
+        // (what snapshot restore does) yields the same permutation.
+        let m = VertexRemap::degree_descending(&g);
+        let restored = m.externalize(&m.apply(&g));
+        assert_eq!(VertexRemap::degree_descending(&restored), m);
+    }
+
+    #[test]
+    fn identity_remap() {
+        let m = VertexRemap::identity(4);
+        assert!(m.is_identity());
+        assert_eq!(m.len(), 4);
+        let g = sample();
+        let m2 = VertexRemap::degree_descending(&g);
+        assert!(!m2.is_identity());
+    }
+}

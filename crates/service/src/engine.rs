@@ -405,7 +405,9 @@ impl Engine {
                 t.counter("kernel_candidates", k.candidates);
                 t.counter("kernel_intersect_merge", k.merge_intersections);
                 t.counter("kernel_intersect_gallop", k.gallop_intersections);
+                t.counter("kernel_intersect_bitset", k.bitset_intersections);
                 t.counter("kernel_suffix_shortcuts", k.suffix_shortcuts);
+                t.counter("kernel_memo_hits", k.memo_hits);
                 t.counter("kernel_budget_consumed", k.budget_consumed);
                 t.counter("kernel_deepest_level", k.deepest_level);
             }

@@ -210,7 +210,9 @@ pub struct Metrics {
     kernel_candidates: AtomicU64,
     kernel_merge: AtomicU64,
     kernel_gallop: AtomicU64,
+    kernel_bitset: AtomicU64,
     kernel_suffix: AtomicU64,
+    kernel_memo_hits: AtomicU64,
     kernel_budget: AtomicU64,
     /// Durable commits appended (and fsynced) to a WAL.
     wal_commits: AtomicU64,
@@ -240,7 +242,9 @@ impl Default for Metrics {
             kernel_candidates: AtomicU64::new(0),
             kernel_merge: AtomicU64::new(0),
             kernel_gallop: AtomicU64::new(0),
+            kernel_bitset: AtomicU64::new(0),
             kernel_suffix: AtomicU64::new(0),
+            kernel_memo_hits: AtomicU64::new(0),
             kernel_budget: AtomicU64::new(0),
             wal_commits: AtomicU64::new(0),
             wal_bytes: AtomicU64::new(0),
@@ -315,8 +319,12 @@ impl Metrics {
             .fetch_add(stats.merge_intersections, Ordering::Relaxed);
         self.kernel_gallop
             .fetch_add(stats.gallop_intersections, Ordering::Relaxed);
+        self.kernel_bitset
+            .fetch_add(stats.bitset_intersections, Ordering::Relaxed);
         self.kernel_suffix
             .fetch_add(stats.suffix_shortcuts, Ordering::Relaxed);
+        self.kernel_memo_hits
+            .fetch_add(stats.memo_hits, Ordering::Relaxed);
         self.kernel_budget
             .fetch_add(stats.budget_consumed, Ordering::Relaxed);
     }
@@ -411,8 +419,16 @@ impl Metrics {
                 self.kernel_gallop.load(Ordering::Relaxed),
             ),
             (
+                "kernel_intersect_bitset_total".into(),
+                self.kernel_bitset.load(Ordering::Relaxed),
+            ),
+            (
                 "kernel_suffix_shortcuts_total".into(),
                 self.kernel_suffix.load(Ordering::Relaxed),
+            ),
+            (
+                "kernel_memo_hits_total".into(),
+                self.kernel_memo_hits.load(Ordering::Relaxed),
             ),
             (
                 "kernel_budget_consumed_total".into(),
@@ -503,8 +519,18 @@ impl Metrics {
         );
         counter(
             &mut out,
+            "ceg_kernel_intersect_bitset_total",
+            self.kernel_bitset.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
             "ceg_kernel_suffix_shortcuts_total",
             self.kernel_suffix.load(Ordering::Relaxed),
+        );
+        counter(
+            &mut out,
+            "ceg_kernel_memo_hits_total",
+            self.kernel_memo_hits.load(Ordering::Relaxed),
         );
         counter(
             &mut out,

@@ -45,7 +45,9 @@ use ceg_core::sync::{LockPoisoned, LockRank, OrderedMutex, OrderedRwLock};
 use ceg_graph::io::load_graph;
 use ceg_graph::vfs::{OsStorage, Storage};
 use ceg_graph::wal::{WalOp, WalWriter};
-use ceg_graph::{FxHashMap, FxHashSet, GraphDelta, LabelId, LabeledGraph, OverlayGraph, VertexId};
+use ceg_graph::{
+    FxHashMap, FxHashSet, GraphDelta, LabelId, LabeledGraph, OverlayGraph, VertexId, VertexRemap,
+};
 use ceg_query::{Pattern, QueryGraph};
 
 /// What one [`DatasetEntry::commit`] did, echoed over the wire.
@@ -159,6 +161,15 @@ pub struct DatasetEntry {
     rebase_threshold: usize,
     /// Refuse to buffer more than this many uncommitted operations.
     pending_cap: usize,
+    /// Degree-descending vertex renumbering applied to the stored graph
+    /// so the counting kernel's bitsets see hub ids clustered into few
+    /// words. Computed once from the graph at construction; ids
+    /// introduced later by updates map to themselves. All wire-visible
+    /// ids stay **external**: updates translate external→internal at the
+    /// buffering boundary, WAL records and snapshots are written in
+    /// external numbering (so both are invariant to how any particular
+    /// process numbered its vertices).
+    remap: VertexRemap,
     /// Mirror of `state.epoch` for lock-free reads on the estimate path.
     epoch: AtomicU64,
     state: OrderedRwLock<DatasetState>,
@@ -201,12 +212,19 @@ impl DatasetEntry {
     /// serially; see [`DatasetEntry::with_jobs`].
     pub fn new(name: impl Into<String>, graph: LabeledGraph, markov: MarkovTable) -> Self {
         let rebase_threshold = default_rebase_threshold(graph.num_edges());
+        // Renumber at the door: the stored graph runs in internal
+        // (degree-descending) numbering, and because the permutation is
+        // recomputed deterministically from the external graph it never
+        // needs persisting — a restored snapshot renumbers identically.
+        let remap = VertexRemap::degree_descending(&graph);
+        let graph = remap.apply(&graph);
         DatasetEntry {
             name: name.into(),
             h: markov.h(),
             jobs: 1,
             rebase_threshold,
             pending_cap: MAX_PENDING_OPS,
+            remap,
             epoch: AtomicU64::new(0),
             state: OrderedRwLock::new(
                 LockRank::DatasetState,
@@ -307,12 +325,19 @@ impl DatasetEntry {
         }
     }
 
-    /// Materialize the committed graph as a standalone CSR graph (shares
-    /// untouched relations with the base). Tests use this to compare a
+    /// Materialize the committed graph as a standalone CSR graph, in
+    /// external (wire-visible) numbering. Tests use this to compare a
     /// live server against a cold one loaded with the final graph.
     pub fn materialized_graph(&self) -> LabeledGraph {
         let st = self.state.read();
-        st.base.rebase(&st.overlay)
+        self.remap.externalize(&st.base.rebase(&st.overlay))
+    }
+
+    /// The dataset's vertex renumbering (external ↔ internal). Exposed
+    /// for tests and diagnostics; request paths never need it because
+    /// the translation happens inside the entry.
+    pub fn remap(&self) -> &VertexRemap {
+        &self.remap
     }
 
     /// Validate one update op against the committed domain plus the
@@ -351,7 +376,9 @@ impl DatasetEntry {
     }
 
     /// Record one bounds-checked op into the pending buffer, enforcing
-    /// the pending cap.
+    /// the pending cap. `src`/`dst` are external (wire) ids; they are
+    /// translated to internal numbering here, so everything below this
+    /// point — pending, overlay, base — speaks internal ids only.
     fn buffer_update(
         &self,
         src: VertexId,
@@ -360,6 +387,7 @@ impl DatasetEntry {
         del: bool,
     ) -> Result<(u64, usize), String> {
         self.check_update(src, dst, label)?;
+        let (src, dst) = (self.remap.to_internal(src), self.remap.to_internal(dst));
         let mut pending = self
             .pending
             .checked_lock()
@@ -473,9 +501,16 @@ impl DatasetEntry {
         // pending buffer (merged *under* anything buffered since, so
         // later client ops still win) and the in-memory state is
         // untouched.
+        //
+        // WAL records are written in EXTERNAL numbering: a replay may run
+        // under a different remap than the one that appended (snapshot
+        // rotation folds commits into the externalized snapshot, and the
+        // recovered entry recomputes its permutation from that graph), so
+        // only numbering-invariant ids are safe to persist.
         let mut wal_bytes = 0;
         if let Some(d) = dur.as_mut() {
-            let ops: Vec<WalOp> = effective
+            let wire = effective.map_vertices(|v| self.remap.to_external(v));
+            let ops: Vec<WalOp> = wire
                 .adds()
                 .map(|e| WalOp {
                     src: e.src,
@@ -483,7 +518,7 @@ impl DatasetEntry {
                     label: e.label,
                     del: false,
                 })
-                .chain(effective.dels().map(|e| WalOp {
+                .chain(wire.dels().map(|e| WalOp {
                     src: e.src,
                     dst: e.dst,
                     label: e.label,
@@ -731,14 +766,16 @@ impl DatasetEntry {
                 st.epoch,
             )
         };
-        let graph;
-        let graph_ref = if overlay.is_empty() {
-            &*base
+        // Snapshots persist the EXTERNAL view: the permutation is an
+        // in-process layout detail, recomputed deterministically on load,
+        // so `.cegsnap` bytes are invariant to it (and round-trip
+        // byte-identically through a renumbering server).
+        let folded = if overlay.is_empty() {
+            self.remap.externalize(&base)
         } else {
-            graph = base.rebase(&overlay);
-            &graph
+            self.remap.externalize(&base.rebase(&overlay))
         };
-        ceg_catalog::io::write_snapshot_with(storage, path, graph_ref, &markov, epoch)?;
+        ceg_catalog::io::write_snapshot_with(storage, path, &folded, &markov, epoch)?;
         Ok((epoch, storage.len(path)?))
     }
 
@@ -1291,6 +1328,56 @@ mod tests {
         // The epoch sequence continues, it does not restart.
         restored.add_edge(2, 2, 0).unwrap();
         assert_eq!(restored.commit().epoch, 2);
+    }
+
+    #[test]
+    fn renumbered_dataset_is_invisible_on_the_wire() {
+        // The entry renumbers internally (toy_graph's hub 1 gets internal
+        // id 0), but every visible surface is in external numbering.
+        let entry = DatasetEntry::new("toy", toy_graph(), MarkovTable::empty(2));
+        assert!(!entry.remap().is_identity(), "toy graph has a hub");
+        assert_eq!(entry.remap().to_internal(1), 0);
+
+        // The materialized graph is the external graph.
+        let external = entry.materialized_graph();
+        let mut want: Vec<_> = toy_graph().all_edges().collect();
+        let mut got: Vec<_> = external.all_edges().collect();
+        want.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(want, got);
+
+        // Updates are addressed by external ids: deleting 1 -1-> 2 (which
+        // internally is a different pair) must remove exactly that edge.
+        entry.del_edge(1, 2, 1).unwrap();
+        entry.add_edge(4, 0, 1).unwrap();
+        entry.commit();
+        let after = entry.materialized_graph();
+        assert!(!after.has_edge(1, 2, 1));
+        assert!(after.has_edge(4, 0, 1));
+        assert!(after.has_edge(1, 3, 1), "untouched edges survive");
+
+        // Snapshot round-trip: bytes written by the live (renumbered)
+        // entry restore into an entry that writes the identical bytes,
+        // and estimates agree between the live and the cold server.
+        let q = templates::path(2, &[0, 1]);
+        entry.ensure_patterns(std::slice::from_ref(&q));
+        let dir = std::env::temp_dir();
+        let p1 = dir.join(format!("ceg-renum-1-{}.cegsnap", std::process::id()));
+        let p2 = dir.join(format!("ceg-renum-2-{}.cegsnap", std::process::id()));
+        entry.write_snapshot(&p1).unwrap();
+        let registry = DatasetRegistry::new();
+        let cold = registry.load_snapshot("cold", &p1).unwrap();
+        cold.write_snapshot(&p2).unwrap();
+        let b1 = std::fs::read(&p1).unwrap();
+        let b2 = std::fs::read(&p2).unwrap();
+        std::fs::remove_file(&p1).unwrap();
+        std::fs::remove_file(&p2).unwrap();
+        assert_eq!(b1, b2, "snapshot bytes must round-trip identically");
+        assert_eq!(
+            entry.with_markov(|t| t.card_of_subquery(&q, q.full_mask())),
+            cold.with_markov(|t| t.card_of_subquery(&q, q.full_mask())),
+            "live and cold estimates agree"
+        );
     }
 
     #[test]

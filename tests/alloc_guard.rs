@@ -11,7 +11,7 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use cegraph::exec::{CountBudget, CountPlan, VarConstraints};
+use cegraph::exec::{CountBudget, CountPlan, IntersectStrategy, VarConstraints};
 use cegraph::graph::GraphBuilder;
 use cegraph::query::templates;
 
@@ -75,4 +75,21 @@ fn six_edge_cycle_counts_without_post_setup_allocations() {
     assert!(complete);
     assert_eq!(visited, total);
     assert_eq!(budgeted, None, "budget of 3 must exhaust");
+
+    // The bitset path must hold the same invariant: its per-depth
+    // bitsets are plan-time allocations, lazily reset (never reallocated)
+    // as the stable binding moves, so a forced-bitset counting plan also
+    // runs allocation-free — across repeated reuses of the same plan.
+    let mut bitset_plan =
+        CountPlan::counting_with_strategy(&g, &q, &cons, IntersectStrategy::Bitset);
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..3 {
+        assert_eq!(bitset_plan.count(), 6, "bitset path agrees with merge");
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "the bitset intersection path allocated post-setup"
+    );
 }

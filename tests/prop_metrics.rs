@@ -117,7 +117,9 @@ fn metrics_snapshot_keys_are_stable() {
         "kernel_candidates_total",
         "kernel_intersect_merge_total",
         "kernel_intersect_gallop_total",
+        "kernel_intersect_bitset_total",
         "kernel_suffix_shortcuts_total",
+        "kernel_memo_hits_total",
         "kernel_budget_consumed_total",
         "queue_wait_count",
         "queue_wait_sum_us",
@@ -175,7 +177,9 @@ fn metrics_prom_families_are_stable() {
         "ceg_kernel_candidates_total",
         "ceg_kernel_intersect_merge_total",
         "ceg_kernel_intersect_gallop_total",
+        "ceg_kernel_intersect_bitset_total",
         "ceg_kernel_suffix_shortcuts_total",
+        "ceg_kernel_memo_hits_total",
         "ceg_kernel_budget_consumed_total",
         "ceg_queued",
         "ceg_queued_peak",
